@@ -1,0 +1,74 @@
+"""Wall-clock corroboration: real NumPy execution of the three schedules.
+
+The paper-scale (512^3) numbers come from the performance model; this bench
+actually *runs* the acoustic propagator on a small grid under each schedule
+and times it with pytest-benchmark.  Its purpose is not absolute speed (a
+vectorised-NumPy interpreter has very different constants from generated
+OpenMP C) but to pin the executors' relative costs and guard against
+regressions in the schedule implementations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from paper_setup import build_propagator
+from repro.core import NaiveSchedule, SpatialBlockSchedule, WavefrontSchedule
+
+NT = 8
+SHAPE = (36, 36, 36)
+
+
+@pytest.fixture(scope="module")
+def acoustic_prop():
+    prop = build_propagator("acoustic", 4, shape=SHAPE, nbl=4)
+    from repro.propagators import point_source, receiver_line
+
+    dt = prop.critical_dt()
+    prop.source = point_source(
+        "src", prop.grid, NT + 2, [prop.model.domain_center], f0=0.02, dt=dt
+    )
+    prop.receivers = receiver_line("rec", prop.grid, NT + 2, npoint=8, depth=40.0)
+    prop._op = None  # rebuild with the sparse operators attached
+    return prop, dt
+
+
+def _run(prop, dt, schedule, mode="auto"):
+    rec, _ = prop.forward(nt=NT, dt=dt, schedule=schedule, sparse_mode=mode)
+    return rec
+
+
+@pytest.mark.benchmark(group="realexec")
+def test_naive_execution(benchmark, acoustic_prop):
+    prop, dt = acoustic_prop
+    rec = benchmark(_run, prop, dt, NaiveSchedule(), "offgrid")
+    assert np.isfinite(rec).all()
+
+
+@pytest.mark.benchmark(group="realexec")
+def test_spatial_execution(benchmark, acoustic_prop):
+    prop, dt = acoustic_prop
+    rec = benchmark(_run, prop, dt, SpatialBlockSchedule(block=(12, 12)))
+    assert np.isfinite(rec).all()
+
+
+@pytest.mark.benchmark(group="realexec")
+def test_wavefront_execution(benchmark, acoustic_prop):
+    prop, dt = acoustic_prop
+    rec = benchmark(_run, prop, dt, WavefrontSchedule(tile=(18, 18), block=(9, 9), height=4))
+    assert np.isfinite(rec).all()
+
+
+@pytest.mark.benchmark(group="realexec")
+def test_wavefront_matches_naive(benchmark, acoustic_prop):
+    """Correctness under timing conditions: WTB == naive bit-for-bit."""
+    prop, dt = acoustic_prop
+    ref = _run(prop, dt, NaiveSchedule(), "offgrid")
+
+    def check():
+        rec = _run(prop, dt, WavefrontSchedule(tile=(18, 18), block=(9, 9), height=4))
+        return rec
+
+    rec = benchmark(check)
+    np.testing.assert_allclose(rec, ref, rtol=1e-5, atol=1e-6)

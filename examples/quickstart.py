@@ -1,0 +1,90 @@
+"""Quickstart: define a wave equation symbolically, add an off-the-grid
+source and receivers, and run it under wave-front temporal blocking.
+
+This is the paper's running example end-to-end:
+
+1. write the PDE exactly as the paper's symbolic listing,
+2. run the naive schedule (Listing 1 semantics),
+3. run the same operator under WTB — the sparse operators are automatically
+   precomputed into grid-aligned structures (Listings 2-5) so the time-tiled
+   traversal (Listing 6) is legal,
+4. check the two agree bit-for-bit and show the generated C for both.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (
+    Eq,
+    Function,
+    Grid,
+    NaiveSchedule,
+    Operator,
+    SparseTimeFunction,
+    TimeFunction,
+    WavefrontSchedule,
+    solve,
+)
+
+
+def main():
+    # -- 1. the problem, symbolically -------------------------------------------
+    grid = Grid(shape=(48, 48, 48), extent=(470.0, 470.0, 470.0))
+    u = TimeFunction("u", grid, time_order=2, space_order=8)
+    m = Function("m", grid, space_order=8)
+    m.data = 1.0 / 1.5**2  # water-speed square slowness (km/s)
+
+    eq = m * u.dt2 - u.laplace
+    update = Eq(u.forward, solve(eq, u.forward))
+
+    # an off-the-grid source (not on any grid point!) and three receivers
+    nt = 60
+    src = SparseTimeFunction(
+        "src", grid, npoint=1, nt=nt + 1, coordinates=np.array([[236.1, 233.7, 121.9]])
+    )
+    t = np.arange(nt + 1, dtype=np.float64)
+    f0 = 0.025
+    src.data[:, 0] = (1 - 2 * (np.pi * f0 * (t - 40)) ** 2) * np.exp(-((np.pi * f0 * (t - 40)) ** 2))
+    rec = SparseTimeFunction(
+        "rec", grid, npoint=3, nt=nt + 1,
+        coordinates=np.array([[100.5, 235.0, 50.2], [235.0, 235.0, 50.2], [370.5, 235.0, 50.2]]),
+    )
+
+    dt_sym = grid.stepping_dim.spacing
+    op = Operator(
+        [update],
+        sparse=[src.inject(u, expr=dt_sym**2 / m), rec.interpolate(u)],
+        name="quickstart",
+    )
+    print(op)
+    print(f"wavefront angle per timestep: {op.wavefront_angle} (space order 8)")
+
+    # -- 2. naive reference run ---------------------------------------------------
+    dt = 2.0  # ms, stable for 1.5 km/s on a ~10 m grid
+    op.apply(time_M=nt, dt=dt, schedule=NaiveSchedule())
+    u_ref = u.interior(nt).copy()
+    rec_ref = rec.data.copy()
+
+    # -- 3. temporally blocked run -------------------------------------------------
+    u.data_with_halo[...] = 0
+    rec.data[...] = 0
+    wtb = WavefrontSchedule(tile=(16, 16), block=(8, 8), height=4)
+    op.apply(time_M=nt, dt=dt, schedule=wtb)
+
+    # -- 4. identical results -------------------------------------------------------
+    du = np.abs(u.interior(nt) - u_ref).max()
+    dr = np.abs(rec.data - rec_ref).max()
+    print(f"max |u_wtb - u_naive|   = {du:.3e}")
+    print(f"max |rec_wtb - rec_ref| = {dr:.3e}")
+    assert du == 0.0 and dr == 0.0, "schedules must agree bit-for-bit"
+    print("wavefront temporal blocking reproduces the naive schedule exactly.")
+
+    print("\n--- generated C, naive (Listing 1 shape), first lines ---")
+    print("\n".join(op.ccode("naive").splitlines()[:12]))
+    print("\n--- generated C, wavefront (Listing 6 shape), first lines ---")
+    print("\n".join(op.ccode("wavefront", schedule=wtb).splitlines()[:14]))
+
+
+if __name__ == "__main__":
+    main()

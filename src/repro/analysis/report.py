@@ -1,0 +1,60 @@
+"""ASCII table/series renderers for the evaluation harness.
+
+Every benchmark prints its table/figure analogue through these helpers, so
+the harness output is uniform and diffable against EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["render_table", "render_series", "render_speedup_bars"]
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence], title: str = "") -> str:
+    """Fixed-width table with a rule under the header."""
+    cells = [[str(h) for h in headers]] + [[_fmt(c) for c in row] for row in rows]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells[1:]:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3g}" if abs(value) < 1000 else f"{value:.4g}"
+    return str(value)
+
+
+def render_series(
+    x: Sequence,
+    series: Dict[str, Sequence[float]],
+    x_label: str = "x",
+    title: str = "",
+) -> str:
+    """A figure rendered as columns: x plus one column per named series."""
+    headers = [x_label] + list(series)
+    rows = [[xv] + [series[name][i] for name in series] for i, xv in enumerate(x)]
+    return render_table(headers, rows, title=title)
+
+
+def render_speedup_bars(
+    labels: Sequence[str],
+    speedups: Sequence[float],
+    title: str = "",
+    width: int = 40,
+    ref: float = 1.0,
+) -> str:
+    """Horizontal bar chart of speedups with a reference line at 1.0x."""
+    lines = [title] if title else []
+    top = max(list(speedups) + [ref]) * 1.05
+    for label, s in zip(labels, speedups):
+        bar = "#" * max(int(round(s / top * width)), 1)
+        lines.append(f"{label:<22} {bar:<{width}} {s:.2f}x")
+    lines.append(f"{'(baseline = 1.0x)':<22}")
+    return "\n".join(lines)

@@ -1,0 +1,18 @@
+"""Autotuning of blocked schedules (Table I)."""
+from .tuner import (
+    DEFAULT_BLOCKS,
+    DEFAULT_TILES,
+    TuneCandidate,
+    TuneResult,
+    tune_spatial,
+    tune_wavefront,
+)
+
+__all__ = [
+    "tune_wavefront",
+    "tune_spatial",
+    "TuneResult",
+    "TuneCandidate",
+    "DEFAULT_TILES",
+    "DEFAULT_BLOCKS",
+]

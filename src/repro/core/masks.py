@@ -1,0 +1,125 @@
+"""Sparse-operator mask structures — steps 2 and 5 of the scheme (Fig. 5/6).
+
+From the affected-point set we build:
+
+* ``sm``  — the binary **source mask**, 1 at affected grid points (Fig. 5b);
+* ``sid`` — the **source-ID** map assigning each affected point a unique
+  ascending id ``0..npts-1`` in canonical order (Fig. 5c); unaffected points
+  hold the sentinel ``-1``;
+* ``nnz`` / ``sp_sid`` — the compressed iteration structures of Listing 5 /
+  Fig. 6: for each ``(x, y)`` pencil, ``nnz[x, y]`` counts the affected ``z``
+  positions and ``sp_sid[x, y, k]`` (k < nnz) stores them, so the fused
+  injection loop visits only affected slots instead of scanning all of ``z``.
+
+3-D is the primary layout (compression along ``z``); 1-D/2-D grids compress
+along their innermost dimension for the same effect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from ..dsl.functions import SparseTimeFunction
+from ..dsl.grid import Grid
+from .precompute import affected_points
+
+__all__ = ["SourceMasks", "build_masks"]
+
+
+@dataclass
+class SourceMasks:
+    """The grid-aligned sparse-operator data structures of §II-A."""
+
+    grid: Grid
+    #: unique affected grid points, canonical (lexicographic) order, (npts, ndim)
+    points: np.ndarray
+    #: binary mask over the full grid, uint8
+    sm: np.ndarray
+    #: unique id per affected point; -1 elsewhere; int32
+    sid: np.ndarray
+    #: per-pencil count of affected innermost positions, int32, shape grid.shape[:-1]
+    nnz: np.ndarray
+    #: compacted innermost indices, int32, shape grid.shape[:-1] + (max_nnz,)
+    sp_sid: np.ndarray
+
+    @property
+    def npts(self) -> int:
+        return int(self.points.shape[0])
+
+    @property
+    def max_nnz(self) -> int:
+        return int(self.sp_sid.shape[-1])
+
+    def id_of(self, points: np.ndarray) -> np.ndarray:
+        """Look up ids for integer grid points, shape (n, ndim) -> (n,)."""
+        points = np.atleast_2d(np.asarray(points, dtype=np.int64))
+        idx = tuple(points[:, d] for d in range(points.shape[1]))
+        ids = self.sid[idx]
+        if np.any(ids < 0):
+            raise KeyError("some queried points are not affected points")
+        return ids
+
+    def density(self) -> float:
+        """Fraction of grid points affected — drives the Fig. 10 corner cases."""
+        return self.npts / float(self.grid.npoints)
+
+    def pencil_occupancy(self) -> float:
+        """Fraction of innermost pencils containing at least one affected point.
+
+        This is what the Listing-5 compression exploits: the fused ``z2`` loop
+        body is skipped entirely for the ``1 - occupancy`` empty pencils.
+        """
+        return float(np.count_nonzero(self.nnz)) / float(self.nnz.size)
+
+    def memory_bytes(self) -> int:
+        """Footprint of the auxiliary structures (scheme overhead accounting)."""
+        return int(
+            self.sm.nbytes + self.sid.nbytes + self.nnz.nbytes + self.sp_sid.nbytes
+        )
+
+    # -- box queries used by the blocked executors --------------------------------
+    def points_in_box(self, box: Tuple[Tuple[int, int], ...]) -> np.ndarray:
+        """Ids of affected points inside a half-open box ``((lo, hi), ...)``."""
+        sel = np.ones(self.npts, dtype=bool)
+        for d, (lo, hi) in enumerate(box):
+            sel &= (self.points[:, d] >= lo) & (self.points[:, d] < hi)
+        return np.flatnonzero(sel)
+
+
+def build_masks(sparse: SparseTimeFunction, method: str = "analytic") -> SourceMasks:
+    """Build all mask structures for a sparse point set (Fig. 5b/5c + Fig. 6)."""
+    grid = sparse.grid
+    points = affected_points(sparse, method=method)
+    npts = points.shape[0]
+
+    sm = np.zeros(grid.shape, dtype=np.uint8)
+    sid = np.full(grid.shape, -1, dtype=np.int32)
+    if npts:
+        idx = tuple(points[:, d] for d in range(grid.ndim))
+        sm[idx] = 1
+        sid[idx] = np.arange(npts, dtype=np.int32)
+
+    # compress along the innermost dimension (z for 3-D grids)
+    nnz = np.count_nonzero(sm, axis=-1).astype(np.int32)
+    max_nnz = int(nnz.max()) if nnz.size else 0
+    pencil_shape = grid.shape[:-1]
+    sp_sid = np.full(pencil_shape + (max(max_nnz, 1),), -1, dtype=np.int32)
+    if npts:
+        # vectorised CSR-style fill: rank affected z's within each pencil
+        mask_flat = sm.reshape(-1, grid.shape[-1]).astype(bool)
+        rows, zs = np.nonzero(mask_flat)
+        # position of each nonzero within its row
+        slot = np.zeros_like(rows)
+        if rows.size:
+            first = np.ones(rows.size, dtype=bool)
+            first[1:] = rows[1:] != rows[:-1]
+            starts = np.flatnonzero(first)
+            counts_idx = np.arange(rows.size)
+            slot = counts_idx - np.repeat(counts_idx[starts], np.diff(np.append(starts, rows.size)))
+        sp_flat = sp_sid.reshape(-1, sp_sid.shape[-1])
+        sp_flat[rows, slot] = zs.astype(np.int32)
+
+    return SourceMasks(grid=grid, points=points, sm=sm, sid=sid, nnz=nnz, sp_sid=sp_sid)

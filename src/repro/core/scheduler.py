@@ -1,0 +1,151 @@
+"""Schedule descriptions: how the space-time iteration space is traversed.
+
+Three schedules, mirroring the paper's comparison:
+
+* :class:`NaiveSchedule` — plain time-stepping, whole grid per timestep
+  (Listing 1).
+* :class:`SpatialBlockSchedule` — rectangular space blocking within each
+  timestep (Fig. 4a); sparse operators run after each full sweep, so no
+  dependence is ever violated.
+* :class:`WavefrontSchedule` — wave-front temporal blocking (Fig. 4b /
+  Listing 6): the time axis is cut into tiles of ``height`` steps; within a
+  tile, skewed space-time windows of extent ``tile`` traverse the domain and
+  every window executes all sweep instances of the tile at decreasing spatial
+  offsets (the wavefront).  ``block`` is the intra-tile space-block shape
+  (performance-model granularity; results are schedule-independent).
+
+The same objects parameterise the NumPy executors (correctness), the memory
+trace generator (cache simulation), and the analytical performance model, so
+one description drives every measurement plane.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Tuple
+
+__all__ = [
+    "Schedule",
+    "NaiveSchedule",
+    "SpatialBlockSchedule",
+    "WavefrontSchedule",
+    "time_tiles",
+    "tile_origins",
+    "instance_lags",
+]
+
+
+class Schedule:
+    """Base class; concrete schedules are plain frozen dataclasses."""
+
+    kind = "abstract"
+
+
+@dataclass(frozen=True)
+class NaiveSchedule(Schedule):
+    """Whole-grid time-stepping (the reference semantics)."""
+
+    kind = "naive"
+
+
+@dataclass(frozen=True)
+class SpatialBlockSchedule(Schedule):
+    """Rectangular spatial blocking over the outer (non-vectorised) dimensions.
+
+    ``block`` gives the block extent along each blocked dimension (x, then y
+    for 3-D grids); the innermost dimension streams unblocked, matching the
+    paper's baseline (Devito's spatially-blocked vectorised code).
+    """
+
+    block: Tuple[int, ...] = (8, 8)
+    kind = "spatial"
+
+    def __post_init__(self):
+        if not self.block or any(b < 1 for b in self.block):
+            raise ValueError(f"invalid block shape {self.block}")
+
+
+@dataclass(frozen=True)
+class WavefrontSchedule(Schedule):
+    """Wave-front temporal blocking (WTB).
+
+    Parameters
+    ----------
+    tile:
+        Space-tile extent along each skewed dimension (``tile_x, tile_y`` in
+        Table I).
+    block:
+        Space-block extent within a tile (``block_x, block_y`` in Table I).
+    height:
+        Number of timesteps evaluated per space-time tile (the wavefront
+        depth).  Must be >= 1; height 1 degenerates to spatial blocking.
+    """
+
+    tile: Tuple[int, ...] = (32, 32)
+    block: Tuple[int, ...] = (8, 8)
+    height: int = 4
+    kind = "wavefront"
+
+    def __post_init__(self):
+        if not self.tile or any(t < 1 for t in self.tile):
+            raise ValueError(f"invalid tile shape {self.tile}")
+        if len(self.block) != len(self.tile):
+            raise ValueError("tile and block ranks must match")
+        if any(b < 1 for b in self.block):
+            raise ValueError(f"invalid block shape {self.block}")
+        if self.height < 1:
+            raise ValueError("wavefront height must be >= 1")
+
+
+def time_tiles(time_m: int, time_M: int, height: int) -> Iterator[Tuple[int, int]]:
+    """Half-open time tiles ``[t0, t1)`` covering ``[time_m, time_M)``."""
+    if height < 1:
+        raise ValueError("tile height must be >= 1")
+    t0 = time_m
+    while t0 < time_M:
+        yield (t0, min(t0 + height, time_M))
+        t0 += height
+
+
+def instance_lags(radii: Tuple[int, ...], nsteps: int) -> List[int]:
+    """Cumulative wavefront lag per sweep instance of an *nsteps*-high tile.
+
+    ``radii[j]`` is sweep *j*'s read radius.  Instance order is
+    ``(t0, s0), (t0, s1), ..., (t0+1, s0), ...``; the first instance has lag
+    0 and each following instance adds its own sweep's read radius, which
+    guarantees ``L[A] - L[B] >= radius(A)`` for any reader A of any earlier
+    producer B (see :mod:`repro.ir.dependencies`).
+    """
+    if nsteps < 1:
+        raise ValueError("tile height must be >= 1")
+    if not radii:
+        raise ValueError("need at least one sweep")
+    lags: List[int] = []
+    current = 0
+    for _step in range(nsteps):
+        for r in radii:
+            if lags:
+                current += int(r)
+            lags.append(current)
+    return lags
+
+
+def tile_origins(extents: Tuple[int, ...], tile: Tuple[int, ...], max_lag: int) -> Iterator[Tuple[int, ...]]:
+    """Origins of skewed space tiles covering ``[0, extent + max_lag)`` per dim.
+
+    Tiles are yielded in lexicographic ascending order — the legal sequential
+    order for skewed wavefront execution (all dependencies point to lower
+    skewed coordinates).
+    """
+    ranges: List[List[int]] = [
+        list(range(0, e + max_lag, t)) for e, t in zip(extents, tile)
+    ]
+
+    def rec(d: int, prefix: Tuple[int, ...]) -> Iterator[Tuple[int, ...]]:
+        if d == len(ranges):
+            yield prefix
+            return
+        for o in ranges[d]:
+            yield from rec(d + 1, prefix + (o,))
+
+    yield from rec(0, ())

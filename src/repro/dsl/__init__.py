@@ -1,0 +1,73 @@
+"""Devito-style symbolic DSL for finite-difference operators.
+
+Public surface::
+
+    from repro.dsl import Grid, Function, TimeFunction, SparseTimeFunction
+    from repro.dsl import Eq, solve, Symbol, sin, cos, sqrt
+
+A wave-equation solver is written exactly as in the paper's Listing
+("Wave-equation symbolic definition")::
+
+    grid = Grid(shape=(64, 64, 64))
+    u = TimeFunction("u", grid, time_order=2, space_order=8)
+    m = Function("m", grid, space_order=8)
+    eq = m * u.dt2 - u.laplace
+    update = Eq(u.forward, solve(eq, u.forward))
+    src_op = src.inject(u, expr_scale=...)    # off-the-grid scatter
+    rec_op = rec.interpolate(u)               # off-the-grid gather
+"""
+
+from .equation import Eq, solve
+from .functions import (
+    Function,
+    Injection,
+    Interpolation,
+    SparseTimeFunction,
+    TimeFunction,
+)
+from .grid import Dimension, Grid, SteppingDimension
+from .symbols import (
+    Add,
+    Call,
+    Expr,
+    Indexed,
+    Mul,
+    NonLinearError,
+    Number,
+    Pow,
+    Symbol,
+    cos,
+    exp,
+    sin,
+    sqrt,
+    sympify,
+    tan,
+)
+
+__all__ = [
+    "Grid",
+    "Dimension",
+    "SteppingDimension",
+    "Function",
+    "TimeFunction",
+    "SparseTimeFunction",
+    "Injection",
+    "Interpolation",
+    "Eq",
+    "solve",
+    "Expr",
+    "Symbol",
+    "Number",
+    "Add",
+    "Mul",
+    "Pow",
+    "Call",
+    "Indexed",
+    "sympify",
+    "sin",
+    "cos",
+    "tan",
+    "sqrt",
+    "exp",
+    "NonLinearError",
+]

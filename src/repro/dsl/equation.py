@@ -1,0 +1,64 @@
+"""Symbolic update equations and the explicit-scheme solver.
+
+``Eq(lhs, rhs)`` states a pointwise equality; :func:`solve` isolates the
+unknown (normally ``u.forward``) from an implicit residual form, which is how
+the wave-equation listings in the paper are written::
+
+    eq = m * u.dt2 - u.laplace          # residual form, == 0
+    update = Eq(u.forward, solve(eq, u.forward))
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from .functions import DiscreteFunction
+from .symbols import Expr, Indexed, Mul, NonLinearError, Number, Pow, S_ZERO, sympify
+
+__all__ = ["Eq", "solve"]
+
+
+class Eq:
+    """A pointwise assignment ``lhs <- rhs`` over the iteration space.
+
+    ``lhs`` must be a single :class:`~repro.dsl.symbols.Indexed` access (the
+    written field); ``rhs`` any expression over grid accesses and constants.
+    """
+
+    def __init__(self, lhs: Union[Indexed, DiscreteFunction], rhs) -> None:
+        if isinstance(lhs, DiscreteFunction):
+            lhs = lhs.indexify()
+        if not isinstance(lhs, Indexed):
+            raise TypeError(f"Eq lhs must be an Indexed access, got {type(lhs).__name__}")
+        self.lhs = lhs
+        self.rhs = sympify(rhs)
+
+    @property
+    def write_function(self):
+        return self.lhs.function
+
+    def reads(self):
+        """All Indexed accesses on the right-hand side."""
+        return sorted(self.rhs.atoms(Indexed), key=str)
+
+    def subs(self, mapping) -> "Eq":
+        return Eq(self.lhs, self.rhs.subs(mapping))
+
+    def __repr__(self) -> str:
+        return f"Eq({self.lhs} <- {self.rhs})"
+
+
+def solve(expr: Expr, target: Union[Indexed, DiscreteFunction]) -> Expr:
+    """Solve ``expr == 0`` for *target*, which must occur linearly.
+
+    Decomposes ``expr = a*target + b`` and returns ``-b / a``.  Raises
+    :class:`~repro.dsl.symbols.NonLinearError` for nonlinear occurrences and
+    :class:`ValueError` if *target* does not occur at all.
+    """
+    if isinstance(target, DiscreteFunction):
+        target = target.indexify()
+    expr = sympify(expr)
+    a, b = expr.as_linear(target)
+    if a == S_ZERO:
+        raise ValueError(f"target {target} does not occur in expression")
+    return Mul(Number(-1), b, Pow(a, Number(-1)))

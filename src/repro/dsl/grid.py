@@ -1,0 +1,141 @@
+"""Computational grid and dimension abstractions (Devito-style).
+
+A :class:`Grid` owns the spatial :class:`Dimension` objects, the stepping
+(time) dimension, the physical extent/spacing, and the default floating-point
+type (single precision, as in the paper's experiments).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from .symbols import Symbol
+
+__all__ = ["Dimension", "SteppingDimension", "Grid"]
+
+
+class Dimension:
+    """A named spatial dimension with an associated spacing symbol ``h_<name>``."""
+
+    is_time = False
+
+    def __init__(self, name: str):
+        self.name = str(name)
+        self.spacing = Symbol(f"h_{self.name}")
+        self.symbol = Symbol(self.name)
+
+    def __repr__(self) -> str:
+        return f"Dimension({self.name})"
+
+    def __hash__(self) -> int:
+        return hash(("Dimension", self.name))
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Dimension) and other.is_time == self.is_time and other.name == self.name
+
+
+class SteppingDimension(Dimension):
+    """The time-stepping dimension; its spacing symbol is ``dt``."""
+
+    is_time = True
+
+    def __init__(self, name: str = "t"):
+        super().__init__(name)
+        self.spacing = Symbol("dt")
+
+
+class Grid:
+    """A rectilinear grid over a physical box.
+
+    Parameters
+    ----------
+    shape:
+        Number of grid points along each spatial dimension (1-, 2- or 3-D).
+    extent:
+        Physical size of the domain along each dimension.  Defaults to
+        ``(shape[i]-1) * 10.0`` (10 m spacing, as the paper's isotropic runs).
+    origin:
+        Physical coordinates of grid point ``(0, ..., 0)``.
+    dtype:
+        Field scalar type; the paper models in single precision.
+    """
+
+    _DIM_NAMES = ("x", "y", "z")
+
+    def __init__(
+        self,
+        shape: Tuple[int, ...],
+        extent: Optional[Tuple[float, ...]] = None,
+        origin: Optional[Tuple[float, ...]] = None,
+        dtype=np.float32,
+    ):
+        shape = tuple(int(s) for s in shape)
+        if not 1 <= len(shape) <= 3:
+            raise ValueError(f"grid must be 1-, 2- or 3-D, got shape {shape}")
+        if any(s < 2 for s in shape):
+            raise ValueError(f"each dimension needs >= 2 points, got {shape}")
+        self.shape = shape
+        self.ndim = len(shape)
+        if extent is None:
+            extent = tuple((s - 1) * 10.0 for s in shape)
+        extent = tuple(float(e) for e in extent)
+        if len(extent) != self.ndim:
+            raise ValueError("extent rank must match shape rank")
+        self.extent = extent
+        if origin is None:
+            origin = (0.0,) * self.ndim
+        origin = tuple(float(o) for o in origin)
+        if len(origin) != self.ndim:
+            raise ValueError("origin rank must match shape rank")
+        self.origin = origin
+        self.dtype = np.dtype(dtype)
+
+        self.dimensions: Tuple[Dimension, ...] = tuple(
+            Dimension(n) for n in self._DIM_NAMES[: self.ndim]
+        )
+        self.stepping_dim = SteppingDimension("t")
+        self.spacing: Tuple[float, ...] = tuple(
+            e / (s - 1) for e, s in zip(self.extent, self.shape)
+        )
+
+    # -- symbolic helpers ----------------------------------------------------
+    def spacing_map(self) -> Dict[Symbol, float]:
+        """Map each spacing symbol ``h_x``... to its numeric value."""
+        return {d.spacing: h for d, h in zip(self.dimensions, self.spacing)}
+
+    @property
+    def time_dim(self) -> SteppingDimension:
+        return self.stepping_dim
+
+    def dimension(self, name: str) -> Dimension:
+        for d in self.dimensions:
+            if d.name == name:
+                return d
+        raise KeyError(f"no spatial dimension named {name!r}")
+
+    # -- coordinate transforms --------------------------------------------------
+    def physical_to_logical(self, coords: np.ndarray) -> np.ndarray:
+        """Convert physical coordinates (npoints, ndim) to grid-index units."""
+        coords = np.atleast_2d(np.asarray(coords, dtype=np.float64))
+        if coords.shape[1] != self.ndim:
+            raise ValueError(
+                f"coordinate rank {coords.shape[1]} != grid rank {self.ndim}"
+            )
+        origin = np.asarray(self.origin)
+        spacing = np.asarray(self.spacing)
+        return (coords - origin) / spacing
+
+    def contains_points(self, coords: np.ndarray) -> np.ndarray:
+        """Boolean mask of physical points lying inside the domain box."""
+        logical = self.physical_to_logical(coords)
+        upper = np.asarray(self.shape, dtype=np.float64) - 1.0
+        return np.all((logical >= 0.0) & (logical <= upper), axis=1)
+
+    @property
+    def npoints(self) -> int:
+        return int(np.prod(self.shape))
+
+    def __repr__(self) -> str:
+        return f"Grid(shape={self.shape}, extent={self.extent}, dtype={self.dtype.name})"

@@ -1,0 +1,120 @@
+"""Off-the-grid interpolation/injection coefficient machinery.
+
+Sources and receivers live at arbitrary physical coordinates ("off the
+grid").  Injection *scatters* a point's amplitude onto its ``2^d``
+surrounding grid points with multilinear weights (Fig. 3a of the paper);
+interpolation *gathers* the wavefield at those neighbours with the same
+weights (Fig. 3b).  Both executors and the precomputation scheme
+(:mod:`repro.core`) are built on the routines here, so the scheme stays
+independent of the interpolation type: swap in a different
+``(offsets, weights)`` generator and everything downstream still works.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Tuple
+
+import numpy as np
+
+from .grid import Grid
+
+__all__ = [
+    "locate_points",
+    "corner_offsets",
+    "multilinear_coefficients",
+    "support_points",
+    "inject_values",
+    "interpolate_values",
+]
+
+
+def locate_points(coords: np.ndarray, grid: Grid) -> Tuple[np.ndarray, np.ndarray]:
+    """Split physical coordinates into base grid indices and fractional parts.
+
+    Returns ``(base, frac)`` with ``base`` int64 of shape ``(npoint, ndim)``
+    and ``frac`` in ``[0, 1]``; points exactly on the upper domain face are
+    attached to the last interior cell with ``frac == 1`` so the support stays
+    in bounds.
+    """
+    logical = grid.physical_to_logical(coords)
+    upper = np.asarray(grid.shape, dtype=np.float64) - 1.0
+    if np.any(logical < -1e-9) or np.any(logical > upper + 1e-9):
+        raise ValueError("off-the-grid point lies outside the domain")
+    logical = np.clip(logical, 0.0, upper)
+    base = np.floor(logical).astype(np.int64)
+    # attach boundary points to the last cell so base+1 is a valid index
+    last_cell = np.asarray(grid.shape, dtype=np.int64) - 2
+    base = np.minimum(base, np.maximum(last_cell, 0))
+    frac = logical - base
+    return base, frac
+
+
+def corner_offsets(ndim: int) -> np.ndarray:
+    """The ``2^ndim`` unit-cell corner offsets, shape ``(2^ndim, ndim)``."""
+    return np.array(list(product((0, 1), repeat=ndim)), dtype=np.int64)
+
+
+def multilinear_coefficients(frac: np.ndarray) -> np.ndarray:
+    """Multilinear (bi/tri-linear) weights for each point.
+
+    ``frac`` has shape ``(npoint, ndim)``; the result has shape
+    ``(npoint, 2^ndim)`` with rows summing to one: the partition-of-unity
+    property that conserves injected amplitude.
+    """
+    frac = np.atleast_2d(np.asarray(frac, dtype=np.float64))
+    npoint, ndim = frac.shape
+    corners = corner_offsets(ndim)  # (2^d, d)
+    # weight per corner: prod over dims of (frac if corner==1 else 1-frac)
+    w = np.ones((npoint, corners.shape[0]), dtype=np.float64)
+    for d in range(ndim):
+        take_hi = corners[:, d] == 1  # (2^d,)
+        w *= np.where(take_hi[None, :], frac[:, d : d + 1], 1.0 - frac[:, d : d + 1])
+    return w
+
+
+def support_points(coords: np.ndarray, grid: Grid) -> Tuple[np.ndarray, np.ndarray]:
+    """All affected grid points and their weights for a set of sparse points.
+
+    Returns ``(indices, weights)`` where ``indices`` has shape
+    ``(npoint, 2^ndim, ndim)`` (absolute grid indices of each point's support)
+    and ``weights`` has shape ``(npoint, 2^ndim)``.
+    """
+    base, frac = locate_points(coords, grid)
+    corners = corner_offsets(grid.ndim)
+    indices = base[:, None, :] + corners[None, :, :]
+    weights = multilinear_coefficients(frac)
+    return indices, weights
+
+
+def inject_values(
+    buffer: np.ndarray,
+    halo: int,
+    indices: np.ndarray,
+    weights: np.ndarray,
+    amplitudes: np.ndarray,
+) -> None:
+    """Scatter-add ``amplitudes[p] * weights[p, c]`` onto the support points.
+
+    ``buffer`` is a *padded* field slice (halo included); ``indices`` are
+    interior grid indices as returned by :func:`support_points`.  Uses
+    ``np.add.at`` so points sharing support accumulate correctly.
+    """
+    amplitudes = np.asarray(amplitudes)
+    npoint, ncorner, ndim = indices.shape
+    flat_idx = tuple(indices[..., d].ravel() + halo for d in range(ndim))
+    contributions = (weights * amplitudes[:, None]).astype(buffer.dtype, copy=False)
+    np.add.at(buffer, flat_idx, contributions.ravel())
+
+
+def interpolate_values(
+    buffer: np.ndarray,
+    halo: int,
+    indices: np.ndarray,
+    weights: np.ndarray,
+) -> np.ndarray:
+    """Gather field values at the support points, returning one value per point."""
+    npoint, ncorner, ndim = indices.shape
+    flat_idx = tuple(indices[..., d].ravel() + halo for d in range(ndim))
+    sampled = buffer[flat_idx].reshape(npoint, ncorner)
+    return (sampled * weights).sum(axis=1)

@@ -1,0 +1,31 @@
+"""Executors: run bound operators under the supported schedules."""
+from .evalbox import BoundEq, bind_equations, box_is_empty, clip_box, full_box
+from .executors import (
+    ExecutionPlan,
+    run_naive,
+    run_schedule,
+    run_spatial,
+    run_wavefront,
+)
+from .sparse import RawInjection, RawInterpolation, evaluate_point_scale
+from .trace import ChunkAddresser, TraceGeometry, schedule_trace, simulate_schedule
+
+__all__ = [
+    "BoundEq",
+    "bind_equations",
+    "full_box",
+    "clip_box",
+    "box_is_empty",
+    "ExecutionPlan",
+    "run_schedule",
+    "run_naive",
+    "run_spatial",
+    "run_wavefront",
+    "RawInjection",
+    "RawInterpolation",
+    "evaluate_point_scale",
+    "TraceGeometry",
+    "ChunkAddresser",
+    "schedule_trace",
+    "simulate_schedule",
+]

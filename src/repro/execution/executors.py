@@ -1,0 +1,186 @@
+"""Schedule executors: run a bound operator under naive, spatially blocked or
+wave-front temporally blocked traversal.
+
+All three produce identical results (to FP associativity) when the sparse
+operators are grid-aligned; the wavefront executor *requires* grid-aligned
+sparse operators — running it with raw off-the-grid injection
+(``unsafe_offgrid=True``) demonstrates the dependence violation of Fig. 4b
+and is provided exactly for that negative test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.scheduler import (
+    NaiveSchedule,
+    Schedule,
+    SpatialBlockSchedule,
+    WavefrontSchedule,
+    instance_lags,
+    tile_origins,
+    time_tiles,
+)
+from ..dsl.grid import Grid
+from .evalbox import BoundEq, Box, box_is_empty, clip_box, full_box
+
+__all__ = ["ExecutionPlan", "run_schedule", "run_naive", "run_spatial", "run_wavefront"]
+
+
+@dataclass
+class ExecutionPlan:
+    """Everything an executor needs: bound equations grouped into sweeps,
+    per-sweep read radii, and sparse operators attached to their sweeps."""
+
+    grid: Grid
+    sweeps: List[List[BoundEq]]
+    radii: List[int]
+    #: sweep index -> grid-aligned or raw injectors (apply(t, box))
+    injections: Dict[int, list] = field(default_factory=dict)
+    #: sweep index -> receivers (gather(t, box) / finalize(t))
+    receivers: Dict[int, list] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if len(self.sweeps) != len(self.radii):
+            raise ValueError("one radius per sweep required")
+        if not self.sweeps:
+            raise ValueError("plan has no sweeps")
+
+    @property
+    def nsweeps(self) -> int:
+        return len(self.sweeps)
+
+    @property
+    def angle(self) -> int:
+        """Wavefront skew per timestep (sum of sweep radii)."""
+        return sum(self.radii)
+
+    def all_receivers(self) -> list:
+        out = []
+        for lst in self.receivers.values():
+            out.extend(lst)
+        return out
+
+    def _sparse_for(self, j: int) -> Tuple[list, list]:
+        return self.injections.get(j, []), self.receivers.get(j, [])
+
+
+def _execute_instance(plan: ExecutionPlan, j: int, t: int, box: Optional[Box]) -> None:
+    """Run sweep *j* at timestep *t* on *box* (None = full grid), then its
+    attached sparse operators on the same box."""
+    use_box = box if box is not None else full_box(plan.grid)
+    if box_is_empty(use_box):
+        return
+    for beq in plan.sweeps[j]:
+        beq.evaluate(t, use_box)
+    injections, receivers = plan._sparse_for(j)
+    for inj in injections:
+        inj.apply(t, box)
+    for rec in receivers:
+        rec.gather(t, box)
+
+
+def run_naive(plan: ExecutionPlan, time_m: int, time_M: int) -> None:
+    """Listing 1: whole-grid sweeps, sparse operators after each sweep."""
+    for t in range(time_m, time_M):
+        for j in range(plan.nsweeps):
+            _execute_instance(plan, j, t, None)
+        for rec in plan.all_receivers():
+            rec.finalize(t)
+
+
+def _blocked_boxes(grid: Grid, block: Tuple[int, ...]):
+    """Rectangular blocks over the leading dims; trailing dims unblocked."""
+    nb = len(block)
+    shape = grid.shape
+    ranges = [range(0, shape[d], block[d]) for d in range(nb)]
+
+    def rec(d: int, prefix: Tuple[Tuple[int, int], ...]):
+        if d == nb:
+            tail = tuple((0, shape[k]) for k in range(nb, len(shape)))
+            yield prefix + tail
+            return
+        for lo in ranges[d]:
+            yield from rec(d + 1, prefix + ((lo, min(lo + block[d], shape[d])),))
+
+    yield from rec(0, ())
+
+
+def run_spatial(plan: ExecutionPlan, time_m: int, time_M: int, schedule: SpatialBlockSchedule) -> None:
+    """Fig. 4a: space blocking inside each timestep.
+
+    A sweep's blocks may run in any order (no intra-sweep dependence), but a
+    barrier separates sweeps, and sparse operators run after the full sweep --
+    which is why space blocking never conflicts with off-the-grid operators.
+    """
+    if len(schedule.block) > plan.grid.ndim:
+        raise ValueError("block rank exceeds grid rank")
+    boxes = list(_blocked_boxes(plan.grid, schedule.block))
+    for t in range(time_m, time_M):
+        for j in range(plan.nsweeps):
+            for box in boxes:
+                for beq in plan.sweeps[j]:
+                    beq.evaluate(t, box)
+            injections, receivers = plan._sparse_for(j)
+            for inj in injections:
+                inj.apply(t, None)
+            for rec in receivers:
+                rec.gather(t, None)
+        for rec in plan.all_receivers():
+            rec.finalize(t)
+
+
+def run_wavefront(
+    plan: ExecutionPlan,
+    time_m: int,
+    time_M: int,
+    schedule: WavefrontSchedule,
+) -> None:
+    """Listing 6: wave-front temporal blocking over skewed space-time tiles.
+
+    For each time tile ``[t0, t1)``, space tiles traverse the *skewed*
+    domain in ascending lexicographic order; within each space tile every
+    sweep instance ``(t, j)`` executes on the tile window shifted left by its
+    cumulative lag, immediately followed by its grid-aligned sparse
+    operators restricted to the same window.
+    """
+    grid = plan.grid
+    nskew = len(schedule.tile)
+    if nskew > grid.ndim:
+        raise ValueError("tile rank exceeds grid rank")
+    skew_extents = tuple(grid.shape[:nskew])
+    tail = tuple((0, s) for s in grid.shape[nskew:])
+
+    for t0, t1 in time_tiles(time_m, time_M, schedule.height):
+        height = t1 - t0
+        lags = instance_lags(tuple(plan.radii), height)
+        max_lag = lags[-1]
+        instances = [(t, j) for t in range(t0, t1) for j in range(plan.nsweeps)]
+        for origin in tile_origins(skew_extents, schedule.tile, max_lag):
+            for (t, j), lag in zip(instances, lags):
+                window = tuple(
+                    (o - lag, o - lag + ext)
+                    for o, ext in zip(origin, schedule.tile)
+                )
+                box = clip_box(
+                    tuple(window) + tail, grid
+                )
+                if box_is_empty(box):
+                    continue
+                _execute_instance(plan, j, t, box)
+        for t in range(t0, t1):
+            for rec in plan.all_receivers():
+                rec.finalize(t)
+
+
+def run_schedule(plan: ExecutionPlan, time_m: int, time_M: int, schedule: Schedule) -> None:
+    """Dispatch on schedule kind."""
+    if isinstance(schedule, NaiveSchedule):
+        run_naive(plan, time_m, time_M)
+    elif isinstance(schedule, SpatialBlockSchedule):
+        run_spatial(plan, time_m, time_M, schedule)
+    elif isinstance(schedule, WavefrontSchedule):
+        run_wavefront(plan, time_m, time_M, schedule)
+    else:
+        raise TypeError(f"unknown schedule {schedule!r}")

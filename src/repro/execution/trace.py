@@ -1,0 +1,187 @@
+"""Memory-trace generation for schedules, at pencil granularity.
+
+Stencil kernels with a vectorised innermost (z) dimension touch memory in
+whole z-pencils; a "chunk" here is one ``(slice, x, y)`` pencil.  This is the
+natural granularity at which the layer conditions and temporal reuse act, and
+it keeps traces short enough to drive the Python cache simulator.
+
+The generator replays the *exact* traversal each schedule performs — the same
+instance/lag arithmetic as the NumPy executors — emitting, for every grid row
+``(x, y)`` visited by a sweep instance, the pencils of every slice the sweep
+reads (at all its x/y stencil offsets) and writes.  Circular time buffers are
+honoured, so inter-timestep reuse (and its capacity limits) is visible to the
+simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.scheduler import (
+    NaiveSchedule,
+    Schedule,
+    SpatialBlockSchedule,
+    WavefrontSchedule,
+    instance_lags,
+    tile_origins,
+    time_tiles,
+)
+from ..machine.kernels import KernelSpec, SliceAccess
+
+__all__ = ["TraceGeometry", "ChunkAddresser", "schedule_trace", "simulate_schedule"]
+
+
+class TraceGeometry:
+    """x-y extent of the traced grid (z collapsed into the pencil chunk)."""
+
+    def __init__(self, nx: int, ny: int, nz: int):
+        self.nx, self.ny, self.nz = int(nx), int(ny), int(nz)
+
+    @property
+    def rows(self) -> int:
+        return self.nx * self.ny
+
+
+class ChunkAddresser:
+    """Assigns each (slice, physical buffer, x, y) pencil a unique id."""
+
+    def __init__(self, spec: KernelSpec, geom: TraceGeometry):
+        self.geom = geom
+        self._bases: Dict[Tuple[str, int], int] = {}
+        next_base = 0
+        seen: Dict[str, int] = {}
+        for sweep in spec.sweeps:
+            for sl in list(sweep.reads) + list(sweep.writes_detail):
+                fname = sl.name.split("@")[0]
+                if fname not in seen:
+                    seen[fname] = sl.buffers
+                else:
+                    seen[fname] = max(seen[fname], sl.buffers)
+        for fname in sorted(seen):
+            for b in range(seen[fname]):
+                self._bases[(fname, b)] = next_base
+                next_base += geom.rows
+        self.total_chunks = next_base
+        self._buffers = seen
+
+    def pencil(self, slice_access: SliceAccess, t: int, x: int, y: int) -> int:
+        fname = slice_access.name.split("@")[0]
+        nb = self._buffers[fname]
+        buf = (t + (slice_access.time_offset or 0)) % nb if nb > 1 else 0
+        return self._bases[(fname, buf)] + x * self.geom.ny + y
+
+
+def _row_chunks(
+    addresser: ChunkAddresser,
+    spec_sweep,
+    t: int,
+    x: int,
+    y: int,
+    geom: TraceGeometry,
+) -> Iterator[int]:
+    """Pencils touched when the sweep processes row (x, y) at step t."""
+    for sl in spec_sweep.reads:
+        r = sl.radius
+        if r == 0:
+            yield addresser.pencil(sl, t, x, y)
+        else:
+            for ox in range(-r, r + 1):
+                xx = min(max(x + ox, 0), geom.nx - 1)
+                yield addresser.pencil(sl, t, xx, y)
+            for oy in (-o for o in range(1, r + 1)):
+                yy = min(max(y + oy, 0), geom.ny - 1)
+                yield addresser.pencil(sl, t, x, yy)
+            for oy in range(1, r + 1):
+                yy = min(max(y + oy, 0), geom.ny - 1)
+                yield addresser.pencil(sl, t, x, yy)
+    for sl in spec_sweep.writes_detail:
+        yield addresser.pencil(sl, t, x, y)
+
+
+def _boxes(geom: TraceGeometry, block: Tuple[int, ...]) -> Iterator[Tuple[int, int, int, int]]:
+    bx = block[0] if block else geom.nx
+    by = block[1] if len(block) > 1 else geom.ny
+    for x0 in range(0, geom.nx, bx):
+        for y0 in range(0, geom.ny, by):
+            yield (x0, min(x0 + bx, geom.nx), y0, min(y0 + by, geom.ny))
+
+
+def schedule_trace(
+    spec: KernelSpec,
+    geom: TraceGeometry,
+    schedule: Schedule,
+    time_m: int,
+    time_M: int,
+    addresser: Optional[ChunkAddresser] = None,
+) -> Iterator[int]:
+    """Yield the pencil-chunk access stream of a schedule."""
+    addresser = addresser or ChunkAddresser(spec, geom)
+
+    if isinstance(schedule, (NaiveSchedule, SpatialBlockSchedule)):
+        block = schedule.block if isinstance(schedule, SpatialBlockSchedule) else ()
+        for t in range(time_m, time_M):
+            for sweep in spec.sweeps:
+                for (x0, x1, y0, y1) in _boxes(geom, block):
+                    for x in range(x0, x1):
+                        for y in range(y0, y1):
+                            yield from _row_chunks(addresser, sweep, t, x, y, geom)
+        return
+
+    if not isinstance(schedule, WavefrontSchedule):
+        raise TypeError(f"cannot trace schedule {schedule!r}")
+
+    radii = tuple(s.radius for s in spec.sweeps)
+    tile = schedule.tile
+    tx = tile[0]
+    ty = tile[1] if len(tile) > 1 else geom.ny
+    for t0, t1 in time_tiles(time_m, time_M, schedule.height):
+        lags = instance_lags(radii, t1 - t0)
+        max_lag = lags[-1]
+        instances = [(t, j) for t in range(t0, t1) for j in range(len(spec.sweeps))]
+        for (ox, oy) in tile_origins((geom.nx, geom.ny), (tx, ty), max_lag):
+            for (t, j), lag in zip(instances, lags):
+                x_lo, x_hi = max(ox - lag, 0), min(ox - lag + tx, geom.nx)
+                y_lo, y_hi = max(oy - lag, 0), min(oy - lag + ty, geom.ny)
+                if x_lo >= x_hi or y_lo >= y_hi:
+                    continue
+                sweep = spec.sweeps[j]
+                for x in range(x_lo, x_hi):
+                    for y in range(y_lo, y_hi):
+                        yield from _row_chunks(addresser, sweep, t, x, y, geom)
+
+
+def simulate_schedule(
+    spec: KernelSpec,
+    geom: TraceGeometry,
+    schedule: Schedule,
+    nsteps: int,
+    cache_levels,
+    warmup_steps: int = 0,
+):
+    """Run a schedule's trace through a cache hierarchy; returns stats.
+
+    ``cache_levels`` is [(name, capacity_bytes), ...]; capacities are
+    converted to pencil chunks of ``nz * dtype`` bytes.
+    """
+    from ..machine.cache import CacheHierarchy
+
+    chunk_bytes = geom.nz * spec.dtype_bytes
+    levels = [
+        (name, max(int(cap // chunk_bytes), 1)) for name, cap in cache_levels
+    ]
+    hier = CacheHierarchy(levels, chunk_bytes=chunk_bytes)
+    addresser = ChunkAddresser(spec, geom)
+    if warmup_steps:
+        hier.access_many(
+            schedule_trace(spec, geom, schedule, 0, warmup_steps, addresser)
+        )
+        hier.reset()
+        start = warmup_steps
+    else:
+        start = 0
+    hier.access_many(
+        schedule_trace(spec, geom, schedule, start, start + nsteps, addresser)
+    )
+    return hier.stats()

@@ -1,0 +1,27 @@
+"""Compiler intermediate representation: dependence analysis, loop-nest IR,
+transformation passes and code generation."""
+from .dependencies import (
+    Access,
+    Sweep,
+    build_sweeps,
+    read_accesses,
+    spatial_read_radius,
+    validate_wavefront,
+    wavefront_angle,
+    wavefront_lags,
+    written_access,
+)
+from .operator import Operator
+
+__all__ = [
+    "Operator",
+    "Access",
+    "Sweep",
+    "build_sweeps",
+    "read_accesses",
+    "written_access",
+    "spatial_read_radius",
+    "wavefront_angle",
+    "wavefront_lags",
+    "validate_wavefront",
+]

@@ -1,0 +1,80 @@
+"""NumPy kernel generation: compile symbolic expressions to Python closures.
+
+Devito's key trick is generating low-level code from the symbolic problem
+definition; our executor applies the same idea at the NumPy level.  Instead
+of walking the expression tree for every (timestep, box) evaluation, each
+equation is rendered once into a Python source string over named array views
+and compiled with :func:`compile` — typically several times faster for wide
+stencils, and bit-identical to the tree-walking interpreter (the tests assert
+this; the interpreter remains available as ``BoundEq(..., compiled=False)``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..dsl.symbols import Add, Call, Expr, Indexed, Mul, Number, Pow, Symbol
+
+__all__ = ["render_numpy_expression", "compile_rhs"]
+
+_ALLOWED_CALLS = {"sin", "cos", "tan", "sqrt", "exp"}
+
+
+def render_numpy_expression(expr: Expr, names: Dict[Indexed, str]) -> str:
+    """Render *expr* as a Python/NumPy source expression.
+
+    ``names`` maps every Indexed access to the local variable holding its
+    array view.  Raises on unbound symbols (the caller must substitute dt and
+    spacings first).
+    """
+
+    def rec(e: Expr) -> str:
+        if isinstance(e, Number):
+            return repr(float(e.value)) if isinstance(e.value, float) else repr(e.value)
+        if isinstance(e, Indexed):
+            return names[e]
+        if isinstance(e, Symbol):
+            raise ValueError(f"unbound symbol {e.name!r} in expression")
+        if isinstance(e, Add):
+            return "(" + " + ".join(rec(a) for a in e.args) + ")"
+        if isinstance(e, Mul):
+            return "(" + "*".join(rec(a) for a in e.args) + ")"
+        if isinstance(e, Pow):
+            exp = e.exponent
+            if isinstance(exp, Number):
+                v = exp.value
+                if v == -1:
+                    return f"(1.0/{rec(e.base)})"
+                if isinstance(v, int) and 0 < v <= 4:
+                    return "(" + "*".join([rec(e.base)] * v) + ")"
+                return f"({rec(e.base)}**{v!r})"
+            return f"({rec(e.base)}**{rec(exp)})"
+        if isinstance(e, Call):
+            if e.name not in _ALLOWED_CALLS:
+                raise ValueError(f"unsupported call {e.name!r} in generated kernel")
+            return f"np.{e.name}({rec(e.argument)})"
+        raise TypeError(f"cannot render node {type(e).__name__}")
+
+    return rec(expr)
+
+
+def compile_rhs(rhs: Expr, reads: Sequence[Indexed]) -> Tuple[Callable, List[Indexed]]:
+    """Compile ``rhs`` into ``kernel(out, v0, v1, ...)`` writing in place.
+
+    Returns the compiled callable and the read order its positional view
+    arguments follow.  The store uses ``out[...] = expr`` so dtype and layout
+    follow the output view exactly as the interpreter's assignment does.
+    """
+    reads = list(reads)
+    names = {access: f"v{i}" for i, access in enumerate(reads)}
+    body = render_numpy_expression(rhs, names)
+    args = ", ".join(["out"] + [names[a] for a in reads])
+    source = f"def _kernel({args}):\n    out[...] = {body}\n"
+    namespace: Dict[str, object] = {"np": np}
+    code = compile(source, filename=f"<repro-kernel>", mode="exec")
+    exec(code, namespace)
+    kernel = namespace["_kernel"]
+    kernel.__source__ = source  # for inspection/tests
+    return kernel, reads

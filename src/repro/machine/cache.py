@@ -1,0 +1,176 @@
+"""Cache-hierarchy simulator (LRU) for schedule traces.
+
+Complements the analytical traffic model with a *measured* (simulated)
+account of cache behaviour: the trace generator in
+:mod:`repro.execution.trace` replays the exact chunk-touch sequence of a
+schedule, and this simulator counts hits and misses per level.  It is used
+by the validation tests (wavefront blocking must cut last-level misses
+versus spatial blocking on a cache it fits in) and by the small-scale
+corroboration bench.
+
+Simulation granularity is up to the caller: line-level, pencil-level (one
+chunk = one innermost-dimension pencil — the natural unit for z-vectorised
+stencils), or anything else; capacities are given in the same units.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["LRUCache", "SetAssociativeCache", "CacheHierarchy", "HierarchyStats"]
+
+
+class LRUCache:
+    """Fully-associative LRU cache over opaque integer chunk ids."""
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = int(capacity)
+        self._store: "OrderedDict[int, None]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def access(self, chunk: int) -> bool:
+        """Touch *chunk*; returns True on hit."""
+        store = self._store
+        if chunk in store:
+            store.move_to_end(chunk)
+            self.hits += 1
+            return True
+        self.misses += 1
+        store[chunk] = None
+        if len(store) > self.capacity:
+            store.popitem(last=False)
+            self.evictions += 1
+        return False
+
+    def contains(self, chunk: int) -> bool:
+        return chunk in self._store
+
+    def reset_counters(self) -> None:
+        self.hits = self.misses = self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+
+class SetAssociativeCache:
+    """Set-associative LRU cache (sets indexed by ``chunk % nsets``)."""
+
+    def __init__(self, capacity: int, ways: int):
+        if ways < 1 or capacity < ways:
+            raise ValueError("need capacity >= ways >= 1")
+        self.ways = int(ways)
+        self.nsets = max(int(capacity) // int(ways), 1)
+        self.capacity = self.nsets * self.ways
+        self._sets: List["OrderedDict[int, None]"] = [OrderedDict() for _ in range(self.nsets)]
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def access(self, chunk: int) -> bool:
+        s = self._sets[chunk % self.nsets]
+        if chunk in s:
+            s.move_to_end(chunk)
+            self.hits += 1
+            return True
+        self.misses += 1
+        s[chunk] = None
+        if len(s) > self.ways:
+            s.popitem(last=False)
+            self.evictions += 1
+        return False
+
+    def contains(self, chunk: int) -> bool:
+        return chunk in self._sets[chunk % self.nsets]
+
+    def reset_counters(self) -> None:
+        self.hits = self.misses = self.evictions = 0
+
+
+@dataclass
+class HierarchyStats:
+    """Per-level access/hit counters plus the resulting traffic estimate."""
+
+    accesses: int
+    level_hits: Dict[str, int]
+    memory_fetches: int
+    chunk_bytes: float
+
+    def traffic_bytes(self, level: str) -> float:
+        """Bytes moved *into* the given level (misses of the level above)."""
+        if level == "memory":
+            return self.memory_fetches * self.chunk_bytes
+        return self.level_hits[level] * self.chunk_bytes
+
+    def miss_ratio(self) -> float:
+        return self.memory_fetches / max(self.accesses, 1)
+
+
+class CacheHierarchy:
+    """An inclusive multi-level LRU hierarchy.
+
+    ``levels`` is a sequence of (name, capacity_chunks) from innermost to
+    outermost.  An access probes levels in order; a miss at every level is a
+    memory fetch, and the chunk is installed everywhere (inclusive).
+    """
+
+    def __init__(self, levels: Sequence[Tuple[str, int]], chunk_bytes: float = 64.0, ways: Optional[int] = None):
+        if not levels:
+            raise ValueError("need at least one cache level")
+        self.names = [n for n, _ in levels]
+        if ways is None:
+            self.caches = [LRUCache(c) for _, c in levels]
+        else:
+            self.caches = [SetAssociativeCache(c, ways) for _, c in levels]
+        self.chunk_bytes = float(chunk_bytes)
+        self.accesses = 0
+        self.memory_fetches = 0
+        self._level_hits = {n: 0 for n in self.names}
+
+    def access(self, chunk: int) -> str:
+        """Touch *chunk*; returns the name of the level that hit ('memory'
+        when all missed)."""
+        self.accesses += 1
+        hit_level = "memory"
+        for name, cache in zip(self.names, self.caches):
+            if cache.contains(cache_key(chunk)):
+                hit_level = name
+                break
+        # install/update everywhere (inclusive, true LRU update per level)
+        for cache in self.caches:
+            cache.access(cache_key(chunk))
+        if hit_level == "memory":
+            self.memory_fetches += 1
+        else:
+            self._level_hits[hit_level] += 1
+        return hit_level
+
+    def access_many(self, chunks: Iterable[int]) -> None:
+        for c in chunks:
+            self.access(int(c))
+
+    def stats(self) -> HierarchyStats:
+        return HierarchyStats(
+            accesses=self.accesses,
+            level_hits=dict(self._level_hits),
+            memory_fetches=self.memory_fetches,
+            chunk_bytes=self.chunk_bytes,
+        )
+
+    def reset(self) -> None:
+        self.accesses = 0
+        self.memory_fetches = 0
+        self._level_hits = {n: 0 for n in self.names}
+        for c in self.caches:
+            c.reset_counters()
+
+
+def cache_key(chunk: int) -> int:
+    return int(chunk)

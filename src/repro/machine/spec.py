@@ -1,0 +1,105 @@
+"""Machine descriptions for the performance model — §IV-A.
+
+Parameterised analogues of the two Azure VM types the paper benchmarks on.
+Cache sizes come straight from §IV-A; sustained bandwidths and frequencies
+are calibrated to public STREAM/likwid measurements of those parts (the
+absolute numbers only set the scale — the reproduction's claims are about
+*ratios* between schedules on a fixed machine).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+__all__ = ["CacheLevel", "MachineSpec", "BROADWELL", "SKYLAKE", "MACHINES"]
+
+
+@dataclass(frozen=True)
+class CacheLevel:
+    """One cache level: capacity and sustained aggregate bandwidth."""
+
+    name: str
+    size_bytes: int
+    bandwidth_gbs: float  # aggregate sustained GB/s (all cores)
+    line_bytes: int = 64
+    #: fraction of the capacity usable by one kernel's working set before
+    #: conflict/sharing effects evict it (effective-capacity factor)
+    effective_fraction: float = 0.8
+
+    @property
+    def effective_bytes(self) -> float:
+        return self.size_bytes * self.effective_fraction
+
+    def __post_init__(self):
+        if self.size_bytes <= 0 or self.bandwidth_gbs <= 0:
+            raise ValueError(f"invalid cache level {self}")
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """A socket: core count, SIMD width, frequency and memory hierarchy."""
+
+    name: str
+    cores: int
+    freq_ghz: float
+    simd_lanes_sp: int  # single-precision SIMD lanes (AVX2: 8, AVX-512: 16)
+    fma_flops_per_lane: int  # 2 FMA units x 2 flops
+    l1: CacheLevel
+    l2: CacheLevel
+    l3: CacheLevel
+    dram_bandwidth_gbs: float
+    write_allocate: bool = True
+    #: SIMD efficiency of real stencil code vs theoretical peak
+    simd_efficiency: float = 0.45
+
+    @property
+    def peak_gflops(self) -> float:
+        """Theoretical single-precision peak (all cores)."""
+        return self.cores * self.freq_ghz * self.simd_lanes_sp * self.fma_flops_per_lane
+
+    @property
+    def sustained_gflops(self) -> float:
+        """Peak derated by the stencil SIMD efficiency."""
+        return self.peak_gflops * self.simd_efficiency
+
+    def levels(self) -> Tuple[Tuple[str, float], ...]:
+        """(name, bandwidth GB/s) from registers outwards, DRAM last."""
+        return (
+            (self.l1.name, self.l1.bandwidth_gbs),
+            (self.l2.name, self.l2.bandwidth_gbs),
+            (self.l3.name, self.l3.bandwidth_gbs),
+            ("DRAM", self.dram_bandwidth_gbs),
+        )
+
+
+#: Azure Standard_E16s_v3: single-socket 8-core Broadwell E5-2673 v4, AVX2.
+#: L1 32 KB + L2 256 KB private, 50 MB shared L3 (paper §IV-A).
+BROADWELL = MachineSpec(
+    name="broadwell",
+    cores=8,
+    freq_ghz=2.3,
+    simd_lanes_sp=8,
+    fma_flops_per_lane=4,
+    l1=CacheLevel("L1", 32 * 1024, 1100.0),
+    l2=CacheLevel("L2", 256 * 1024, 440.0),
+    l3=CacheLevel("L3", 50 * 1024 * 1024, 80.0, effective_fraction=0.65),
+    dram_bandwidth_gbs=42.0,
+)
+
+#: Azure Standard_E32s_v3: single-socket 16-core Skylake Platinum 8171M,
+#: AVX-512.  L1 32 KB + L2 1 MB private, 35.75 MB shared L3 (paper §IV-A).
+SKYLAKE = MachineSpec(
+    name="skylake",
+    cores=16,
+    freq_ghz=2.1,
+    simd_lanes_sp=16,
+    fma_flops_per_lane=4,
+    l1=CacheLevel("L1", 32 * 1024, 3200.0),
+    l2=CacheLevel("L2", 1024 * 1024, 1300.0),
+    l3=CacheLevel("L3", int(35.75 * 1024 * 1024), 120.0, effective_fraction=0.65),
+    dram_bandwidth_gbs=72.0,
+    simd_efficiency=0.35,
+)
+
+MACHINES: Dict[str, MachineSpec] = {m.name: m for m in (BROADWELL, SKYLAKE)}

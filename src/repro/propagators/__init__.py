@@ -1,0 +1,34 @@
+"""Wave propagators of §III: isotropic acoustic, anisotropic acoustic (TTI)
+and isotropic elastic, plus subsurface models and source machinery."""
+from .acoustic import AcousticPropagator
+from .base import Propagator
+from .elastic import ElasticPropagator
+from .model import CFL_COEFFICIENTS, SeismicModel, damping_profile, layered_velocity
+from .source import (
+    gabor_wavelet,
+    plane_sources,
+    point_source,
+    receiver_line,
+    ricker_wavelet,
+    time_axis,
+    volume_sources,
+)
+from .tti import TTIPropagator
+
+__all__ = [
+    "Propagator",
+    "AcousticPropagator",
+    "TTIPropagator",
+    "ElasticPropagator",
+    "SeismicModel",
+    "layered_velocity",
+    "damping_profile",
+    "CFL_COEFFICIENTS",
+    "ricker_wavelet",
+    "gabor_wavelet",
+    "time_axis",
+    "point_source",
+    "receiver_line",
+    "plane_sources",
+    "volume_sources",
+]

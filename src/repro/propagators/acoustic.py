@@ -1,0 +1,53 @@
+"""Isotropic acoustic propagator — §III-A.
+
+Second-order-in-time scalar wave equation with square slowness ``m = 1/c^2``,
+damping boundary term and a point source::
+
+    m * u.dt2 + damp * u.dt - laplace(u) = delta(x_s) q(t)
+
+The symbolic definition below is line-for-line the paper's Listing
+"Wave-equation symbolic definition".
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..dsl.equation import Eq, solve
+from ..dsl.functions import SparseTimeFunction, TimeFunction
+from ..ir.operator import Operator
+from .base import Propagator
+from .model import SeismicModel
+
+__all__ = ["AcousticPropagator"]
+
+
+class AcousticPropagator(Propagator):
+    """Jacobi-like single-field kernel: the memory-bound end of the spectrum."""
+
+    kind = "acoustic"
+
+    def __init__(
+        self,
+        model: SeismicModel,
+        space_order: int = 8,
+        source: Optional[SparseTimeFunction] = None,
+        receivers: Optional[SparseTimeFunction] = None,
+    ):
+        super().__init__(model, space_order, source, receivers)
+        self.u = TimeFunction("u", self.grid, time_order=2, space_order=space_order)
+        self.fields = [self.u]
+
+    def _build(self) -> Operator:
+        m, damp, u = self.model.m, self.model.damp, self.u
+        dt = self.grid.stepping_dim.spacing
+
+        eq = m * u.dt2 + damp * u.dt - u.laplace
+        update = Eq(u.forward, solve(eq, u.forward))
+
+        sparse = []
+        if self.source is not None:
+            sparse.append(self.source.inject(u, expr=dt**2 / m))
+        if self.receivers is not None:
+            sparse.append(self.receivers.interpolate(u))
+        return Operator([update], sparse=sparse, name="acoustic")

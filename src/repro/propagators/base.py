@@ -1,0 +1,97 @@
+"""Common propagator machinery: operator caching and forward modelling."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.scheduler import NaiveSchedule, Schedule
+from ..dsl.functions import SparseTimeFunction, TimeFunction
+from ..ir.operator import Operator
+from .model import SeismicModel
+
+__all__ = ["Propagator"]
+
+
+class Propagator:
+    """Base class of the three wave propagators of §III.
+
+    Subclasses build the symbolic equations and sparse operators in
+    ``_build()`` and list their time-stepped fields in ``self.fields``.
+    """
+
+    kind = "abstract"
+
+    def __init__(
+        self,
+        model: SeismicModel,
+        space_order: int = 8,
+        source: Optional[SparseTimeFunction] = None,
+        receivers: Optional[SparseTimeFunction] = None,
+    ):
+        self.model = model
+        self.grid = model.grid
+        self.space_order = int(space_order)
+        self.source = source
+        self.receivers = receivers
+        self.fields: List[TimeFunction] = []
+        self._op: Optional[Operator] = None
+
+    # -- to be provided by subclasses ------------------------------------------------
+    def _build(self) -> Operator:
+        raise NotImplementedError
+
+    # -- public API ------------------------------------------------------------------
+    @property
+    def op(self) -> Operator:
+        if self._op is None:
+            self._op = self._build()
+        return self._op
+
+    def zero_fields(self) -> None:
+        """Reset all wavefields (zero initial conditions, as the paper)."""
+        for f in self.fields:
+            f.data_with_halo[...] = 0.0
+
+    def critical_dt(self, cfl: Optional[float] = None) -> float:
+        return self.model.critical_dt(self.kind, cfl=cfl)
+
+    def forward(
+        self,
+        nt: Optional[int] = None,
+        tn: Optional[float] = None,
+        dt: Optional[float] = None,
+        schedule: Optional[Schedule] = None,
+        sparse_mode: str = "auto",
+        reset: bool = True,
+    ):
+        """Run the forward model for *nt* steps (or *tn* ms) under *schedule*.
+
+        Returns ``(receiver_data, plan)``; wavefields stay on the propagator's
+        :class:`TimeFunction` objects for inspection.
+        """
+        dt = dt if dt is not None else self.critical_dt()
+        if nt is None:
+            if tn is None:
+                raise ValueError("give either nt or tn")
+            nt = self.model.nt_for(tn, dt)
+        if self.source is not None and self.source.nt < nt:
+            raise ValueError(
+                f"source holds {self.source.nt} samples but {nt} steps requested"
+            )
+        if reset:
+            self.zero_fields()
+            if self.receivers is not None:
+                self.receivers.data[...] = 0.0
+        schedule = schedule or NaiveSchedule()
+        plan = self.op.apply(time_M=nt, dt=dt, schedule=schedule, sparse_mode=sparse_mode)
+        rec = self.receivers.data.copy() if self.receivers is not None else None
+        return rec, plan
+
+    # -- accounting used by the performance model -------------------------------------
+    def time_stepped_state(self) -> List[TimeFunction]:
+        return list(self.fields)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(so={self.space_order}, model={self.model!r})"

@@ -1,0 +1,151 @@
+"""Isotropic elastic propagator — §III-C.
+
+First-order-in-time velocity--stress formulation (Virieux) on a staggered
+grid, parametrised by the Lame parameters ``lambda``/``mu`` and density
+``rho``::
+
+    rho * dv/dt  = div(tau)
+    dtau/dt      = lam * tr(grad v) * I + mu * (grad v + grad v^T)
+
+Nine coupled state fields (three particle velocities + six stress-tensor
+components), two sweeps per timestep (velocities from stresses, then stresses
+from the *new* velocities) -- the heaviest data-movement kernel in the paper,
+and the one whose wavefront angle must be widened by the sum of the two
+sweeps' radii (Fig. 8b).
+
+Staggering convention (3-D indices; ``+`` means a half-point offset):
+``tii`` at (i,j,k); ``vx`` at (i+,j,k); ``vy`` at (i,j+,k); ``vz`` at
+(i,j,k+); ``txy`` at (i+,j+,k); ``txz`` at (i+,j,k+); ``tyz`` at (i,j+,k+).
+First derivatives use the staggered Fornberg weights of
+:func:`repro.stencil.coefficients.staggered_weights` with side +1/-1 matching
+those positions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..dsl.equation import Eq
+from ..dsl.functions import Function, SparseTimeFunction, TimeFunction
+from ..dsl.symbols import Add, Expr, Mul
+from ..ir.operator import Operator
+from .base import Propagator
+from .model import SeismicModel
+
+__all__ = ["ElasticPropagator"]
+
+
+class ElasticPropagator(Propagator):
+    """Velocity–stress staggered-grid kernel (time order 1)."""
+
+    kind = "elastic"
+
+    def __init__(
+        self,
+        model: SeismicModel,
+        space_order: int = 8,
+        source: Optional[SparseTimeFunction] = None,
+        receivers: Optional[SparseTimeFunction] = None,
+    ):
+        if model.rho is None:
+            raise ValueError("elastic propagation needs a model with a rho field")
+        super().__init__(model, space_order, source, receivers)
+        grid = self.grid
+        if grid.ndim != 3:
+            raise ValueError("the elastic propagator is implemented for 3-D grids")
+
+        mk = lambda name: TimeFunction(name, grid, time_order=1, space_order=space_order)
+        self.vx, self.vy, self.vz = mk("vx"), mk("vy"), mk("vz")
+        self.txx, self.tyy, self.tzz = mk("txx"), mk("tyy"), mk("tzz")
+        self.txy, self.txz, self.tyz = mk("txy"), mk("txz"), mk("tyz")
+        self.fields = [
+            self.vx, self.vy, self.vz,
+            self.txx, self.tyy, self.tzz,
+            self.txy, self.txz, self.tyz,
+        ]
+
+        # material fields: buoyancy b = 1/rho, Lame lam/mu from vp (and vs)
+        rho = model.rho.data
+        vp = model.vp.data
+        vs = model.vs.data if model.vs is not None else vp / np.sqrt(3.0)
+        mu = rho * vs**2
+        lam = rho * vp**2 - 2.0 * mu
+        self.b = self._coeff("b", 1.0 / rho)
+        self.lam = self._coeff("lam", lam)
+        self.mu = self._coeff("mu", mu)
+
+    def _coeff(self, name: str, values: np.ndarray) -> Function:
+        f = Function(name, self.grid, space_order=self.space_order)
+        f.data = values
+        return f
+
+    def _build(self) -> Operator:
+        g = self.grid
+        x, y, z = g.dimensions
+        dt = g.stepping_dim.spacing
+        damp = self.model.damp.indexify()
+        b, lam, mu = self.b.indexify(), self.lam.indexify(), self.mu.indexify()
+        vx, vy, vz = self.vx, self.vy, self.vz
+        txx, tyy, tzz = self.txx, self.tyy, self.tzz
+        txy, txz, tyz = self.txy, self.txz, self.tyz
+
+        # shorthand: staggered first derivative of the *current* buffer
+        def dplus(f, dim):
+            return f.diff_staggered(dim, side=1)
+
+        def dminus(f, dim):
+            return f.diff_staggered(dim, side=-1)
+
+        # sponge factor applied multiplicatively (split-free damping)
+        def damped(prev, incr):
+            return Mul(Add(prev, incr), Add(1, Mul(-1, Mul(dt, damp))))
+
+        # sweep 1: particle velocities from stresses at time t
+        eq_vx = Eq(vx.forward, damped(vx.indexify(), dt * b * (
+            dplus(txx, x) + dminus(txy, y) + dminus(txz, z))))
+        eq_vy = Eq(vy.forward, damped(vy.indexify(), dt * b * (
+            dminus(txy, x) + dplus(tyy, y) + dminus(tyz, z))))
+        eq_vz = Eq(vz.forward, damped(vz.indexify(), dt * b * (
+            dminus(txz, x) + dminus(tyz, y) + dplus(tzz, z))))
+
+        # sweep 2: stresses from the *new* velocities (t+1)
+        def d_new(func, dim, side):
+            base = func.diff_staggered(dim, side=side)
+            # move every access of `func` one step forward in time
+            from ..dsl.symbols import Indexed
+
+            mapping = {
+                ix: ix.shift(g.stepping_dim, 1)
+                for ix in base.atoms(Indexed)
+                if ix.function is func
+            }
+            return base.subs(mapping)
+
+        exx = d_new(vx, x, -1)
+        eyy = d_new(vy, y, -1)
+        ezz = d_new(vz, z, -1)
+        div_v = exx + eyy + ezz
+
+        eq_txx = Eq(txx.forward, damped(txx.indexify(), dt * (lam * div_v + 2 * mu * exx)))
+        eq_tyy = Eq(tyy.forward, damped(tyy.indexify(), dt * (lam * div_v + 2 * mu * eyy)))
+        eq_tzz = Eq(tzz.forward, damped(tzz.indexify(), dt * (lam * div_v + 2 * mu * ezz)))
+        eq_txy = Eq(txy.forward, damped(txy.indexify(), dt * mu * (
+            d_new(vx, y, 1) + d_new(vy, x, 1))))
+        eq_txz = Eq(txz.forward, damped(txz.indexify(), dt * mu * (
+            d_new(vx, z, 1) + d_new(vz, x, 1))))
+        eq_tyz = Eq(tyz.forward, damped(tyz.indexify(), dt * mu * (
+            d_new(vy, z, 1) + d_new(vz, y, 1))))
+
+        sparse = []
+        if self.source is not None:
+            # explosive (pressure) source into the normal stresses, as in
+            # Devito's elastic example: src.inject(tii.forward, expr=src*dt)
+            for tii in (self.txx, self.tyy, self.tzz):
+                sparse.append(self.source.inject(tii, expr=dt))
+        if self.receivers is not None:
+            # record the vertical particle velocity
+            sparse.append(self.receivers.interpolate(self.vz))
+        eqs = [eq_vx, eq_vy, eq_vz, eq_txx, eq_tyy, eq_tzz, eq_txy, eq_txz, eq_tyz]
+        return Operator(eqs, sparse=sparse, name="elastic")

@@ -1,0 +1,18 @@
+"""Stencil kernels and finite-difference coefficient machinery."""
+from .coefficients import (
+    central_offsets,
+    central_weights,
+    fornberg_weights,
+    second_derivative_weights,
+    staggered_weights,
+    stencil_radius,
+)
+
+__all__ = [
+    "fornberg_weights",
+    "central_weights",
+    "central_offsets",
+    "staggered_weights",
+    "second_derivative_weights",
+    "stencil_radius",
+]

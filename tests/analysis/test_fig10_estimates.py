@@ -1,0 +1,56 @@
+"""Validate the Fig. 10 analytic affected-point estimator against exact counts."""
+
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[2] / "benchmarks"))
+
+from paper_setup import expected_affected_points, source_load_for  # noqa: E402
+
+from repro.core import build_masks  # noqa: E402
+from repro.dsl import Grid, SparseTimeFunction  # noqa: E402
+from repro.propagators import plane_sources, volume_sources  # noqa: E402
+
+
+def exact_npts(coords, grid):
+    s = SparseTimeFunction("s", grid, npoint=len(coords), nt=2, coordinates=coords)
+    s.data[:] = 1.0
+    return build_masks(s).npts
+
+
+@pytest.mark.parametrize("nsrc", [1, 10, 100, 1000])
+def test_volume_estimate_matches_exact(nsrc):
+    grid = Grid(shape=(24, 24, 24), extent=(230.0,) * 3)
+    coords = volume_sources(grid, nsrc, rng=np.random.default_rng(42))
+    exact = exact_npts(coords, grid)
+    est = expected_affected_points(nsrc, grid.npoints, support=8)
+    assert est == pytest.approx(exact, rel=0.25)
+
+
+def test_plane_estimate_matches_exact():
+    grid = Grid(shape=(24, 24, 24), extent=(230.0,) * 3)
+    coords = plane_sources(grid, 500, rng=np.random.default_rng(42))
+    exact = exact_npts(coords, grid)
+    est = expected_affected_points(500, 2 * 24 * 24, support=8)
+    assert est == pytest.approx(exact, rel=0.3)
+
+
+def test_estimator_limits():
+    n = 1000
+    # few sources: ~ support * nsources
+    assert expected_affected_points(1, n) == pytest.approx(8.0, rel=0.01)
+    # saturation: never exceeds the grid
+    assert expected_affected_points(10**9, n) <= n
+
+
+def test_source_load_for_shapes():
+    light = source_load_for(1, "volume", shape=(64, 64, 64))
+    heavy = source_load_for(10**6, "volume", shape=(64, 64, 64))
+    assert light.npts < heavy.npts <= 64**3
+    plane = source_load_for(10**6, "plane", shape=(64, 64, 64))
+    assert plane.npts <= 2 * 64 * 64
+    with pytest.raises(ValueError):
+        source_load_for(1, "everywhere")

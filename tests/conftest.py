@@ -1,0 +1,64 @@
+"""Shared fixtures and builders for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dsl import Eq, Function, Grid, SparseTimeFunction, TimeFunction, solve
+from repro.ir import Operator
+
+
+@pytest.fixture
+def grid3d():
+    return Grid(shape=(12, 11, 10), extent=(110.0, 100.0, 90.0))
+
+
+@pytest.fixture
+def grid2d():
+    return Grid(shape=(14, 12), extent=(130.0, 110.0))
+
+
+@pytest.fixture
+def grid1d():
+    return Grid(shape=(32,), extent=(310.0,))
+
+
+def make_acoustic_operator(grid, so=4, nt=10, src_coords=None, rec_coords=None, seed=7):
+    """A fully-populated acoustic operator on *grid* with off-grid sparse ops."""
+    rng = np.random.default_rng(seed)
+    u = TimeFunction("u", grid, time_order=2, space_order=so)
+    m = Function("m", grid, space_order=so)
+    m.data = (1.0 / 1.5**2) * (1.0 + 0.05 * rng.random(grid.shape))
+    update = Eq(u.forward, solve(m * u.dt2 - u.laplace, u.forward))
+
+    sparse = []
+    src = rec = None
+    lo = np.asarray(grid.origin)
+    hi = lo + np.asarray(grid.extent)
+    if src_coords is None:
+        src_coords = lo + (hi - lo) * rng.uniform(0.2, 0.8, size=(2, grid.ndim))
+    if src_coords is not False:
+        src = SparseTimeFunction("src", grid, npoint=len(src_coords), nt=nt + 1,
+                                 coordinates=np.asarray(src_coords))
+        t = np.arange(nt + 1)
+        src.data[:] = (np.sin(0.9 * t)[:, None] + 0.3) * rng.uniform(0.5, 1.5, src.npoint)
+        dt_sym = grid.stepping_dim.spacing
+        sparse.append(src.inject(u, expr=dt_sym**2 / m))
+    if rec_coords is None:
+        rec_coords = lo + (hi - lo) * rng.uniform(0.15, 0.85, size=(3, grid.ndim))
+    if rec_coords is not False:
+        rec = SparseTimeFunction("rec", grid, npoint=len(rec_coords), nt=nt + 1,
+                                 coordinates=np.asarray(rec_coords))
+        sparse.append(rec.interpolate(u))
+    op = Operator([update], sparse=sparse, name="acoustic-test")
+    return op, u, m, src, rec
+
+
+def run_and_capture(op, u, rec, nt, dt, schedule, sparse_mode="auto"):
+    """Zero state, run, return (final wavefield copy, receiver copy)."""
+    u.data_with_halo[...] = 0.0
+    if rec is not None:
+        rec.data[...] = 0.0
+    op.apply(time_M=nt, dt=dt, schedule=schedule, sparse_mode=sparse_mode)
+    return u.interior(nt).copy(), (rec.data.copy() if rec is not None else None)

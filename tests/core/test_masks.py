@@ -1,0 +1,121 @@
+"""Tests for the SM/SID/nnz/Sp_SID mask structures (Figs. 5-6)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import build_masks
+from repro.dsl import Grid, SparseTimeFunction
+
+
+def make_sparse(coords, shape=(11, 11, 11)):
+    grid = Grid(shape=shape, extent=tuple(10.0 * (s - 1) for s in shape))
+    s = SparseTimeFunction("s", grid, npoint=len(coords), nt=3,
+                           coordinates=np.asarray(coords, dtype=float))
+    s.data[:] = 1.0
+    return s
+
+
+def test_sm_matches_points():
+    masks = build_masks(make_sparse([[35.5, 45.5, 55.5]]))
+    assert masks.sm.sum() == masks.npts == 8
+    idx = tuple(masks.points[:, d] for d in range(3))
+    assert (masks.sm[idx] == 1).all()
+
+
+def test_sid_unique_ascending():
+    masks = build_masks(make_sparse([[35.5, 45.5, 55.5], [80.3, 20.7, 10.1]]))
+    ids = masks.sid[masks.sid >= 0]
+    assert sorted(ids.tolist()) == list(range(masks.npts))
+    # canonical: ids ascend with lexicographic point order
+    assert np.array_equal(masks.id_of(masks.points), np.arange(masks.npts))
+
+
+def test_sid_sentinel_elsewhere():
+    masks = build_masks(make_sparse([[35.5, 45.5, 55.5]]))
+    assert (masks.sid < 0).sum() == masks.sid.size - masks.npts
+
+
+def test_id_of_rejects_unaffected():
+    masks = build_masks(make_sparse([[35.5, 45.5, 55.5]]))
+    with pytest.raises(KeyError):
+        masks.id_of(np.array([[0, 0, 0]]))
+
+
+def test_nnz_counts_z_slots():
+    masks = build_masks(make_sparse([[35.5, 45.5, 55.5]]))
+    assert masks.nnz.sum() == masks.npts
+    assert masks.nnz.max() == 2  # two z corners per occupied pencil
+    assert masks.max_nnz == 2
+
+
+def test_sp_sid_compaction():
+    masks = build_masks(make_sparse([[35.5, 45.5, 55.5]]))
+    for x, y in zip(*np.nonzero(masks.nnz)):
+        k = masks.nnz[x, y]
+        zs = masks.sp_sid[x, y, :k]
+        assert (zs >= 0).all()
+        assert (masks.sm[x, y, zs] == 1).all()
+        assert (masks.sp_sid[x, y, k:] == -1).all()
+        assert np.array_equal(np.sort(zs), zs)  # ascending z per pencil
+
+
+def test_density_and_occupancy():
+    masks = build_masks(make_sparse([[35.5, 45.5, 55.5]]))
+    assert masks.density() == pytest.approx(8 / 11**3)
+    assert masks.pencil_occupancy() == pytest.approx(4 / 121)
+
+
+def test_memory_bytes_positive():
+    masks = build_masks(make_sparse([[35.5, 45.5, 55.5]]))
+    assert masks.memory_bytes() > 0
+
+
+def test_points_in_box():
+    masks = build_masks(make_sparse([[35.5, 45.5, 55.5]]))
+    all_ids = masks.points_in_box(((0, 11), (0, 11), (0, 11)))
+    assert len(all_ids) == 8
+    none = masks.points_in_box(((0, 1), (0, 1), (0, 1)))
+    assert len(none) == 0
+    # half-open semantics: box ending at the base x excludes it
+    bx = int(masks.points[:, 0].min())
+    left = masks.points_in_box(((0, bx), (0, 11), (0, 11)))
+    assert len(left) == 0
+
+
+def test_2d_grid_masks():
+    grid = Grid(shape=(9, 9), extent=(80.0, 80.0))
+    s = SparseTimeFunction("s", grid, npoint=1, nt=3,
+                           coordinates=np.array([[35.5, 45.5]]))
+    s.data[:] = 1.0
+    masks = build_masks(s)
+    assert masks.sm.shape == (9, 9)
+    assert masks.nnz.shape == (9,)
+    assert masks.npts == 4
+
+
+def test_empty_pencils_have_sentinel_slots():
+    masks = build_masks(make_sparse([[35.5, 45.5, 55.5]]))
+    empty = masks.nnz == 0
+    assert (masks.sp_sid[empty] == -1).all()
+
+
+coords_strategy = st.lists(
+    st.tuples(*([st.floats(0, 100, allow_nan=False)] * 3)), min_size=1, max_size=8
+)
+
+
+@given(coords=coords_strategy)
+@settings(max_examples=40, deadline=None)
+def test_property_invariants(coords):
+    masks = build_masks(make_sparse(list(coords)))
+    # SM and SID agree everywhere
+    assert ((masks.sid >= 0) == (masks.sm == 1)).all()
+    # nnz is the per-pencil sum of SM
+    np.testing.assert_array_equal(masks.nnz, masks.sm.sum(axis=-1))
+    # every affected point appears exactly once in the compressed structure
+    total = sum(
+        masks.nnz[x, y] for x, y in zip(*np.nonzero(masks.nnz))
+    )
+    assert total == masks.npts

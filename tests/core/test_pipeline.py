@@ -1,0 +1,68 @@
+"""Tests for the explicit TemporalBlockingPipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core import NaiveSchedule, TemporalBlockingPipeline, WavefrontSchedule
+
+from ..conftest import make_acoustic_operator, run_and_capture
+
+
+@pytest.fixture
+def setup(grid3d):
+    return make_acoustic_operator(grid3d, nt=8)
+
+
+def test_precompute_populates_artifacts(setup):
+    op, u, m, src, rec = setup
+    pipe = TemporalBlockingPipeline(op, dt=1.0).precompute()
+    assert set(pipe.masks) == {"src", "rec"}
+    assert len(pipe.sources) == 1 and len(pipe.receivers) == 1
+    assert pipe.sources[id(op.injections()[0])].npts >= 1
+
+
+def test_report_contents(setup):
+    op, *_ = setup
+    pipe = TemporalBlockingPipeline(op, dt=1.0).precompute()
+    rep = pipe.report()
+    assert rep.nsources == 1 and rep.nreceivers == 1
+    assert rep.affected_points > 0
+    assert 0 < rep.density < 1
+    assert rep.aux_bytes > 0
+    assert rep.wavefront_angle == 2
+    text = rep.render()
+    assert "affected points" in text and "wavefront angle" in text
+
+
+def test_report_requires_precompute(setup):
+    op, *_ = setup
+    with pytest.raises(RuntimeError):
+        TemporalBlockingPipeline(op, dt=1.0).report()
+
+
+def test_run_matches_operator_path(setup):
+    op, u, m, src, rec = setup
+    sched = WavefrontSchedule(tile=(5, 5), block=(5, 5), height=4)
+    ref = run_and_capture(op, u, rec, 8, 1.0, NaiveSchedule(), "precomputed")
+
+    u.data_with_halo[...] = 0.0
+    rec.data[...] = 0.0
+    pipe = TemporalBlockingPipeline(op, dt=1.0)
+    pipe.run(time_M=8, schedule=sched)
+    np.testing.assert_array_equal(u.interior(8), ref[0])
+    np.testing.assert_array_equal(rec.data, ref[1])
+
+
+def test_pipeline_primes_operator_cache(setup):
+    op, u, m, src, rec = setup
+    pipe = TemporalBlockingPipeline(op, dt=1.0).precompute()
+    inj = op.injections()[0]
+    # the operator must reuse the pipeline's decomposition, not rebuild
+    assert op._decomp_cache[(id(inj), 1.0)] is pipe.sources[id(inj)]
+
+
+def test_run_without_explicit_precompute(setup):
+    op, u, m, src, rec = setup
+    pipe = TemporalBlockingPipeline(op, dt=1.0)
+    pipe.run(time_M=4)  # auto-precomputes
+    assert pipe._done

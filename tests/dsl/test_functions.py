@@ -1,0 +1,186 @@
+"""Unit tests for dense/time/sparse grid functions and their derivatives."""
+
+import numpy as np
+import pytest
+
+from repro.dsl import Function, Grid, SparseTimeFunction, TimeFunction
+from repro.dsl.symbols import Indexed
+
+
+@pytest.fixture
+def grid():
+    return Grid(shape=(16, 14, 12), extent=(150.0, 130.0, 110.0))
+
+
+# -- storage -------------------------------------------------------------------
+def test_function_storage_and_halo(grid):
+    f = Function("f", grid, space_order=4)
+    assert f.halo == 4
+    assert f.data.shape == grid.shape
+    assert f.data_with_halo.shape == tuple(s + 8 for s in grid.shape)
+    f.data = 3.0
+    assert float(f.data_with_halo[0, 0, 0]) == 0.0  # halo untouched
+    assert float(f.data[0, 0, 0]) == 3.0
+
+
+def test_function_dtype_single_precision(grid):
+    f = Function("f", grid)
+    assert f.data.dtype == np.float32
+
+
+def test_space_order_validation(grid):
+    with pytest.raises(ValueError):
+        Function("f", grid, space_order=3)
+    with pytest.raises(ValueError):
+        Function("f", grid, space_order=0)
+
+
+def test_timefunction_buffers(grid):
+    u = TimeFunction("u", grid, time_order=2, space_order=2)
+    assert u.buffers == 3
+    assert u.data.shape == (3,) + grid.shape
+    v = TimeFunction("v", grid, time_order=1, space_order=2)
+    assert v.buffers == 2
+    with pytest.raises(ValueError):
+        TimeFunction("w", grid, time_order=0)
+
+
+def test_timefunction_circular_buffer(grid):
+    u = TimeFunction("u", grid, time_order=2, space_order=2)
+    u.interior(4)[...] = 7.0  # 4 % 3 == 1
+    assert float(u.interior(1)[0, 0, 0]) == 7.0
+    assert np.shares_memory(u.buffer(4), u.buffer(1))
+    assert not np.shares_memory(u.buffer(4), u.buffer(2))
+
+
+# -- symbolic access ---------------------------------------------------------------
+def test_indexify_offsets(grid):
+    u = TimeFunction("u", grid, time_order=2, space_order=2)
+    offs = u.indexify().offset_map()
+    assert offs == {"t": 0, "x": 0, "y": 0, "z": 0}
+    f = Function("f", grid)
+    assert f.indexify().offset_map() == {"x": 0, "y": 0, "z": 0}
+
+
+def test_forward_backward(grid):
+    u = TimeFunction("u", grid, time_order=2, space_order=2)
+    assert u.forward.offset_map()["t"] == 1
+    assert u.backward.offset_map()["t"] == -1
+
+
+def test_function_arithmetic_coercion(grid):
+    f = Function("f", grid)
+    e = 2 * f + 1
+    assert any(isinstance(a, Indexed) for a in e.preorder())
+
+
+# -- derivatives: numerical accuracy ----------------------------------------------------
+def _eval_deriv(expr, f, values, point):
+    """Evaluate a derivative expression at one grid point."""
+    env = {}
+    for access in expr.atoms(Indexed):
+        offs = access.offset_map()
+        idx = tuple(point[i] + offs[d.name] for i, d in enumerate(f.grid.dimensions))
+        env[access] = values[idx]
+    env_syms = {d.spacing: h for d, h in zip(f.grid.dimensions, f.grid.spacing)}
+    return expr.subs(env_syms).evaluate(env)
+
+
+@pytest.mark.parametrize("so", [2, 4, 8])
+def test_dx2_matches_analytic(so):
+    grid = Grid(shape=(32, 8, 8), extent=(3.1, 0.7, 0.7))
+    f = Function("f", grid, space_order=so)
+    x = np.linspace(0, 3.1, 32)
+    values = np.broadcast_to(np.sin(x)[:, None, None], grid.shape).copy()
+    expr = f.dx2
+    got = _eval_deriv(expr, f, values, (16, 4, 4))
+    assert got == pytest.approx(-np.sin(x[16]), abs=10 ** (-so + 1))
+
+
+def test_laplace_constant_field_is_zero(grid):
+    f = Function("f", grid, space_order=4)
+    values = np.full(grid.shape, 5.0)
+    got = _eval_deriv(f.laplace, f, values, (8, 7, 6))
+    assert got == pytest.approx(0.0, abs=1e-12)
+
+
+def test_dx_linear_field_exact(grid):
+    f = Function("f", grid, space_order=4)
+    x = np.arange(grid.shape[0]) * grid.spacing[0]
+    values = np.broadcast_to((3.0 * x)[:, None, None], grid.shape).copy()
+    got = _eval_deriv(f.dx, f, values, (8, 7, 6))
+    assert got == pytest.approx(3.0, rel=1e-10)
+
+
+def test_staggered_derivative_linear_exact(grid):
+    f = Function("f", grid, space_order=4)
+    x = np.arange(grid.shape[0]) * grid.spacing[0]
+    values = np.broadcast_to((2.0 * x)[:, None, None], grid.shape).copy()
+    d = f.diff_staggered(grid.dimension("x"), side=1)
+    got = _eval_deriv(d, f, values, (8, 7, 6))
+    assert got == pytest.approx(2.0, rel=1e-10)
+
+
+def test_dt2_structure(grid):
+    u = TimeFunction("u", grid, time_order=2, space_order=2)
+    accesses = sorted(str(a) for a in u.dt2.atoms(Indexed))
+    assert len(accesses) == 3  # t-1, t, t+1
+
+
+def test_dt_requires_time_order(grid):
+    v = TimeFunction("v", grid, time_order=1, space_order=2)
+    with pytest.raises(ValueError):
+        v.dt2
+    # forward Euler dt for first-order fields
+    offsets = {a.offset_map()["t"] for a in v.dt.atoms(Indexed)}
+    assert offsets == {0, 1}
+
+
+def test_dt_centered_for_second_order(grid):
+    u = TimeFunction("u", grid, time_order=2, space_order=2)
+    offsets = {a.offset_map()["t"] for a in u.dt.atoms(Indexed)}
+    assert offsets == {-1, 1}
+
+
+def test_diff_rejects_time_dimension(grid):
+    u = TimeFunction("u", grid, time_order=2, space_order=2)
+    with pytest.raises(ValueError):
+        u.diff(grid.stepping_dim, 1)
+
+
+# -- sparse functions -----------------------------------------------------------------
+def test_sparse_defaults_to_domain_centre(grid):
+    s = SparseTimeFunction("s", grid, npoint=2, nt=5)
+    centre = [o + e / 2 for o, e in zip(grid.origin, grid.extent)]
+    np.testing.assert_allclose(s.coordinates, [centre, centre])
+    assert s.data.shape == (5, 2)
+
+
+def test_sparse_rejects_outside_points(grid):
+    with pytest.raises(ValueError, match="outside"):
+        SparseTimeFunction("s", grid, npoint=1, nt=5,
+                           coordinates=np.array([[1e4, 0.0, 0.0]]))
+
+
+def test_sparse_shape_validation(grid):
+    with pytest.raises(ValueError):
+        SparseTimeFunction("s", grid, npoint=2, nt=5, coordinates=np.zeros((3, 3)))
+    with pytest.raises(ValueError):
+        SparseTimeFunction("s", grid, npoint=0, nt=5)
+    with pytest.raises(ValueError):
+        SparseTimeFunction("s", grid, npoint=1, nt=0)
+
+
+def test_inject_interpolate_factories(grid):
+    u = TimeFunction("u", grid, time_order=2, space_order=2)
+    s = SparseTimeFunction("s", grid, npoint=1, nt=5)
+    inj = s.inject(u, expr=2.0)
+    itp = s.interpolate(u)
+    assert inj.field is u and inj.time_offset == 1
+    assert itp.field is u and itp.time_offset == 1
+    with pytest.raises(TypeError):
+        s.inject(Function("f", grid))
+    other = Grid(shape=(4, 4, 4))
+    v = TimeFunction("v", other, time_order=1, space_order=2)
+    with pytest.raises(ValueError, match="different grids"):
+        s.inject(v)

@@ -1,0 +1,89 @@
+"""Unit tests for Grid and Dimension."""
+
+import numpy as np
+import pytest
+
+from repro.dsl import Grid
+from repro.dsl.grid import Dimension, SteppingDimension
+
+
+def test_dimension_spacing_symbol():
+    d = Dimension("x")
+    assert d.spacing.name == "h_x"
+    assert not d.is_time
+
+
+def test_stepping_dimension_dt():
+    t = SteppingDimension()
+    assert t.spacing.name == "dt"
+    assert t.is_time
+
+
+def test_dimension_equality_hash():
+    assert Dimension("x") == Dimension("x")
+    assert Dimension("x") != Dimension("y")
+    assert Dimension("t") != SteppingDimension("t")
+    assert hash(Dimension("x")) == hash(Dimension("x"))
+
+
+def test_grid_defaults():
+    g = Grid(shape=(11, 11, 11))
+    assert g.ndim == 3
+    assert g.spacing == (10.0, 10.0, 10.0)
+    assert [d.name for d in g.dimensions] == ["x", "y", "z"]
+    assert g.npoints == 11**3
+
+
+def test_grid_2d_and_1d():
+    g2 = Grid(shape=(5, 7))
+    assert [d.name for d in g2.dimensions] == ["x", "y"]
+    g1 = Grid(shape=(9,))
+    assert [d.name for d in g1.dimensions] == ["x"]
+
+
+def test_grid_custom_extent_origin():
+    g = Grid(shape=(11, 21), extent=(100.0, 100.0), origin=(-50.0, 10.0))
+    assert g.spacing == (10.0, 5.0)
+    assert g.origin == (-50.0, 10.0)
+
+
+def test_grid_rank_validation():
+    with pytest.raises(ValueError):
+        Grid(shape=(4, 4, 4, 4))
+    with pytest.raises(ValueError):
+        Grid(shape=(4, 4), extent=(10.0,))
+    with pytest.raises(ValueError):
+        Grid(shape=(4, 4), origin=(0.0,))
+    with pytest.raises(ValueError):
+        Grid(shape=(1, 4))
+
+
+def test_spacing_map():
+    g = Grid(shape=(11, 11))
+    smap = g.spacing_map()
+    assert {s.name for s in smap} == {"h_x", "h_y"}
+    assert all(v == 10.0 for v in smap.values())
+
+
+def test_dimension_lookup():
+    g = Grid(shape=(4, 4, 4))
+    assert g.dimension("y").name == "y"
+    with pytest.raises(KeyError):
+        g.dimension("w")
+
+
+def test_physical_to_logical():
+    g = Grid(shape=(11, 11), extent=(100.0, 100.0), origin=(50.0, 0.0))
+    logical = g.physical_to_logical(np.array([[60.0, 25.0]]))
+    np.testing.assert_allclose(logical, [[1.0, 2.5]])
+
+
+def test_contains_points():
+    g = Grid(shape=(11, 11))
+    inside = g.contains_points(np.array([[0.0, 0.0], [100.0, 100.0], [50.0, 101.0], [-1.0, 3.0]]))
+    assert inside.tolist() == [True, True, False, False]
+
+
+def test_time_dim_alias():
+    g = Grid(shape=(4, 4))
+    assert g.time_dim is g.stepping_dim

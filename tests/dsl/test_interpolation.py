@@ -1,0 +1,132 @@
+"""Unit and property tests for off-the-grid interpolation machinery."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dsl import Grid
+from repro.dsl.interpolation import (
+    corner_offsets,
+    inject_values,
+    interpolate_values,
+    locate_points,
+    multilinear_coefficients,
+    support_points,
+)
+
+
+@pytest.fixture
+def grid():
+    return Grid(shape=(11, 11, 11), extent=(100.0, 100.0, 100.0))
+
+
+def test_locate_interior_point(grid):
+    base, frac = locate_points(np.array([[25.0, 37.5, 0.0]]), grid)
+    np.testing.assert_array_equal(base, [[2, 3, 0]])
+    np.testing.assert_allclose(frac, [[0.5, 0.75, 0.0]])
+
+
+def test_locate_upper_boundary_attaches_to_last_cell(grid):
+    base, frac = locate_points(np.array([[100.0, 100.0, 100.0]]), grid)
+    np.testing.assert_array_equal(base, [[9, 9, 9]])
+    np.testing.assert_allclose(frac, [[1.0, 1.0, 1.0]])
+
+
+def test_locate_rejects_outside(grid):
+    with pytest.raises(ValueError):
+        locate_points(np.array([[150.0, 0.0, 0.0]]), grid)
+
+
+def test_corner_offsets_shape():
+    c = corner_offsets(3)
+    assert c.shape == (8, 3)
+    assert set(map(tuple, c)) == {(i, j, k) for i in (0, 1) for j in (0, 1) for k in (0, 1)}
+
+
+def test_weights_on_grid_point():
+    w = multilinear_coefficients(np.array([[0.0, 0.0]]))
+    np.testing.assert_allclose(w[0], [1.0, 0.0, 0.0, 0.0])
+
+
+def test_weights_cell_centre():
+    w = multilinear_coefficients(np.array([[0.5, 0.5, 0.5]]))
+    np.testing.assert_allclose(w[0], np.full(8, 0.125))
+
+
+def test_support_points_in_bounds(grid):
+    idx, w = support_points(np.array([[99.9, 99.9, 99.9]]), grid)
+    assert idx.max() <= 10 and idx.min() >= 0
+
+
+def test_inject_then_interpolate_roundtrip(grid):
+    """Interpolating at the injection point recovers w^T w * amplitude."""
+    buf = np.zeros(tuple(s + 4 for s in grid.shape), dtype=np.float64)
+    coords = np.array([[33.3, 47.2, 61.8]])
+    idx, w = support_points(coords, grid)
+    inject_values(buf, 2, idx, w, np.array([2.0]))
+    got = interpolate_values(buf, 2, idx, w)
+    assert got[0] == pytest.approx(2.0 * float((w**2).sum()))
+
+
+def test_inject_accumulates_shared_corners(grid):
+    """Two sources sharing support points must accumulate, not overwrite."""
+    buf = np.zeros(tuple(s + 2 for s in grid.shape), dtype=np.float64)
+    coords = np.array([[35.0, 35.0, 35.0], [35.0, 35.0, 35.0]])
+    idx, w = support_points(coords, grid)
+    inject_values(buf, 1, idx, w, np.array([1.0, 1.0]))
+    assert buf.sum() == pytest.approx(2.0)
+
+
+def test_interpolate_constant_field_exact(grid):
+    buf = np.full(tuple(s + 2 for s in grid.shape), 7.0)
+    coords = np.array([[12.3, 45.6, 78.9]])
+    idx, w = support_points(coords, grid)
+    assert interpolate_values(buf, 1, idx, w)[0] == pytest.approx(7.0)
+
+
+coords3 = st.lists(
+    st.tuples(*([st.floats(0.0, 100.0, allow_nan=False)] * 3)), min_size=1, max_size=8
+)
+
+
+@given(coords=coords3)
+@settings(max_examples=50, deadline=None)
+def test_partition_of_unity(coords):
+    """Multilinear weights always sum to 1 — amplitude conservation."""
+    grid = Grid(shape=(11, 11, 11), extent=(100.0, 100.0, 100.0))
+    _, w = support_points(np.array(coords), grid)
+    np.testing.assert_allclose(w.sum(axis=1), 1.0, rtol=1e-12)
+
+
+@given(coords=coords3)
+@settings(max_examples=50, deadline=None)
+def test_weights_nonnegative_bounded(coords):
+    grid = Grid(shape=(11, 11, 11), extent=(100.0, 100.0, 100.0))
+    _, w = support_points(np.array(coords), grid)
+    assert (w >= -1e-12).all() and (w <= 1 + 1e-12).all()
+
+
+@given(coords=coords3, amp=st.floats(-10, 10, allow_nan=False))
+@settings(max_examples=40, deadline=None)
+def test_injection_conserves_amplitude(coords, amp):
+    grid = Grid(shape=(11, 11, 11), extent=(100.0, 100.0, 100.0))
+    buf = np.zeros(tuple(s + 2 for s in grid.shape), dtype=np.float64)
+    idx, w = support_points(np.array(coords), grid)
+    inject_values(buf, 1, idx, w, np.full(len(coords), amp))
+    assert buf.sum() == pytest.approx(amp * len(coords), rel=1e-9, abs=1e-9)
+
+
+def test_interpolate_linear_field_exact(grid):
+    """Multilinear interpolation is exact on (multi)linear fields."""
+    pad = 1
+    shape = tuple(s + 2 for s in grid.shape)
+    xs = (np.arange(shape[0]) - pad) * 10.0
+    ys = (np.arange(shape[1]) - pad) * 10.0
+    zs = (np.arange(shape[2]) - pad) * 10.0
+    buf = (2.0 * xs[:, None, None] - 0.5 * ys[None, :, None] + zs[None, None, :] + 3.0)
+    coords = np.array([[12.3, 45.6, 78.9], [99.0, 1.0, 50.0]])
+    idx, w = support_points(coords, grid)
+    got = interpolate_values(buf, pad, idx, w)
+    expected = 2.0 * coords[:, 0] - 0.5 * coords[:, 1] + coords[:, 2] + 3.0
+    np.testing.assert_allclose(got, expected, rtol=1e-12)

@@ -1,0 +1,262 @@
+"""Unit tests for the symbolic expression engine."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dsl.symbols import (
+    Add,
+    Call,
+    Indexed,
+    Mul,
+    NonLinearError,
+    Number,
+    Pow,
+    S_ONE,
+    S_ZERO,
+    Symbol,
+    cos,
+    sin,
+    sqrt,
+    sympify,
+)
+
+
+class DummyFunc:
+    """Minimal stand-in for a grid function inside Indexed."""
+
+    def __init__(self, name):
+        self.name = name
+
+
+F = DummyFunc("f")
+G = DummyFunc("g")
+X, Y = Symbol("x"), Symbol("y")
+
+
+def acc(func=F, **offs):
+    return Indexed(func, {Symbol(k): v for k, v in offs.items()} or {Symbol("x"): 0})
+
+
+# -- sympify ----------------------------------------------------------------------
+def test_sympify_int_and_float():
+    assert sympify(3) == Number(3)
+    assert sympify(2.5) == Number(2.5)
+
+
+def test_sympify_integral_float_canonicalises():
+    assert Number(2.0) == Number(2)
+    assert hash(Number(2.0)) == hash(Number(2))
+
+
+def test_sympify_rejects_bool_and_junk():
+    with pytest.raises(TypeError):
+        sympify(True)
+    with pytest.raises(TypeError):
+        sympify("nope")
+
+
+def test_sympify_passthrough():
+    e = X + 1
+    assert sympify(e) is e
+
+
+# -- construction & canonicalisation ----------------------------------------------
+def test_add_flattens_and_folds():
+    e = Add(X, Add(Y, Number(2)), Number(3))
+    assert isinstance(e, Add)
+    assert Number(5) in e.args
+    assert len(e.args) == 3  # x, y, 5
+
+
+def test_add_drops_zero_and_collapses():
+    assert Add(X, Number(0)) == X
+    assert Add() == S_ZERO
+    assert Add(Number(2), Number(-2)) == S_ZERO
+
+
+def test_mul_flattens_folds_and_absorbs_zero():
+    assert Mul(X, Number(0), Y) == S_ZERO
+    assert Mul(Number(2), Mul(Number(3), X)) == Mul(Number(6), X)
+    assert Mul(X) == X
+    assert Mul() == S_ONE
+
+
+def test_mul_unit_coefficient_dropped():
+    assert Mul(Number(1), X) == X
+
+
+def test_pow_folding():
+    assert Pow(X, Number(0)) == S_ONE
+    assert Pow(X, Number(1)) == X
+    assert Pow(Number(2), Number(10)) == Number(1024)
+    assert Pow(Number(4), Number(-1)) == Number(0.25)
+
+
+def test_operator_overloads():
+    e = (X + 1) * 2 - Y / 2
+    env = {X: 3.0, Y: 4.0}
+    assert e.evaluate(env) == pytest.approx(6.0)
+
+
+def test_neg_and_sub():
+    assert (-X).evaluate({X: 2.0}) == -2.0
+    assert (5 - X).evaluate({X: 2.0}) == 3.0
+    assert (1 / X).evaluate({X: 4.0}) == 0.25
+
+
+# -- equality / hashing -------------------------------------------------------------
+def test_structural_equality_and_hash():
+    a = Add(X, Mul(Number(2), Y))
+    b = Add(X, Mul(Number(2), Y))
+    assert a == b and hash(a) == hash(b)
+    assert a != Add(X, Mul(Number(3), Y))
+
+
+def test_indexed_equality_sorted_offsets():
+    a = Indexed(F, {Symbol("x"): 1, Symbol("y"): 0})
+    b = Indexed(F, {Symbol("y"): 0, Symbol("x"): 1})
+    assert a == b and hash(a) == hash(b)
+
+
+def test_indexed_distinguishes_functions_and_offsets():
+    assert Indexed(F, {X: 1}) != Indexed(G, {X: 1})
+    assert Indexed(F, {X: 1}) != Indexed(F, {X: 2})
+
+
+def test_expressions_are_immutable():
+    with pytest.raises(AttributeError):
+        X.name = "other"
+
+
+# -- traversal ---------------------------------------------------------------------
+def test_free_symbols():
+    e = X * 2 + Y ** 2 + Number(3)
+    assert e.free_symbols() == frozenset({X, Y})
+
+
+def test_atoms_by_type():
+    ix = Indexed(F, {X: 0})
+    e = ix * 2 + X
+    assert e.atoms(Indexed) == frozenset({ix})
+
+
+def test_contains():
+    e = (X + Y) * 2
+    assert e.contains(X) and e.contains(Y)
+    assert not e.contains(Symbol("z"))
+
+
+# -- substitution ---------------------------------------------------------------------
+def test_subs_symbol():
+    e = X * Y + X
+    out = e.subs({X: Number(2)})
+    assert out.evaluate({Y: 3.0}) == 8.0
+
+
+def test_subs_simultaneous():
+    e = X + Y
+    out = e.subs({X: Y, Y: X})  # swap, not chain
+    assert out == Add(Y, X)
+
+
+def test_subs_indexed():
+    ix = Indexed(F, {X: 0})
+    shifted = ix.shift(Symbol("x"), 1)
+    e = ix * 2
+    out = e.subs({ix: shifted})
+    assert out.atoms(Indexed) == frozenset({shifted})
+
+
+def test_indexed_shift_accumulates():
+    ix = Indexed(F, {X: 0})
+    assert ix.shift(X, 1).shift(X, 2) == ix.shift(X, 3)
+
+
+# -- linear decomposition ----------------------------------------------------------------
+def test_as_linear_simple():
+    t = Indexed(F, {X: 0})
+    e = Mul(Number(3), t) + Y
+    a, b = e.as_linear(t)
+    assert a == Number(3) and b == Y
+
+
+def test_as_linear_nested_product():
+    t = Indexed(F, {X: 0})
+    m = Indexed(G, {X: 0})
+    e = Mul(m, Add(t, Mul(Number(-2), Y)))
+    a, b = e.as_linear(t)
+    assert a == m
+    assert b == Mul(m, Mul(Number(-2), Y))
+
+
+def test_as_linear_absent_target():
+    a, b = (X + 1).as_linear(Indexed(F, {X: 0}))
+    assert a == S_ZERO
+
+
+def test_as_linear_rejects_nonlinear():
+    t = Indexed(F, {X: 0})
+    with pytest.raises(NonLinearError):
+        (Pow(t, Number(2))).as_linear(t)
+    with pytest.raises(NonLinearError):
+        Mul(t, t).as_linear(t)
+    with pytest.raises(NonLinearError):
+        Call("sin", t).as_linear(t)
+
+
+# -- calls --------------------------------------------------------------------------------
+def test_call_numeric_folding():
+    assert Call("cos", Number(0)) == Number(1)
+    assert sin(0) == S_ZERO
+
+
+def test_call_evaluates_with_numpy():
+    e = sqrt(X)
+    out = e.evaluate({X: np.array([4.0, 9.0])})
+    np.testing.assert_allclose(out, [2.0, 3.0])
+
+
+def test_call_str():
+    assert str(cos(X)) == "cos(x)"
+
+
+# -- evaluation errors ------------------------------------------------------------------------
+def test_unbound_symbol_raises():
+    with pytest.raises(KeyError, match="x"):
+        X.evaluate({})
+
+
+def test_unbound_indexed_raises():
+    with pytest.raises(KeyError):
+        Indexed(F, {X: 0}).evaluate({})
+
+
+# -- property-based: algebraic laws under evaluation -------------------------------------------
+nums = st.floats(min_value=-100, max_value=100, allow_nan=False, width=32)
+
+
+@given(a=nums, b=nums, c=nums)
+@settings(max_examples=60, deadline=None)
+def test_eval_matches_python_arithmetic(a, b, c):
+    e = (X + a) * (Y + b) - c
+    expected = (1.5 + a) * (-2.25 + b) - c
+    assert e.evaluate({X: 1.5, Y: -2.25}) == pytest.approx(expected, rel=1e-6, abs=1e-6)
+
+
+@given(vals=st.lists(nums, min_size=2, max_size=6))
+@settings(max_examples=40, deadline=None)
+def test_add_fold_is_sum(vals):
+    e = Add(*[Number(float(v)) for v in vals])
+    assert isinstance(e, Number)
+    assert float(e.value) == pytest.approx(float(sum(float(v) for v in vals)), rel=1e-6, abs=1e-6)
+
+
+@given(shift1=st.integers(-5, 5), shift2=st.integers(-5, 5))
+@settings(max_examples=40, deadline=None)
+def test_shift_composition(shift1, shift2):
+    ix = Indexed(F, {X: 0})
+    assert ix.shift(X, shift1).shift(X, shift2) == ix.shift(X, shift1 + shift2)

@@ -1,0 +1,167 @@
+"""The central correctness matrix: every schedule produces identical results.
+
+This is the executable form of the paper's legality claim (§II): after
+precomputing the sparse off-the-grid operators, wave-front temporal blocking
+computes exactly what naive time-stepping computes — for single- and
+multi-sweep kernels, any space order, any tile/block/height shape, with
+sources and receivers anywhere (including on tile boundaries).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import NaiveSchedule, SpatialBlockSchedule, WavefrontSchedule
+from repro.dsl import Eq, Function, Grid, SparseTimeFunction, TimeFunction, solve
+from repro.ir import Operator
+
+from ..conftest import make_acoustic_operator, run_and_capture
+
+DT = 1.0
+NT = 9
+
+
+SCHEDULES = [
+    ("spatial-4x4", SpatialBlockSchedule(block=(4, 4)), "offgrid"),
+    ("spatial-5x3", SpatialBlockSchedule(block=(5, 3)), "offgrid"),
+    ("naive-precomputed", NaiveSchedule(), "precomputed"),
+    ("wtb-4x4-h2", WavefrontSchedule(tile=(4, 4), block=(2, 2), height=2), "auto"),
+    ("wtb-5x7-h3", WavefrontSchedule(tile=(5, 7), block=(5, 7), height=3), "auto"),
+    ("wtb-6x6-h9", WavefrontSchedule(tile=(6, 6), block=(3, 3), height=9), "auto"),
+    ("wtb-h1", WavefrontSchedule(tile=(8, 8), block=(4, 4), height=1), "auto"),
+]
+
+
+@pytest.mark.parametrize("so", [2, 4, 8])
+@pytest.mark.parametrize("name,schedule,mode", SCHEDULES)
+def test_acoustic_3d_schedule_equivalence(grid3d, so, name, schedule, mode):
+    op, u, m, src, rec = make_acoustic_operator(grid3d, so=so, nt=NT)
+    ref_u, ref_rec = run_and_capture(op, u, rec, NT, DT, NaiveSchedule(), "offgrid")
+    got_u, got_rec = run_and_capture(op, u, rec, NT, DT, schedule, mode)
+    np.testing.assert_array_equal(got_u, ref_u, err_msg=f"{name} so={so}")
+    np.testing.assert_array_equal(got_rec, ref_rec, err_msg=f"{name} so={so}")
+
+
+def test_source_on_tile_boundary(grid3d):
+    """The paper's hard case: a source sitting exactly between space tiles."""
+    # grid spacing is 10; tile=(4,4) puts boundaries at x=40,80: put the
+    # source support astride x index 4
+    op, u, m, src, rec = make_acoustic_operator(
+        grid3d, nt=NT, src_coords=[[39.9, 45.0, 45.0], [40.1, 45.0, 45.0]]
+    )
+    # the two sources share support corners: the decomposed path pre-sums
+    # their contributions (in float64), so it matches the raw off-grid path
+    # only to float32 accumulation order...
+    raw = run_and_capture(op, u, rec, NT, DT, NaiveSchedule(), "offgrid")
+    ref = run_and_capture(op, u, rec, NT, DT, NaiveSchedule(), "precomputed")
+    got = run_and_capture(
+        op, u, rec, NT, DT, WavefrontSchedule(tile=(4, 4), block=(2, 2), height=4)
+    )
+    # ...but WTB must equal the precomputed reference bit-for-bit
+    np.testing.assert_array_equal(got[0], ref[0])
+    np.testing.assert_array_equal(got[1], ref[1])
+    scale = max(np.abs(raw[0]).max(), 1e-30)
+    np.testing.assert_allclose(got[0], raw[0], rtol=1e-4, atol=1e-5 * scale)
+
+
+def test_receiver_on_tile_boundary(grid3d):
+    op, u, m, src, rec = make_acoustic_operator(
+        grid3d, nt=NT, rec_coords=[[40.0, 40.0, 40.0], [39.95, 44.0, 44.0]]
+    )
+    ref = run_and_capture(op, u, rec, NT, DT, NaiveSchedule(), "offgrid")
+    got = run_and_capture(
+        op, u, rec, NT, DT, WavefrontSchedule(tile=(4, 4), block=(4, 4), height=3)
+    )
+    np.testing.assert_array_equal(got[1], ref[1])
+
+
+def test_2d_equivalence(grid2d):
+    op, u, m, src, rec = make_acoustic_operator(grid2d, so=4, nt=NT)
+    ref = run_and_capture(op, u, rec, NT, DT, NaiveSchedule(), "offgrid")
+    got = run_and_capture(
+        op, u, rec, NT, DT, WavefrontSchedule(tile=(5, 4), block=(5, 4), height=4)
+    )
+    np.testing.assert_array_equal(got[0], ref[0])
+    np.testing.assert_array_equal(got[1], ref[1])
+
+
+def test_1d_equivalence(grid1d):
+    op, u, m, src, rec = make_acoustic_operator(grid1d, so=4, nt=NT)
+    ref = run_and_capture(op, u, rec, NT, DT, NaiveSchedule(), "offgrid")
+    got = run_and_capture(
+        op, u, rec, NT, DT, WavefrontSchedule(tile=(6,), block=(3,), height=5)
+    )
+    np.testing.assert_array_equal(got[0], ref[0])
+
+
+def test_multi_sweep_coupled_system(grid3d):
+    """A two-sweep coupled kernel (the elastic/TTI pattern, Fig. 8b)."""
+    g = grid3d
+    a = TimeFunction("a", g, time_order=1, space_order=4)
+    b = TimeFunction("b", g, time_order=1, space_order=4)
+    from repro.dsl.symbols import Indexed
+
+    def fwd(expr):
+        return expr.subs({ix: ix.shift(g.stepping_dim, 1) for ix in expr.atoms(Indexed)})
+
+    eq_a = Eq(a.forward, a.indexify() + 0.1 * b.dx2)
+    eq_b = Eq(b.forward, b.indexify() + 0.1 * fwd(a.dx2))
+    op = Operator([eq_a, eq_b])
+    assert len(op.sweeps) == 2
+
+    init = np.random.default_rng(3).normal(size=g.shape).astype(np.float32)
+
+    def run(schedule):
+        a.data_with_halo[...] = 0
+        b.data_with_halo[...] = 0
+        a.interior(0)[...] = init
+        b.interior(0)[...] = 1.0
+        op.apply(time_M=6, dt=DT, schedule=schedule)
+        return a.interior(6).copy(), b.interior(6).copy()
+
+    ref = run(NaiveSchedule())
+    got = run(WavefrontSchedule(tile=(5, 5), block=(5, 5), height=3))
+    np.testing.assert_array_equal(got[0], ref[0])
+    np.testing.assert_array_equal(got[1], ref[1])
+
+
+@given(
+    tile=st.tuples(st.integers(2, 9), st.integers(2, 9)),
+    height=st.integers(1, 8),
+    so=st.sampled_from([2, 4]),
+)
+@settings(max_examples=20, deadline=None)
+def test_property_any_tile_shape_is_exact(tile, height, so):
+    """Hypothesis: arbitrary tile shapes and heights never change results."""
+    grid = Grid(shape=(11, 10, 9), extent=(100.0, 90.0, 80.0))
+    op, u, m, src, rec = make_acoustic_operator(grid, so=so, nt=6, seed=11)
+    ref = run_and_capture(op, u, rec, 6, DT, NaiveSchedule(), "offgrid")
+    got = run_and_capture(
+        op, u, rec, 6, DT,
+        WavefrontSchedule(tile=tile, block=tile, height=height),
+    )
+    np.testing.assert_array_equal(got[0], ref[0])
+    np.testing.assert_array_equal(got[1], ref[1])
+
+
+@given(data=st.data())
+@settings(max_examples=15, deadline=None)
+def test_property_random_source_positions(data):
+    """Hypothesis: sources anywhere in the domain, any tile shape: exact."""
+    grid = Grid(shape=(10, 10, 10), extent=(90.0, 90.0, 90.0))
+    n = data.draw(st.integers(1, 4))
+    coords = data.draw(
+        st.lists(st.tuples(*([st.floats(0, 90, allow_nan=False)] * 3)),
+                 min_size=n, max_size=n)
+    )
+    tile = data.draw(st.tuples(st.integers(3, 8), st.integers(3, 8)))
+    op, u, m, src, rec = make_acoustic_operator(grid, nt=6, src_coords=list(coords))
+    # random sources may share support corners: compare against the
+    # precomputed naive reference (identical accumulation), which is itself
+    # checked against the raw path elsewhere
+    ref = run_and_capture(op, u, rec, 6, DT, NaiveSchedule(), "precomputed")
+    got = run_and_capture(
+        op, u, rec, 6, DT, WavefrontSchedule(tile=tile, block=tile, height=4)
+    )
+    np.testing.assert_array_equal(got[0], ref[0])

@@ -1,0 +1,120 @@
+"""Structural tests on the generated loop nests (Listings 1-6)."""
+
+import pytest
+
+from repro.core import WavefrontSchedule
+from repro.ir.codegen import MODES, generate_code, render
+from repro.ir.nodes import Comment, Iteration, Pragma, Statement
+from repro.ir.passes import build_compressed, build_fused, build_naive, build_wavefront
+
+from ..conftest import make_acoustic_operator
+
+
+@pytest.fixture
+def op(grid3d):
+    op, *_ = make_acoustic_operator(grid3d, so=4)
+    return op
+
+
+# -- Listing 1: naive -------------------------------------------------------------
+def test_naive_structure(op):
+    tree = build_naive(op)
+    assert tree.is_("time") and tree.index == "t"
+    space = [n for n in tree.find(Iteration) if n.is_("space")]
+    assert [n.index for n in space] == ["x", "y", "z"]
+    sparse = [n for n in tree.find(Iteration) if n.is_("sparse")]
+    assert len(sparse) == 4  # src (s, i) + rec (r, i)
+
+
+def test_naive_sparse_is_nonaffine(op):
+    code = generate_code(op, "naive")
+    assert "map(s, i)" in code  # the indirection of Listing 1
+    assert "src[t][s]" in code
+
+
+def test_naive_statement_roles(op):
+    tree = build_naive(op)
+    roles = {s.role for s in tree.find(Statement)}
+    assert {"stencil", "injection", "interpolation", "indirection"} <= roles
+
+
+# -- Listing 4: fused -------------------------------------------------------------
+def test_fused_structure(op):
+    tree = build_fused(op)
+    z2 = [n for n in tree.find(Iteration) if n.index == "z2"]
+    assert len(z2) == 1
+    assert z2[0].is_("fused")
+    code = generate_code(op, "fused")
+    assert "SM[x][y][z2]" in code and "SID[x][y][z2]" in code
+    assert "src_dcmp[t]" in code
+    assert "map(" not in code  # indirection through coordinates is gone
+
+
+def test_fused_injection_at_z_level(op):
+    """The z2 loop must sit inside the y loop, beside the z loop (Listing 4)."""
+    tree = build_fused(op)
+    y_loops = [n for n in tree.find(Iteration) if n.index == "y"]
+    (y,) = y_loops
+    inner_indices = [n.index for n in y.body if isinstance(n, Iteration)]
+    assert inner_indices == ["z", "z2"]
+
+
+# -- Listing 5: compressed ---------------------------------------------------------
+def test_compressed_structure(op):
+    code = generate_code(op, "compressed")
+    assert "nnz_mask[x][y]" in code
+    assert "Sp_SID[x][y][z2]" in code
+    assert "zind" in code
+    tree = build_compressed(op)
+    z2 = [n for n in tree.find(Iteration) if n.index == "z2"]
+    assert z2[0].hi == "nnz_mask[x][y]"
+    assert z2[0].is_("compressed")
+
+
+# -- Listing 6: wavefront ------------------------------------------------------------
+def test_wavefront_structure(op):
+    sched = WavefrontSchedule(tile=(16, 16), block=(8, 8), height=4)
+    tree = build_wavefront(op, sched)
+    assert tree.is_("tile") and tree.step == "tile_t"
+    skewed = [n for n in tree.find(Iteration) if n.is_("skewed")]
+    assert [n.index for n in skewed] == ["xt", "yt"]
+    assert all("max_lag" in n.hi for n in skewed)
+    blocks = [n for n in tree.find(Iteration) if n.is_("block")]
+    assert {n.index for n in blocks} == {"xb", "yb"}
+    # the compressed injection survives inside the tile
+    code = generate_code(op, "wavefront", schedule=sched)
+    assert "nnz_mask" in code
+    assert "lag_table" in code
+
+
+def test_wavefront_lag_comment(op):
+    code = generate_code(op, "wavefront")
+    assert "lag advances by 2" in code  # so=4 -> radius 2
+
+
+# -- generic -----------------------------------------------------------------------------
+def test_all_modes_render(op):
+    for mode in MODES:
+        code = generate_code(op, mode)
+        assert code.count("{") == code.count("}")
+        assert code.startswith("/*")
+
+
+def test_unknown_mode(op):
+    with pytest.raises(ValueError):
+        generate_code(op, "bogus")
+
+
+def test_fuse_requires_injections(grid3d):
+    op, *_ = make_acoustic_operator(grid3d, src_coords=False, rec_coords=False)
+    with pytest.raises(ValueError, match="no injections"):
+        generate_code(op, "fused")
+
+
+def test_render_rejects_unknown_node():
+    with pytest.raises(TypeError):
+        render(object())
+
+
+def test_ccode_entrypoint(op):
+    assert "for (int t" in op.ccode("naive")

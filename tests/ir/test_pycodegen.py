@@ -1,0 +1,102 @@
+"""Tests for the generated-NumPy-kernel fast path."""
+
+import numpy as np
+import pytest
+
+from repro.core import NaiveSchedule, WavefrontSchedule
+from repro.dsl import Eq, Function, Grid, TimeFunction, solve
+from repro.dsl.symbols import Call, Indexed, Number, Pow, Symbol
+from repro.execution.evalbox import BoundEq, full_box
+from repro.ir.pycodegen import compile_rhs, render_numpy_expression
+
+from ..conftest import make_acoustic_operator, run_and_capture
+
+
+class DummyFunc:
+    def __init__(self, name):
+        self.name = name
+
+
+def test_render_basic():
+    a = Indexed(DummyFunc("a"), {Symbol("x"): 0})
+    b = Indexed(DummyFunc("b"), {Symbol("x"): 1})
+    expr = a * 2 + b
+    src = render_numpy_expression(expr, {a: "v0", b: "v1"})
+    v0, v1 = 3.0, 4.0
+    assert eval(src, {"np": np, "v0": v0, "v1": v1}) == 10.0
+
+
+def test_render_pow_and_div():
+    a = Indexed(DummyFunc("a"), {Symbol("x"): 0})
+    assert "1.0/" in render_numpy_expression(Pow(a, Number(-1)), {a: "v"})
+    assert render_numpy_expression(Pow(a, Number(3)), {a: "v"}) == "(v*v*v)"
+
+
+def test_render_calls():
+    a = Indexed(DummyFunc("a"), {Symbol("x"): 0})
+    assert render_numpy_expression(Call("cos", a), {a: "v"}) == "np.cos(v)"
+    with pytest.raises(ValueError, match="unsupported call"):
+        render_numpy_expression(Call("erf", a), {a: "v"})
+
+
+def test_render_rejects_unbound_symbol():
+    with pytest.raises(ValueError, match="unbound"):
+        render_numpy_expression(Symbol("dt"), {})
+
+
+def test_compile_rhs_executes():
+    a = Indexed(DummyFunc("a"), {Symbol("x"): 0})
+    kernel, reads = compile_rhs(a * 2 + 1, [a])
+    out = np.zeros(4)
+    kernel(out, np.arange(4.0))
+    np.testing.assert_array_equal(out, [1, 3, 5, 7])
+    assert "def _kernel" in kernel.__source__
+
+
+def test_compiled_matches_interpreted_boundeq(grid3d):
+    u = TimeFunction("u", grid3d, time_order=2, space_order=8)
+    m = Function("m", grid3d, space_order=8)
+    rng = np.random.default_rng(0)
+    m.data = 0.4 + 0.1 * rng.random(grid3d.shape)
+    eq = Eq(u.forward, solve(m * u.dt2 - u.laplace, u.forward))
+    from repro.dsl.symbols import Number as N
+
+    subs = {Symbol("dt"): N(0.5)}
+    subs.update({d.spacing: N(h) for d, h in zip(grid3d.dimensions, grid3d.spacing)})
+    eq = eq.subs(subs)
+
+    init = rng.normal(size=grid3d.shape).astype(np.float32)
+    u.interior(0)[...] = init
+    BoundEq(eq, grid3d, compiled=True).evaluate(0, full_box(grid3d))
+    compiled = u.interior(1).copy()
+
+    u.data_with_halo[...] = 0
+    u.interior(0)[...] = init
+    BoundEq(eq, grid3d, compiled=False).evaluate(0, full_box(grid3d))
+    np.testing.assert_array_equal(u.interior(1), compiled)
+
+
+def test_operator_compiled_flag_end_to_end(grid3d):
+    op, u, m, src, rec = make_acoustic_operator(grid3d, nt=8)
+    sched = WavefrontSchedule(tile=(5, 5), block=(5, 5), height=4)
+    a = run_and_capture(op, u, rec, 8, 1.0, sched)
+    op2, u2, m2, src2, rec2 = make_acoustic_operator(grid3d, nt=8)
+
+    def run_interp():
+        u2.data_with_halo[...] = 0
+        rec2.data[...] = 0
+        op2.apply(time_M=8, dt=1.0, schedule=sched, compiled=False)
+        return u2.interior(8).copy(), rec2.data.copy()
+
+    b = run_interp()
+    np.testing.assert_array_equal(a[0], b[0])
+    np.testing.assert_array_equal(a[1], b[1])
+
+
+def test_float32_output_preserved(grid3d):
+    u = TimeFunction("u", grid3d, time_order=1, space_order=2)
+    eq = Eq(u.forward, u.indexify() * 0.123456789)
+    beq = BoundEq(eq, grid3d, compiled=True)
+    u.interior(0)[...] = 1.0
+    beq.evaluate(0, full_box(grid3d))
+    assert u.interior(1).dtype == np.float32

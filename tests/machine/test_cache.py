@@ -1,0 +1,134 @@
+"""Unit tests for the LRU / set-associative cache simulator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine.cache import CacheHierarchy, LRUCache, SetAssociativeCache
+
+
+# -- fully-associative LRU ----------------------------------------------------------
+def test_lru_hit_after_install():
+    c = LRUCache(4)
+    assert not c.access(1)
+    assert c.access(1)
+    assert c.hits == 1 and c.misses == 1
+
+
+def test_lru_eviction_order():
+    c = LRUCache(2)
+    c.access(1)
+    c.access(2)
+    c.access(3)  # evicts 1
+    assert not c.contains(1)
+    assert c.contains(2) and c.contains(3)
+    assert c.evictions == 1
+
+
+def test_lru_touch_refreshes_recency():
+    c = LRUCache(2)
+    c.access(1)
+    c.access(2)
+    c.access(1)  # 2 is now LRU
+    c.access(3)  # evicts 2
+    assert c.contains(1) and not c.contains(2)
+
+
+def test_lru_capacity_validation():
+    with pytest.raises(ValueError):
+        LRUCache(0)
+
+
+def test_lru_reset():
+    c = LRUCache(2)
+    c.access(1)
+    c.reset_counters()
+    assert c.hits == c.misses == c.evictions == 0
+    assert c.contains(1)  # content kept
+
+
+@given(
+    capacity=st.integers(1, 16),
+    stream=st.lists(st.integers(0, 30), min_size=1, max_size=200),
+)
+@settings(max_examples=40, deadline=None)
+def test_lru_invariants(capacity, stream):
+    c = LRUCache(capacity)
+    for x in stream:
+        c.access(x)
+    assert len(c) <= capacity
+    assert c.hits + c.misses == len(stream)
+    # a working set that fits never misses after the first pass
+    distinct = set(stream)
+    if len(distinct) <= capacity:
+        c.reset_counters()
+        for x in stream:
+            c.access(x)
+        assert c.misses == 0
+
+
+# -- set-associative -------------------------------------------------------------------
+def test_setassoc_conflict_misses():
+    c = SetAssociativeCache(capacity=4, ways=1)  # 4 direct-mapped sets
+    c.access(0)
+    c.access(4)  # same set (mod 4): conflict
+    assert not c.contains(0)
+    assert c.evictions == 1
+
+
+def test_setassoc_ways_prevent_conflict():
+    c = SetAssociativeCache(capacity=8, ways=2)
+    c.access(0)
+    c.access(4)
+    assert c.contains(0) and c.contains(4)
+
+
+def test_setassoc_validation():
+    with pytest.raises(ValueError):
+        SetAssociativeCache(capacity=2, ways=4)
+
+
+# -- hierarchy ----------------------------------------------------------------------------
+def test_hierarchy_inclusive_install():
+    h = CacheHierarchy([("L1", 2), ("L2", 8)], chunk_bytes=64)
+    assert h.access(1) == "memory"
+    assert h.access(1) == "L1"
+    # push 1 out of L1 but keep in L2
+    h.access(2)
+    h.access(3)
+    assert h.access(1) == "L2"
+
+
+def test_hierarchy_stats_traffic():
+    h = CacheHierarchy([("L1", 2), ("L2", 8)], chunk_bytes=32)
+    for x in (1, 2, 3, 1):
+        h.access(x)
+    s = h.stats()
+    assert s.accesses == 4
+    assert s.memory_fetches == 3
+    assert s.traffic_bytes("memory") == 3 * 32
+    assert s.level_hits["L2"] + s.level_hits["L1"] == 1
+
+
+def test_hierarchy_reset():
+    h = CacheHierarchy([("L1", 2)])
+    h.access(1)
+    h.reset()
+    assert h.stats().accesses == 0
+    # contents survive the counter reset (warm cache)
+    assert h.access(1) == "L1"
+
+
+def test_hierarchy_requires_levels():
+    with pytest.raises(ValueError):
+        CacheHierarchy([])
+
+
+@given(stream=st.lists(st.integers(0, 50), min_size=1, max_size=300))
+@settings(max_examples=30, deadline=None)
+def test_hierarchy_accounting_consistent(stream):
+    h = CacheHierarchy([("L1", 4), ("L2", 16)])
+    h.access_many(stream)
+    s = h.stats()
+    assert s.accesses == len(stream)
+    assert s.memory_fetches + sum(s.level_hits.values()) == len(stream)

@@ -1,0 +1,115 @@
+"""Tests for SeismicModel: extension, damping, CFL."""
+
+import numpy as np
+import pytest
+
+from repro.propagators import (
+    CFL_COEFFICIENTS,
+    SeismicModel,
+    damping_profile,
+    layered_velocity,
+)
+
+SHAPE = (12, 11, 10)
+
+
+def make_model(**kw):
+    defaults = dict(shape=SHAPE, spacing=(10.0, 10.0, 10.0),
+                    vp=layered_velocity(SHAPE, 1.5, 3.0, 3), nbl=4, space_order=4)
+    defaults.update(kw)
+    return SeismicModel(**defaults)
+
+
+def test_grid_extended_by_boundary_layers():
+    m = make_model()
+    assert m.grid.shape == tuple(s + 8 for s in SHAPE)
+    # interior physical coordinates unchanged: origin shifted by nbl*h
+    assert m.grid.origin == (-40.0, -40.0, -40.0)
+
+
+def test_velocity_edge_replicated():
+    m = make_model()
+    vp = m.vp.data
+    assert vp[0, 5, 5] == vp[4, 5, 5]  # boundary layer copies the edge
+    assert float(vp.min()) == pytest.approx(1.5)
+    assert float(vp.max()) == pytest.approx(3.0)
+
+
+def test_slowness_field():
+    m = make_model()
+    np.testing.assert_allclose(m.m.data, 1.0 / m.vp.data**2, rtol=1e-6)
+
+
+def test_scalar_velocity():
+    m = make_model(vp=2.0)
+    assert (m.vp.data == 2.0).all()
+    assert m.vp_max == 2.0
+
+
+def test_field_shape_validation():
+    with pytest.raises(ValueError):
+        make_model(vp=np.ones((3, 3, 3)))
+
+
+def test_damping_zero_in_interior_positive_at_edges():
+    m = make_model()
+    d = m.damp.data
+    c = tuple(s // 2 for s in m.grid.shape)
+    assert d[c] == 0.0
+    assert d[0, c[1], c[2]] > 0
+    assert d[-1, c[1], c[2]] > 0
+    assert (d >= 0).all()
+
+
+def test_damping_profile_monotone():
+    p = damping_profile(30, 8)
+    assert (p[:8] >= 0).all()
+    assert (np.diff(p[:8]) <= 1e-12).all()  # decays into the interior
+    assert (p[8:-8] == 0).all()
+    np.testing.assert_allclose(p, p[::-1], atol=1e-12)  # symmetric
+
+
+def test_damping_profile_validation():
+    with pytest.raises(ValueError):
+        damping_profile(10, 5)
+    assert (damping_profile(10, 0) == 0).all()
+
+
+def test_critical_dt_kinds():
+    m = make_model()
+    dts = {k: m.critical_dt(k) for k in CFL_COEFFICIENTS}
+    assert dts["tti"] < dts["acoustic"] < dts["elastic"]
+    assert m.critical_dt("acoustic", cfl=0.1) == pytest.approx(0.1 * 10.0 / 3.0)
+
+
+def test_nt_for():
+    m = make_model()
+    assert m.nt_for(100.0, 2.0) == 50
+    assert m.nt_for(101.0, 2.0) == 51
+    with pytest.raises(ValueError):
+        m.nt_for(10.0, 0.0)
+
+
+def test_domain_center():
+    m = make_model()
+    assert m.domain_center == (55.0, 50.0, 45.0)
+
+
+def test_layered_velocity_structure():
+    vp = layered_velocity((8, 8, 12), 1.0, 4.0, 4)
+    assert vp.shape == (8, 8, 12)
+    assert float(vp[..., 0].min()) == 1.0
+    assert float(vp[..., -1].max()) == 4.0
+    # monotone non-decreasing with depth
+    assert (np.diff(vp[4, 4, :]) >= 0).all()
+    with pytest.raises(ValueError):
+        layered_velocity((4, 4, 4), nlayers=0)
+
+
+def test_thomsen_fields_optional():
+    m = make_model(epsilon=0.1, delta=0.05, theta=0.3, phi=0.1, rho=2.0)
+    for f in (m.epsilon, m.delta, m.theta, m.phi, m.rho):
+        assert f is not None
+        assert f.data.shape == m.grid.shape
+    m2 = make_model()
+    assert m2.epsilon is None and m2.rho is None

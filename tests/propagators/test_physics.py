@@ -1,0 +1,211 @@
+"""Physics sanity tests for the three propagators (§III).
+
+These validate the *substrate* (the solvers the paper evaluates on), not the
+blocking scheme: wave speed, causality, stability, symmetry, damping.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import NaiveSchedule
+from repro.propagators import (
+    AcousticPropagator,
+    ElasticPropagator,
+    SeismicModel,
+    TTIPropagator,
+    point_source,
+    receiver_line,
+)
+
+SHAPE = (26, 26, 26)
+
+
+def homogeneous_model(vp=2.0, nbl=6, so=4, **kw):
+    return SeismicModel(SHAPE, (10.0,) * 3, vp, nbl=nbl, space_order=so, **kw)
+
+
+def run_acoustic(model, nt, so=4, dt=None, src_coords=None):
+    dt = dt or model.critical_dt("acoustic")
+    src_coords = src_coords or [model.domain_center]
+    src = point_source("src", model.grid, nt + 2, src_coords, f0=0.03, dt=dt)
+    prop = AcousticPropagator(model, space_order=so, source=src)
+    prop.forward(nt=nt, dt=dt)
+    return prop, dt
+
+
+def test_acoustic_stability_at_cfl():
+    model = homogeneous_model()
+    prop, dt = run_acoustic(model, nt=60)
+    u = prop.u.interior(60)
+    assert np.isfinite(u).all()
+    assert np.abs(u).max() < 1e3
+
+
+def test_acoustic_unstable_beyond_cfl():
+    """The CFL bound is real: 3x the critical step blows up."""
+    model = homogeneous_model()
+    dt = 3.0 * model.critical_dt("acoustic")
+    prop, _ = run_acoustic(model, nt=60, dt=dt)
+    u = prop.u.interior(60)
+    assert (~np.isfinite(u)).any() or np.abs(u).max() > 1e6
+
+
+def test_acoustic_causality():
+    """No energy beyond the wavefront c*t (plus stencil smear)."""
+    model = homogeneous_model(vp=2.0, nbl=4)
+    dt = model.critical_dt("acoustic")
+    nt = 20
+    prop, _ = run_acoustic(model, nt=nt, dt=dt)
+    u = prop.u.interior(nt)
+    radius_km = 2.0 * dt * nt  # m (vp in km/s = m/ms)
+    centre = np.array(model.domain_center)
+    # physical coordinates of extended-grid points
+    idx = np.indices(model.grid.shape).reshape(3, -1).T
+    phys = np.asarray(model.grid.origin) + idx * 10.0
+    dist = np.linalg.norm(phys - centre, axis=1)
+    outside = dist > radius_km + 60.0  # margin: wavelet onset + stencil halo
+    vals = np.abs(u.reshape(-1)[outside])
+    assert vals.max() <= 1e-6 * max(np.abs(u).max(), 1e-30)
+
+
+def test_acoustic_spherical_symmetry():
+    """Homogeneous medium + centred source: the field is mirror-symmetric."""
+    model = homogeneous_model()
+    # place source exactly at a grid point in the centre
+    prop, dt = run_acoustic(model, nt=40)
+    u = prop.u.interior(40)
+    np.testing.assert_allclose(u, u[::-1, :, :], atol=1e-5 * np.abs(u).max())
+    np.testing.assert_allclose(u, u.transpose(1, 0, 2), atol=1e-5 * np.abs(u).max())
+
+
+def test_wave_arrival_speed():
+    """First arrival at a receiver matches distance / velocity."""
+    vp = 2.0
+    model = homogeneous_model(vp=vp, nbl=6)
+    dt = model.critical_dt("acoustic")
+    nt = 110
+    centre = model.domain_center
+    rec = point_source("rec", model.grid, nt + 2,
+                       [[centre[0] + 100.0, centre[1], centre[2]]], f0=0.03, dt=dt)
+    rec.data[:] = 0.0
+    src = point_source("src", model.grid, nt + 2, [centre], f0=0.03, dt=dt)
+    prop = AcousticPropagator(model, space_order=4, source=src, receivers=rec)
+    data, _ = prop.forward(nt=nt, dt=dt)
+    trace = np.abs(data[:, 0])
+    onset = np.argmax(trace > 0.01 * trace.max())
+    t_expected = 100.0 / vp  # ms
+    # wavelet ramps up from t=0 (peak at 1/f0): onset precedes peak travel time
+    assert onset * dt == pytest.approx(t_expected, abs=25.0)
+    assert trace[: max(onset - 12, 0)].max() <= 0.01 * trace.max()
+
+
+def test_damping_absorbs_energy():
+    """With absorbing layers, late-time energy decays instead of ringing."""
+    damped = homogeneous_model(nbl=8)
+    dtc = damped.critical_dt("acoustic")
+    p1, _ = run_acoustic(damped, nt=150, dt=dtc)
+    e_damped = float(np.square(p1.u.interior(150)).sum())
+
+    undamped = homogeneous_model(nbl=8)
+    undamped.damp.data = 0.0
+    p2, _ = run_acoustic(undamped, nt=150, dt=dtc)
+    e_undamped = float(np.square(p2.u.interior(150)).sum())
+    assert e_damped < 0.8 * e_undamped
+
+
+def test_tti_reduces_to_isotropic():
+    """epsilon = delta = theta = 0 makes the TTI kernel acoustic-like."""
+    model = homogeneous_model(epsilon=0.0, delta=0.0, theta=0.0, phi=0.0)
+    dt = model.critical_dt("tti")
+    nt = 30
+    src = point_source("src", model.grid, nt + 2, [model.domain_center], f0=0.03, dt=dt)
+    tti = TTIPropagator(model, space_order=4, source=src)
+    tti.forward(nt=nt, dt=dt)
+
+    model2 = homogeneous_model()
+    src2 = point_source("src", model2.grid, nt + 2, [model2.domain_center], f0=0.03, dt=dt)
+    ac = AcousticPropagator(model2, space_order=4, source=src2)
+    ac.forward(nt=nt, dt=dt)
+
+    p = tti.p.interior(nt)
+    u = ac.u.interior(nt)
+    scale = np.abs(u).max()
+    assert np.abs(p - u).max() < 0.05 * scale
+
+
+def test_tti_requires_thomsen_fields():
+    with pytest.raises(ValueError, match="epsilon"):
+        TTIPropagator(homogeneous_model(), space_order=4)
+
+
+def test_tti_space_order_multiple_of_4():
+    model = homogeneous_model(epsilon=0.1, delta=0.05, theta=0.2)
+    with pytest.raises(ValueError, match="multiple of 4"):
+        TTIPropagator(model, space_order=6)
+
+
+def test_tti_anisotropy_changes_field():
+    model = homogeneous_model(epsilon=0.2, delta=0.1, theta=0.5, phi=0.3)
+    dt = model.critical_dt("tti")
+    nt = 24
+    src = point_source("src", model.grid, nt + 2, [model.domain_center], f0=0.03, dt=dt)
+    tti = TTIPropagator(model, space_order=4, source=src)
+    tti.forward(nt=nt, dt=dt)
+    p = tti.p.interior(nt)
+    assert np.isfinite(p).all()
+    # anisotropy breaks x/z exchange symmetry
+    assert np.abs(p - p.transpose(2, 1, 0)).max() > 1e-3 * np.abs(p).max()
+
+
+def test_elastic_stability_and_stress_symmetry():
+    model = homogeneous_model(rho=2.0, vs=1.1)
+    dt = model.critical_dt("elastic")
+    nt = 40
+    src = point_source("src", model.grid, nt + 2, [model.domain_center], f0=0.03, dt=dt)
+    el = ElasticPropagator(model, space_order=4, source=src)
+    el.forward(nt=nt, dt=dt)
+    for f in el.fields:
+        assert np.isfinite(f.interior(nt)).all()
+    # explosive source at the centre: under the x<->y swap the staggered
+    # scheme maps txx(x,y) -> tyy(y,x) and leaves tzz invariant
+    txx = el.txx.interior(nt)
+    tyy = el.tyy.interior(nt)
+    tzz = el.tzz.interior(nt)
+    scale = np.abs(txx).max()
+    assert np.abs(txx - tyy.transpose(1, 0, 2)).max() < 1e-4 * scale
+    np.testing.assert_allclose(tzz, tzz.transpose(1, 0, 2), atol=1e-4 * scale)
+
+
+def test_elastic_requires_rho():
+    with pytest.raises(ValueError, match="rho"):
+        ElasticPropagator(homogeneous_model(), space_order=4)
+
+
+def test_elastic_receivers_record(grid3d=None):
+    model = homogeneous_model(rho=2.0, vs=1.1)
+    dt = model.critical_dt("elastic")
+    nt = 50
+    src = point_source("src", model.grid, nt + 2, [model.domain_center], f0=0.03, dt=dt)
+    rec = receiver_line("rec", model.grid, nt + 2, npoint=4, depth=model.domain_center[2] - 40.0)
+    el = ElasticPropagator(model, space_order=4, source=src, receivers=rec)
+    data, _ = el.forward(nt=nt, dt=dt)
+    assert np.abs(data).max() > 0.0
+
+
+def test_forward_requires_enough_source_samples():
+    model = homogeneous_model()
+    dt = model.critical_dt("acoustic")
+    src = point_source("src", model.grid, 5, [model.domain_center], f0=0.03, dt=dt)
+    prop = AcousticPropagator(model, space_order=4, source=src)
+    with pytest.raises(ValueError, match="samples"):
+        prop.forward(nt=50, dt=dt)
+
+
+def test_forward_tn_interface():
+    model = homogeneous_model()
+    dt = model.critical_dt("acoustic")
+    src = point_source("src", model.grid, 200, [model.domain_center], f0=0.03, dt=dt)
+    prop = AcousticPropagator(model, space_order=4, source=src)
+    _, plan = prop.forward(tn=20.0, dt=dt)
+    with pytest.raises(ValueError, match="nt or tn"):
+        prop.forward(dt=dt)

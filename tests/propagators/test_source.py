@@ -1,0 +1,108 @@
+"""Tests for wavelets and acquisition geometry."""
+
+import numpy as np
+import pytest
+
+from repro.dsl import Grid
+from repro.propagators import (
+    gabor_wavelet,
+    plane_sources,
+    point_source,
+    receiver_line,
+    ricker_wavelet,
+    time_axis,
+    volume_sources,
+)
+
+
+def test_time_axis_inclusive():
+    t = time_axis(0.0, 100.0, 2.0)
+    assert t[0] == 0.0 and t[-1] >= 100.0
+    assert len(t) == 51
+    with pytest.raises(ValueError):
+        time_axis(0, 10, 0)
+
+
+def test_ricker_peak_and_decay():
+    t = np.linspace(0, 200, 2001)
+    w = ricker_wavelet(0.02, t)  # f0 = 20 Hz in kHz/ms units
+    assert w.max() == pytest.approx(1.0, abs=1e-3)  # peak amplitude 1 at t=1/f0
+    assert abs(w[-1]) < 1e-6  # decayed by the end
+    assert t[np.argmax(w)] == pytest.approx(50.0, abs=0.2)
+
+
+def test_ricker_zero_mean():
+    # integrate over a window symmetric about the peak (t_shift = 1/f0 = 50)
+    t = np.linspace(50 - 300, 50 + 300, 8001)
+    w = ricker_wavelet(0.02, t)
+    assert np.trapezoid(w, t) == pytest.approx(0.0, abs=1e-6)
+
+
+def test_ricker_nonzero_at_start():
+    """The probe-injection discovery (Listing 2) relies on early samples."""
+    t = np.arange(3) * 2.0
+    w = ricker_wavelet(0.02, t)
+    assert np.any(w != 0.0)
+
+
+def test_ricker_validation():
+    with pytest.raises(ValueError):
+        ricker_wavelet(0.0, np.arange(4.0))
+
+
+def test_gabor_bounded():
+    t = np.linspace(0, 300, 1000)
+    w = gabor_wavelet(0.015, t, amplitude=2.0)
+    assert np.abs(w).max() <= 2.0 + 1e-9
+    with pytest.raises(ValueError):
+        gabor_wavelet(-1.0, t)
+
+
+def test_point_source_wavelet_broadcast():
+    grid = Grid(shape=(11, 11, 11))
+    src = point_source("s", grid, nt=20, coordinates=[[50.0, 50.0, 50.0]] * 3,
+                       f0=0.02, dt=2.0)
+    assert src.data.shape == (20, 3)
+    np.testing.assert_array_equal(src.data[:, 0], src.data[:, 2])
+    with pytest.raises(ValueError):
+        point_source("s", grid, 20, [[50.0] * 3], f0=0.02, dt=2.0, kind="square")
+
+
+def test_receiver_line_geometry():
+    grid = Grid(shape=(21, 11, 11), extent=(200.0, 100.0, 100.0))
+    rec = receiver_line("r", grid, nt=10, npoint=5, depth=30.0)
+    assert rec.coordinates.shape == (5, 3)
+    assert (rec.coordinates[:, 2] == 30.0).all()
+    assert (np.diff(rec.coordinates[:, 0]) > 0).all()  # spread along x
+    assert (rec.coordinates[:, 1] == 50.0).all()  # centred in y
+
+
+def test_plane_sources_on_slice():
+    grid = Grid(shape=(11, 11, 11))
+    coords = plane_sources(grid, 50, depth_fraction=0.5, jitter=False)
+    assert coords.shape == (50, 3)
+    assert np.allclose(coords[:, 2], 50.0)
+    assert grid.contains_points(coords).all()
+
+
+def test_plane_sources_jittered_off_grid():
+    grid = Grid(shape=(11, 11, 11))
+    coords = plane_sources(grid, 50, rng=np.random.default_rng(0))
+    assert grid.contains_points(coords).all()
+    assert (coords[:, 2] >= 50.0).all()
+
+
+def test_volume_sources_fill_domain():
+    grid = Grid(shape=(11, 11, 11))
+    coords = volume_sources(grid, 200, rng=np.random.default_rng(1))
+    assert coords.shape == (200, 3)
+    assert grid.contains_points(coords).all()
+    # genuinely spread over the volume
+    assert coords[:, 2].std() > 10.0
+
+
+def test_geometry_deterministic_with_rng():
+    grid = Grid(shape=(11, 11, 11))
+    a = volume_sources(grid, 10, rng=np.random.default_rng(7))
+    b = volume_sources(grid, 10, rng=np.random.default_rng(7))
+    np.testing.assert_array_equal(a, b)
