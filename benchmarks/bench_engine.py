@@ -1,0 +1,215 @@
+"""Kernel-engine trajectory bench: fused three-address engine vs the seed
+per-equation kernels vs the tree-walking interpreter.
+
+Times the small-grid acoustic workload (the wall-clock corroboration setup of
+``bench_realexec_smallgrid``) under naive / spatially blocked / wavefront
+schedules with each execution engine, prints a table, and writes the
+machine-readable ``BENCH_engine.json`` at the repo root so later PRs can
+track the perf trajectory.
+
+Two baselines are reported:
+
+* ``kernel`` — the per-equation kernel engine *at HEAD*: an engine-only
+  ablation that still benefits from the shared fast paths this engine
+  brought along (indexed+memoised sparse lookups, process-wide kernel
+  caches, precomputed wavefront step plans).
+* ``seed`` — the seed's per-equation kernel path, reconstructed: per-eq
+  kernels with unindexed, unmemoised sparse lookups
+  (``SourceMasks.indexed = False``) and cold kernel caches per apply, i.e.
+  recompilation inside every ``forward`` exactly as the seed paid it.  This
+  is the baseline of the headline speedup (validated against a checkout of
+  the actual seed commit: reconstruction and seed agree within noise).
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py
+
+or through pytest (slow-marked)::
+
+    pytest benchmarks/bench_engine.py -m slow
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core import NaiveSchedule, SpatialBlockSchedule, WavefrontSchedule
+from repro.propagators import point_source, receiver_line
+
+from paper_setup import build_propagator
+
+NT = 16
+SHAPE = (36, 36, 36)
+SPACE_ORDER = 8
+ENGINES = ("fused", "kernel", "interp")
+REPEATS = 15
+RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_engine.json"
+
+
+def schedules():
+    return {
+        "naive": NaiveSchedule(),
+        "spatial": SpatialBlockSchedule(block=(12, 12)),
+        "wavefront": WavefrontSchedule(tile=(9, 9), block=(9, 9), height=4),
+    }
+
+
+def build(so=SPACE_ORDER):
+    prop = build_propagator("acoustic", so, shape=SHAPE, nbl=4)
+    dt = prop.critical_dt()
+    prop.source = point_source(
+        "src", prop.grid, NT + 2, [prop.model.domain_center], f0=0.02, dt=dt
+    )
+    prop.receivers = receiver_line("rec", prop.grid, NT + 2, npoint=8, depth=40.0)
+    prop._op = None  # rebuild with the sparse operators attached
+    return prop, dt
+
+
+def _plan_masks(plan):
+    """All SourceMasks reachable from a plan's sparse operators (raw
+    off-the-grid operators, used by unblocked schedules, carry none)."""
+    ops = [op for lst in plan.injections.values() for op in lst]
+    ops += [op for lst in plan.receivers.values() for op in lst]
+    return [op.masks for op in ops if hasattr(op, "masks")]
+
+
+def time_engines(prop, dt, schedule, repeats=REPEATS):
+    """Min-of-N steady-state wall-clock per engine, plus the seed baseline.
+
+    All series are timed in *interleaved rounds* — one measurement per series
+    per round, round after round — rather than consecutive per-engine blocks.
+    On a shared single-vCPU container, noisy-neighbour interference arrives
+    in multi-second waves; consecutive blocks can land one engine entirely
+    inside a wave and another entirely outside it, skewing ratios either
+    way.  Interleaving makes every series sample the same noise landscape,
+    so min-of-rounds converges to each series' quiet-state time and the
+    ratios are stable.
+
+    Within each round the fused and kernel engines get an untimed warm run
+    first: the seed measurement clears the process-wide kernel caches, and
+    the warm run absorbs the one-off recompile so the timed run sees the
+    steady state.  The interpreter compiles nothing and needs no warm-up.
+
+    The ``seed`` series reconstructs the seed's per-equation kernel path:
+    the kernel engine with ``SourceMasks.indexed = False`` (linear sparse
+    scans, no memoisation), the kernel caches cleared before every run so
+    each apply recompiles its kernels exactly as the seed did, and — for
+    wavefront schedules — ``precompute_steps=False`` so tile geometry is
+    rebuilt per time tile, matching the seed's inline-geometry traversal
+    (validated against a checkout of the actual seed commit: reconstruction
+    and seed agree within noise).
+    """
+    import dataclasses
+
+    from repro.ir.pycodegen import clear_kernel_caches
+
+    rec, plan = prop.forward(nt=NT, dt=dt, schedule=schedule, engine="kernel")
+    assert np.isfinite(rec).all()  # physics sanity before timing anything
+    rec, _ = prop.forward(nt=NT, dt=dt, schedule=schedule, engine="fused")
+    assert np.isfinite(rec).all()
+    masks = _plan_masks(plan)
+    seed_schedule = schedule
+    if hasattr(schedule, "precompute_steps"):
+        seed_schedule = dataclasses.replace(schedule, precompute_steps=False)
+
+    def timed(engine, sched):
+        t0 = time.perf_counter()
+        prop.forward(nt=NT, dt=dt, schedule=sched, engine=engine)
+        return time.perf_counter() - t0
+
+    series = {name: [] for name in (*ENGINES, "seed")}
+    try:
+        for _ in range(repeats):
+            for engine in ENGINES:
+                if engine != "interp":  # absorb recompiles after cache clears
+                    prop.forward(nt=NT, dt=dt, schedule=schedule, engine=engine)
+                series[engine].append(timed(engine, schedule))
+            for m in masks:
+                m.indexed = False
+            clear_kernel_caches()  # the seed recompiled inside every apply
+            series["seed"].append(timed("kernel", seed_schedule))
+            for m in masks:
+                m.indexed = True
+            clear_kernel_caches()
+    finally:
+        for m in masks:
+            m.indexed = True
+        clear_kernel_caches()
+    return {name: min(vals) for name, vals in series.items()}
+
+
+def run_bench(repeats=REPEATS):
+    prop, dt = build()
+    results = {}
+    for sched_name, sched in schedules().items():
+        results[sched_name] = time_engines(prop, dt, sched, repeats=repeats)
+    report = {
+        "bench": "engine",
+        "workload": {
+            "kind": "acoustic",
+            "space_order": SPACE_ORDER,
+            "shape": list(SHAPE),
+            "nbl": 4,
+            "nt": NT,
+            "repeats": repeats,
+            "timing": "min over N interleaved rounds, warm runs before timed",
+        },
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "seconds": results,
+        "speedup_fused_over_kernel": {
+            s: results[s]["kernel"] / results[s]["fused"] for s in results
+        },
+        "speedup_fused_over_interp": {
+            s: results[s]["interp"] / results[s]["fused"] for s in results
+        },
+        "speedup_fused_over_seed": {
+            s: results[s]["seed"] / results[s]["fused"] for s in results
+        },
+    }
+    return report
+
+
+def write_report(report, path=RESULT_PATH):
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def print_report(report):
+    print(f"# engine bench — acoustic so={SPACE_ORDER} {SHAPE}, nt={NT}")
+    print(
+        f"{'schedule':<12} {'fused':>10} {'kernel':>10} {'interp':>10} "
+        f"{'seed':>10} {'fused/seed':>12}"
+    )
+    for sched, row in report["seconds"].items():
+        sp = report["speedup_fused_over_seed"][sched]
+        print(
+            f"{sched:<12} {row['fused']*1e3:>8.2f}ms {row['kernel']*1e3:>8.2f}ms "
+            f"{row['interp']*1e3:>8.2f}ms {row['seed']*1e3:>8.2f}ms {sp:>11.2f}x"
+        )
+
+
+@pytest.mark.slow
+def test_fused_engine_speedup_and_report():
+    """Acceptance: >= 2x over the seed per-equation kernels on the WTB
+    workload, and the JSON trajectory artefact lands at the repo root."""
+    report = run_bench()
+    path = write_report(report)
+    assert path.exists()
+    assert report["speedup_fused_over_seed"]["wavefront"] >= 2.0
+    for sched, row in report["seconds"].items():
+        assert row["fused"] < row["interp"]
+        assert row["fused"] < row["kernel"]
+
+
+if __name__ == "__main__":
+    report = run_bench()
+    print_report(report)
+    out = write_report(report)
+    print(f"\nwrote {out}")

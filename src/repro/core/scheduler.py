@@ -79,11 +79,18 @@ class WavefrontSchedule(Schedule):
     height:
         Number of timesteps evaluated per space-time tile (the wavefront
         depth).  Must be >= 1; height 1 degenerates to spatial blocking.
+    precompute_steps:
+        When True (default) executors precompute the per-tile step list
+        (instance lags, shifted windows, clipped boxes) once per distinct
+        tile height and replay it for every congruent time tile.  False is
+        an ablation knob that recomputes the geometry for every time tile,
+        reproducing the cost structure of inline-geometry traversal.
     """
 
     tile: Tuple[int, ...] = (32, 32)
     block: Tuple[int, ...] = (8, 8)
     height: int = 4
+    precompute_steps: bool = True
     kind = "wavefront"
 
     def __post_init__(self):

@@ -1,5 +1,14 @@
 """Executors: run bound operators under the supported schedules."""
-from .evalbox import BoundEq, bind_equations, box_is_empty, clip_box, full_box
+from .evalbox import (
+    ENGINES,
+    BoundEq,
+    BoundSweep,
+    bind_equations,
+    box_is_empty,
+    box_view,
+    clip_box,
+    full_box,
+)
 from .executors import (
     ExecutionPlan,
     run_naive,
@@ -12,6 +21,9 @@ from .trace import ChunkAddresser, TraceGeometry, schedule_trace, simulate_sched
 
 __all__ = [
     "BoundEq",
+    "BoundSweep",
+    "ENGINES",
+    "box_view",
     "bind_equations",
     "full_box",
     "clip_box",

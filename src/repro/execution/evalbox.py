@@ -10,6 +10,7 @@ vectorised arithmetic.
 
 from __future__ import annotations
 
+import math
 from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
@@ -19,7 +20,22 @@ from ..dsl.functions import TimeFunction
 from ..dsl.grid import Grid
 from ..dsl.symbols import Expr, Indexed
 
-__all__ = ["Box", "full_box", "clip_box", "box_is_empty", "BoundEq", "bind_equations"]
+__all__ = [
+    "Box",
+    "full_box",
+    "clip_box",
+    "box_is_empty",
+    "box_view",
+    "BoundEq",
+    "BoundSweep",
+    "bind_equations",
+    "ENGINES",
+]
+
+#: execution engines: "fused" = one three-address kernel per sweep (default),
+#: "kernel" = one compiled expression kernel per equation, "interp" = the
+#: tree-walking interpreter.  All three are bit-identical.
+ENGINES = ("fused", "kernel", "interp")
 
 Box = Tuple[Tuple[int, int], ...]  # ((lo, hi) per spatial dimension), hi exclusive
 
@@ -42,6 +58,26 @@ def box_is_empty(box: Box) -> bool:
 
 def box_points(box: Box) -> int:
     return int(np.prod([max(hi - lo, 0) for lo, hi in box]))
+
+
+def box_view(access: Indexed, t: int, box: Box, dim_names: Sequence[str]) -> np.ndarray:
+    """The NumPy view of *access* on *box* at logical timestep *t*.
+
+    TimeFunction accesses resolve through the circular time buffer; all
+    spatial offsets shift the slice within the halo-padded buffer.
+    """
+    func = access.function
+    offsets = access.offset_map()
+    if isinstance(func, TimeFunction):
+        buf = func.buffer(t + offsets.get("t", 0))
+    else:
+        buf = func.data_with_halo
+    h = func.halo
+    slices = tuple(
+        slice(h + lo + offsets.get(name, 0), h + hi + offsets.get(name, 0))
+        for name, (lo, hi) in zip(dim_names, box)
+    )
+    return buf[slices]
 
 
 class BoundEq:
@@ -82,18 +118,7 @@ class BoundEq:
 
     # -- view construction -------------------------------------------------------
     def _view(self, access: Indexed, t: int, box: Box) -> np.ndarray:
-        func = access.function
-        offsets = access.offset_map()
-        if isinstance(func, TimeFunction):
-            buf = func.buffer(t + offsets.get("t", 0))
-        else:
-            buf = func.data_with_halo
-        h = func.halo
-        slices = tuple(
-            slice(h + lo + offsets.get(name, 0), h + hi + offsets.get(name, 0))
-            for name, (lo, hi) in zip(self.dim_names, box)
-        )
-        return buf[slices]
+        return box_view(access, t, box, self.dim_names)
 
     def evaluate(self, t: int, box: Box) -> None:
         """Execute ``lhs[box] <- rhs[box]`` for logical timestep *t*."""
@@ -109,6 +134,123 @@ class BoundEq:
 
     def __repr__(self) -> str:
         return f"BoundEq({self.eq})"
+
+
+class BoundSweep:
+    """All equations of one sweep bound to the grid, driven by one engine.
+
+    This is the sweep-granular execution primitive: the executors call
+    :meth:`evaluate` once per ``(t, box)`` instance and the sweep runs all of
+    its equations in order.
+
+    * ``engine="fused"`` (default): all equations are compiled into a single
+      three-address kernel (:func:`repro.ir.pycodegen.compile_sweep`) fed from
+      a :class:`~repro.ir.pycodegen.ScratchPool`.  The array views for a
+      ``(t, box)`` instance are built once per instance and memoised — the
+      views only depend on ``t`` modulo the time-buffer period, so wavefront
+      execution revisiting the same box at a congruent timestep pays zero
+      view-construction cost.
+    * ``engine="kernel"``: the per-equation compiled kernels (the previous
+      generation of the engine, kept as the honest benchmark baseline).
+    * ``engine="interp"``: the tree-walking interpreter.
+
+    All three engines produce bit-identical results; the equivalence suite
+    asserts this across every physics × schedule combination.
+    """
+
+    def __init__(self, eqs: Sequence[Eq], grid: Grid, engine: str = "fused", pool=None):
+        if engine not in ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
+        self.grid = grid
+        self.engine = engine
+        self.eqs = list(eqs)
+        self.dim_names = [d.name for d in grid.dimensions]
+        # BoundEq validates unbound symbols for every engine and is the
+        # execution vehicle for the non-fused ones.
+        self.beqs = [BoundEq(e, grid, compiled=(engine == "kernel")) for e in self.eqs]
+        self._kernel = None
+        if engine == "fused":
+            from ..ir.passes import hoist_invariants
+            from ..ir.pycodegen import ScratchPool, compile_sweep
+
+            self.writes: List[Indexed] = [beq.lhs for beq in self.beqs]
+            # model-only subexpressions (1/m, lambda + 2*mu, cos(theta), ...)
+            # become precomputed full-grid arrays instead of per-box work;
+            # buffers are filled lazily at the first evaluate and refreshed
+            # per bind so model mutations between applies are observed
+            hoisted = hoist_invariants([beq.rhs for beq in self.beqs])
+            self.hoisted_fields = hoisted.fields
+            self._stale_invariants = bool(hoisted.fields)
+            read_set = set()
+            for rhs in hoisted.rhss:
+                read_set.update(rhs.atoms(Indexed))
+            self.reads: List[Indexed] = sorted(read_set, key=str)
+            self._kernel = compile_sweep(
+                self.writes,
+                hoisted.rhss,
+                self.reads,
+                [a.function.dtype for a in self.reads],
+                [l.function.dtype for l in self.writes],
+            )
+            self.pool = pool if pool is not None else ScratchPool()
+            self._period = math.lcm(
+                *[
+                    a.function.buffers
+                    for a in (*self.writes, *self.reads)
+                    if isinstance(a.function, TimeFunction)
+                ],
+                1,
+            )
+            self._view_cache: Dict[Tuple, Tuple[tuple, tuple]] = {}
+
+    def evaluate(self, t: int, box: Box) -> None:
+        """Execute every equation of the sweep on *box* at timestep *t*."""
+        if self._kernel is None:
+            for beq in self.beqs:
+                beq.evaluate(t, box)
+            return
+        if self._stale_invariants:
+            # must precede view construction: hoisted-field views read the
+            # lazily allocated invariant buffers
+            for hf in self.hoisted_fields:
+                hf.materialise()
+            self._stale_invariants = False
+        # cache-hit path next: empty boxes are never cached, so a hit implies
+        # a non-empty box and the hot loop skips the emptiness scan entirely
+        key = (t % self._period, box)
+        bound = self._view_cache.get(key)
+        if bound is None:
+            if box_is_empty(box):
+                return
+            outs = tuple(box_view(l, t, box, self.dim_names) for l in self.writes)
+            views = tuple(box_view(a, t, box, self.dim_names) for a in self.reads)
+            slots = tuple(
+                self.pool.get(outs[0].shape, dt, i)
+                for dt, i in self._kernel.__slotspec__
+            )
+            if len(self._view_cache) >= 4096:  # safety valve, never hit in practice
+                self._view_cache.clear()
+            bound = self._view_cache[key] = (slots, outs, views)
+        self._kernel(*bound)
+
+    def invalidate_invariants(self) -> None:
+        """Force hoisted model-term buffers to re-materialise on next use.
+
+        Called once per ``Operator.apply`` when a cached bound sweep is
+        reused, so mutations of time-invariant fields (velocity model,
+        anisotropy parameters, ...) between applies are picked up.
+        """
+        if self._kernel is not None and self.hoisted_fields:
+            self._stale_invariants = True
+
+    def __iter__(self):
+        return iter(self.beqs)
+
+    def __len__(self) -> int:
+        return len(self.beqs)
+
+    def __repr__(self) -> str:
+        return f"BoundSweep({len(self.beqs)} eqs, engine={self.engine!r})"
 
 
 def bind_equations(eqs: Sequence[Eq], grid: Grid, compiled: bool = True) -> List[BoundEq]:

@@ -23,18 +23,18 @@ from ..core.scheduler import (
     time_tiles,
 )
 from ..dsl.grid import Grid
-from .evalbox import BoundEq, Box, box_is_empty, clip_box, full_box
+from .evalbox import BoundSweep, Box, box_is_empty, clip_box, full_box
 
 __all__ = ["ExecutionPlan", "run_schedule", "run_naive", "run_spatial", "run_wavefront"]
 
 
 @dataclass
 class ExecutionPlan:
-    """Everything an executor needs: bound equations grouped into sweeps,
-    per-sweep read radii, and sparse operators attached to their sweeps."""
+    """Everything an executor needs: bound sweeps, per-sweep read radii, and
+    sparse operators attached to their sweeps."""
 
     grid: Grid
-    sweeps: List[List[BoundEq]]
+    sweeps: List[BoundSweep]
     radii: List[int]
     #: sweep index -> grid-aligned or raw injectors (apply(t, box))
     injections: Dict[int, list] = field(default_factory=dict)
@@ -72,8 +72,7 @@ def _execute_instance(plan: ExecutionPlan, j: int, t: int, box: Optional[Box]) -
     use_box = box if box is not None else full_box(plan.grid)
     if box_is_empty(use_box):
         return
-    for beq in plan.sweeps[j]:
-        beq.evaluate(t, use_box)
+    plan.sweeps[j].evaluate(t, use_box)
     injections, receivers = plan._sparse_for(j)
     for inj in injections:
         inj.apply(t, box)
@@ -120,8 +119,7 @@ def run_spatial(plan: ExecutionPlan, time_m: int, time_M: int, schedule: Spatial
     for t in range(time_m, time_M):
         for j in range(plan.nsweeps):
             for box in boxes:
-                for beq in plan.sweeps[j]:
-                    beq.evaluate(t, box)
+                plan.sweeps[j].evaluate(t, box)
             injections, receivers = plan._sparse_for(j)
             for inj in injections:
                 inj.apply(t, None)
@@ -131,11 +129,42 @@ def run_spatial(plan: ExecutionPlan, time_m: int, time_M: int, schedule: Spatial
             rec.finalize(t)
 
 
+def _wavefront_steps(
+    plan: ExecutionPlan, schedule: WavefrontSchedule, height: int
+) -> List[Tuple[int, int, Box]]:
+    """The full traversal of one time tile of *height*, precomputed.
+
+    Returns ``(dt, j, box)`` steps in execution order: for every space tile
+    origin (ascending lexicographic over the skewed domain), every sweep
+    instance ``(dt, j)`` with its lag-shifted, grid-clipped, non-empty box.
+    The step list depends on the time tile only through its height, so
+    executors compute it once per distinct height and replay it for every
+    congruent tile.
+    """
+    grid = plan.grid
+    nskew = len(schedule.tile)
+    skew_extents = tuple(grid.shape[:nskew])
+    tail = tuple((0, s) for s in grid.shape[nskew:])
+    lags = instance_lags(tuple(plan.radii), height)
+    instances = [(dt, j) for dt in range(height) for j in range(plan.nsweeps)]
+    steps: List[Tuple[int, int, Box]] = []
+    for origin in tile_origins(skew_extents, schedule.tile, lags[-1]):
+        for (dt, j), lag in zip(instances, lags):
+            window = tuple(
+                (o - lag, o - lag + ext) for o, ext in zip(origin, schedule.tile)
+            )
+            box = clip_box(window + tail, grid)
+            if not box_is_empty(box):
+                steps.append((dt, j, box))
+    return steps
+
+
 def run_wavefront(
     plan: ExecutionPlan,
     time_m: int,
     time_M: int,
     schedule: WavefrontSchedule,
+    step_cache: Optional[Dict] = None,
 ) -> None:
     """Listing 6: wave-front temporal blocking over skewed space-time tiles.
 
@@ -144,43 +173,61 @@ def run_wavefront(
     sweep instance ``(t, j)`` executes on the tile window shifted left by its
     cumulative lag, immediately followed by its grid-aligned sparse
     operators restricted to the same window.
+
+    The per-tile geometry (instance list, lags, windows, clipped boxes) is
+    invariant across time tiles of equal height, so it is computed once per
+    height (:func:`_wavefront_steps`) and replayed — the inner loop does no
+    geometry work at all.  Passing *step_cache* (a dict owned by the caller,
+    e.g. :class:`~repro.ir.operator.Operator`) additionally persists the step
+    plans across applies, keyed by tile geometry and height; geometry depends
+    only on the grid, the sweep radii and the schedule, all fixed per
+    operator.
     """
     grid = plan.grid
     nskew = len(schedule.tile)
     if nskew > grid.ndim:
         raise ValueError("tile rank exceeds grid rank")
-    skew_extents = tuple(grid.shape[:nskew])
-    tail = tuple((0, s) for s in grid.shape[nskew:])
 
+    step_plans: Dict = step_cache if step_cache is not None else {}
+    sweeps = plan.sweeps
+    sparse = [plan._sparse_for(j) for j in range(plan.nsweeps)]
     for t0, t1 in time_tiles(time_m, time_M, schedule.height):
         height = t1 - t0
-        lags = instance_lags(tuple(plan.radii), height)
-        max_lag = lags[-1]
-        instances = [(t, j) for t in range(t0, t1) for j in range(plan.nsweeps)]
-        for origin in tile_origins(skew_extents, schedule.tile, max_lag):
-            for (t, j), lag in zip(instances, lags):
-                window = tuple(
-                    (o - lag, o - lag + ext)
-                    for o, ext in zip(origin, schedule.tile)
-                )
-                box = clip_box(
-                    tuple(window) + tail, grid
-                )
-                if box_is_empty(box):
-                    continue
-                _execute_instance(plan, j, t, box)
+        if schedule.precompute_steps:
+            key = (tuple(schedule.tile), height)
+            steps = step_plans.get(key)
+            if steps is None:
+                steps = step_plans[key] = _wavefront_steps(plan, schedule, height)
+        else:  # ablation: rebuild the tile geometry for every time tile
+            steps = _wavefront_steps(plan, schedule, height)
+        # steps hold only non-empty clipped boxes, so the hot loop skips the
+        # emptiness/full-grid handling of the generic _execute_instance path
+        for dt, j, box in steps:
+            t = t0 + dt
+            sweeps[j].evaluate(t, box)
+            injections, receivers = sparse[j]
+            for inj in injections:
+                inj.apply(t, box)
+            for rec in receivers:
+                rec.gather(t, box)
         for t in range(t0, t1):
             for rec in plan.all_receivers():
                 rec.finalize(t)
 
 
-def run_schedule(plan: ExecutionPlan, time_m: int, time_M: int, schedule: Schedule) -> None:
-    """Dispatch on schedule kind."""
+def run_schedule(
+    plan: ExecutionPlan,
+    time_m: int,
+    time_M: int,
+    schedule: Schedule,
+    step_cache: Optional[Dict] = None,
+) -> None:
+    """Dispatch on schedule kind.  *step_cache* only affects wavefront runs."""
     if isinstance(schedule, NaiveSchedule):
         run_naive(plan, time_m, time_M)
     elif isinstance(schedule, SpatialBlockSchedule):
         run_spatial(plan, time_m, time_M, schedule)
     elif isinstance(schedule, WavefrontSchedule):
-        run_wavefront(plan, time_m, time_M, schedule)
+        run_wavefront(plan, time_m, time_M, schedule, step_cache=step_cache)
     else:
         raise TypeError(f"unknown schedule {schedule!r}")

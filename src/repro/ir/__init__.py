@@ -12,9 +12,24 @@ from .dependencies import (
     written_access,
 )
 from .operator import Operator
+from .passes import CSEResult, cse_sweep
+from .pycodegen import (
+    ScratchPool,
+    clear_kernel_caches,
+    compile_rhs,
+    compile_sweep,
+    kernel_cache_stats,
+)
 
 __all__ = [
     "Operator",
+    "CSEResult",
+    "cse_sweep",
+    "ScratchPool",
+    "compile_rhs",
+    "compile_sweep",
+    "kernel_cache_stats",
+    "clear_kernel_caches",
     "Access",
     "Sweep",
     "build_sweeps",

@@ -31,7 +31,7 @@ from ..dsl.equation import Eq
 from ..dsl.functions import Injection, Interpolation
 from ..dsl.grid import Grid
 from ..dsl.symbols import Number, Symbol
-from ..execution.evalbox import bind_equations
+from ..execution.evalbox import ENGINES, BoundSweep
 from ..execution.executors import ExecutionPlan, run_schedule
 from ..execution.sparse import RawInjection, RawInterpolation
 from .dependencies import Sweep, build_sweeps, validate_wavefront, wavefront_angle
@@ -60,6 +60,24 @@ class Operator:
         self.sweeps: List[Sweep] = build_sweeps(eqs)
         self._mask_cache: Dict[int, object] = {}
         self._decomp_cache: Dict[Tuple[int, float], object] = {}
+        # fused bound sweeps depend only on dt: equations are immutable and
+        # Function buffers are written in place, never reallocated, so the
+        # sweeps -- and with them the fused engine's per-(t, box) view
+        # caches -- are safely reusable across apply() calls.  The kernel and
+        # interp engines bind per apply, exactly as the seed engine did: they
+        # exist as ablation baselines and carry no reusable state.
+        self._sweep_cache: Dict[float, List[BoundSweep]] = {}
+        self._validated_heights: set = set()
+        # precomputed wavefront step plans, persisted across apply() calls;
+        # keyed (tile, height) -- the only schedule knobs geometry depends on
+        # (grid and sweep radii are fixed per operator)
+        self._step_cache: Dict = {}
+        # one scratch pool per operator, shared by all fused sweeps across
+        # apply() calls -- buffers are keyed by (shape, dtype, slot) so reuse
+        # is automatic and steady-state execution allocates nothing
+        from ..ir.pycodegen import ScratchPool
+
+        self._pool = ScratchPool()
 
     # -- introspection -------------------------------------------------------------
     def _infer_grid(self) -> Grid:
@@ -117,14 +135,39 @@ class Operator:
         return AlignedReceiver(self._decomp_cache[key], itp.field, itp.sparse.data)
 
     # -- binding ------------------------------------------------------------------
-    def _bind(self, dt: float, schedule: Schedule, sparse_mode: str, compiled: bool = True) -> ExecutionPlan:
-        subs = {Symbol("dt"): Number(float(dt))}
-        for sym, val in self.grid.spacing_map().items():
-            subs[sym] = Number(float(val))
-        bound_sweeps = [
-            bind_equations([e.subs(subs) for e in s.eqs], self.grid, compiled=compiled)
-            for s in self.sweeps
-        ]
+    def _bind(
+        self,
+        dt: float,
+        schedule: Schedule,
+        sparse_mode: str,
+        compiled: bool = True,
+        engine: Optional[str] = None,
+    ) -> ExecutionPlan:
+        if engine is None:
+            engine = "fused" if compiled else "interp"
+        if engine not in ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
+        bound_sweeps = self._sweep_cache.get(float(dt)) if engine == "fused" else None
+        if bound_sweeps is not None:
+            for sw in bound_sweeps:
+                sw.invalidate_invariants()
+        else:
+            subs = {Symbol("dt"): Number(float(dt))}
+            for sym, val in self.grid.spacing_map().items():
+                subs[sym] = Number(float(val))
+            bound_sweeps = [
+                BoundSweep(
+                    [e.subs(subs) for e in s.eqs],
+                    self.grid,
+                    engine=engine,
+                    pool=self._pool,
+                )
+                for s in self.sweeps
+            ]
+            if engine == "fused":
+                if len(self._sweep_cache) >= 8:  # many distinct dt values: bound
+                    self._sweep_cache.clear()
+                self._sweep_cache[float(dt)] = bound_sweeps
 
         if sparse_mode == "auto":
             sparse_mode = (
@@ -169,21 +212,27 @@ class Operator:
         schedule: Optional[Schedule] = None,
         sparse_mode: str = "auto",
         compiled: bool = True,
+        engine: Optional[str] = None,
     ) -> ExecutionPlan:
         """Run iterations ``t in [time_m, time_M)`` under *schedule*.
 
-        ``compiled=False`` selects the tree-walking expression interpreter
-        instead of the generated NumPy kernels (identical results; used by
-        the ablation bench and as a debugging aid).  Returns the execution
-        plan (useful for inspection in tests).
+        ``engine`` selects how sweeps execute: ``"fused"`` (default when
+        compiled) runs each sweep as one fused three-address kernel fed from
+        a scratch pool, ``"kernel"`` uses one compiled expression kernel per
+        equation, ``"interp"`` the tree-walking interpreter.  All three are
+        bit-identical.  ``compiled=False`` is shorthand for
+        ``engine="interp"`` (kept for the ablation bench and as a debugging
+        aid).  Returns the execution plan (useful for inspection in tests).
         """
         if time_M <= time_m:
             raise ValueError("time_M must exceed time_m")
         schedule = schedule or NaiveSchedule()
         if isinstance(schedule, WavefrontSchedule):
-            validate_wavefront(self.sweeps, schedule.height)
-        plan = self._bind(dt, schedule, sparse_mode, compiled=compiled)
-        run_schedule(plan, time_m, time_M, schedule)
+            if schedule.height not in self._validated_heights:
+                validate_wavefront(self.sweeps, schedule.height)
+                self._validated_heights.add(schedule.height)
+        plan = self._bind(dt, schedule, sparse_mode, compiled=compiled, engine=engine)
+        run_schedule(plan, time_m, time_M, schedule, step_cache=self._step_cache)
         return plan
 
     # -- code generation ------------------------------------------------------------

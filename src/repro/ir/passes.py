@@ -1,6 +1,7 @@
-"""Loop-nest construction and transformation passes (Listings 1-6).
+"""Loop-nest construction and transformation passes (Listings 1-6) plus the
+expression-level common-subexpression-elimination pass of the kernel engine.
 
-Each pass builds the IR tree for one stage of the paper's pipeline:
+Each loop pass builds the IR tree for one stage of the paper's pipeline:
 
 * :func:`build_naive`        — Listing 1: stencil nest + off-the-grid source
   loop with non-affine indirection.
@@ -13,18 +14,346 @@ Each pass builds the IR tree for one stage of the paper's pipeline:
 
 The trees are consumed by :mod:`repro.ir.codegen` (C emission) and by the
 structural unit tests.
+
+:func:`cse_sweep` operates one level below the loop nests, on *bound*
+right-hand sides (only :class:`~repro.dsl.symbols.Indexed` and numeric
+leaves): it names every composite subexpression that occurs more than once
+across the equations of a sweep, so the generated three-address kernels of
+:mod:`repro.ir.pycodegen` evaluate it exactly once.  Because the expression
+substrate canonicalises on construction, structural equality is hash
+equality and the pass is a single counting walk plus a rebuilding walk.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..core.scheduler import WavefrontSchedule
-from ..dsl.symbols import Indexed
+from ..dsl.functions import TimeFunction
+from ..dsl.symbols import Add, Call, Expr, Indexed, Mul, Pow, Symbol
 from .dependencies import Sweep
 from .nodes import Block, Comment, Iteration, Node, Pragma, Statement
 
-__all__ = ["build_naive", "build_fused", "build_compressed", "build_wavefront", "c_expr"]
+__all__ = [
+    "build_naive",
+    "build_fused",
+    "build_compressed",
+    "build_wavefront",
+    "c_expr",
+    "CSEResult",
+    "cse_sweep",
+    "HoistedField",
+    "HoistResult",
+    "hoist_invariants",
+]
+
+
+_COMPOSITE = (Add, Mul, Pow, Call)
+
+
+@dataclass
+class CSEResult:
+    """Outcome of :func:`cse_sweep`.
+
+    ``assignments[i]`` lists ``(temp, expr)`` bindings to evaluate, in order,
+    immediately before equation *i*'s (rewritten) right-hand side ``rhss[i]``;
+    every ``expr`` references only leaves and previously assigned temps, so
+    the program ``assignments[0]; rhss[0]; assignments[1]; rhss[1]; ...`` is
+    in dependency order.  ``origin`` maps each temp back to the original
+    (fully expanded) subexpression it names.
+    """
+
+    assignments: List[List[Tuple[Symbol, Expr]]]
+    rhss: List[Expr]
+    origin: Dict[Symbol, Expr] = field(default_factory=dict)
+
+    @property
+    def ntemps(self) -> int:
+        return len(self.origin)
+
+
+def _reads_protected(expr: Expr, protected: FrozenSet[Tuple[str, int]]) -> bool:
+    """True if *expr* reads any ``(function name, time offset)`` in *protected*."""
+    for node in expr.preorder():
+        if isinstance(node, Indexed):
+            key = (node.function.name, node.offset_map().get("t", 0))
+            if key in protected:
+                return True
+    return False
+
+
+def cse_sweep(
+    rhss: Sequence[Expr],
+    protected_keys: FrozenSet[Tuple[str, int]] = frozenset(),
+    min_uses: int = 2,
+    prefix: str = "cse",
+) -> CSEResult:
+    """Eliminate common subexpressions across the equations of one sweep.
+
+    A composite subexpression occurring at least *min_uses* times (counted
+    structurally over all right-hand sides) is bound to a fresh temp
+    :class:`~repro.dsl.symbols.Symbol` and every occurrence is replaced by it.
+
+    ``protected_keys`` are the ``(field name, time offset)`` slots *written*
+    by the sweep's own equations.  A subexpression that reads a protected
+    slot observes different values before and after the producing equation
+    runs, so such subexpressions are only ever shared *within* a single
+    equation, never hoisted across equations.  Subexpressions free of
+    protected reads are loop-invariant over the sweep's equation sequence and
+    are assigned once, at the first equation that uses them.
+    """
+    rhss = list(rhss)
+
+    # counting walk: structural occurrences of every composite node, globally
+    # and per equation (the per-equation counts drive protected sharing)
+    counts: Dict[Expr, int] = {}
+    eq_counts: List[Dict[Expr, int]] = []
+    for rhs in rhss:
+        local: Dict[Expr, int] = {}
+        for node in rhs.preorder():
+            if isinstance(node, _COMPOSITE):
+                counts[node] = counts.get(node, 0) + 1
+                local[node] = local.get(node, 0) + 1
+        eq_counts.append(local)
+
+    protected_memo: Dict[Expr, bool] = {}
+
+    def is_protected(node: Expr) -> bool:
+        got = protected_memo.get(node)
+        if got is None:
+            got = _reads_protected(node, protected_keys)
+            protected_memo[node] = got
+        return got
+
+    result = CSEResult(assignments=[[] for _ in rhss], rhss=[])
+    global_map: Dict[Expr, Symbol] = {}
+    counter = 0
+
+    def fresh(rewritten: Expr, original: Expr, sink: List[Tuple[Symbol, Expr]]) -> Symbol:
+        nonlocal counter
+        sym = Symbol(f"{prefix}{counter}")
+        counter += 1
+        sink.append((sym, rewritten))
+        result.origin[sym] = original
+        return sym
+
+    def rebuild(node: Expr, parts: List[Expr]) -> Expr:
+        if isinstance(node, Add):
+            return Add(*parts)
+        if isinstance(node, Mul):
+            return Mul(*parts)
+        if isinstance(node, Pow):
+            return Pow(parts[0], parts[1])
+        return Call(node.name, parts[0])
+
+    for i, rhs in enumerate(rhss):
+        local_map: Dict[Expr, Symbol] = {}
+        sink = result.assignments[i]
+
+        def walk(node: Expr) -> Expr:
+            if not isinstance(node, _COMPOSITE):
+                return node
+            hit = global_map.get(node) or local_map.get(node)
+            if hit is not None:
+                return hit
+            rewritten = rebuild(node, [walk(c) for c in node.children()])
+            if counts[node] >= min_uses and not is_protected(node):
+                return global_map.setdefault(node, fresh(rewritten, node, sink))
+            if eq_counts[i].get(node, 0) >= min_uses and is_protected(node):
+                return local_map.setdefault(node, fresh(rewritten, node, sink))
+            return rewritten
+
+        result.rhss.append(walk(rhs))
+    return result
+
+
+# -- time-invariant hoisting -------------------------------------------------------
+
+
+class HoistedField:
+    """A time-invariant subexpression materialised as a precomputed grid array.
+
+    Quacks like a (non-time) :class:`~repro.dsl.functions.Function` just
+    enough for :func:`~repro.execution.evalbox.box_view`: it exposes ``name``,
+    ``halo``, ``dtype`` and ``data_with_halo``.  The buffer is evaluated
+    lazily (and refreshed in place when :meth:`materialise` is called again,
+    so array views handed out earlier stay valid) by running the defining
+    expression pointwise over the full padded buffers of its constituent
+    functions — the same elementwise operations the kernel would have issued
+    per box, so the values read back are bit-identical to inline evaluation.
+    """
+
+    __slots__ = ("name", "expr", "halo", "dtype", "_data", "_reads", "_kernel", "_snap")
+
+    def __init__(self, name: str, expr: Expr, halo: int):
+        self.name = name
+        self.expr = expr
+        self.halo = halo
+        # dtype is established at construction from zero-size specimens so
+        # kernels can be compiled before the buffer is first materialised
+        specimens = {
+            leaf: np.empty(0, dtype=leaf.function.dtype)
+            for leaf in expr.atoms(Indexed)
+        }
+        with np.errstate(all="ignore"):
+            self.dtype = np.asarray(expr.evaluate(specimens)).dtype
+        self._data = None
+        self._snap = None
+        # per-apply refreshes run a compiled whole-buffer kernel (bit-identical
+        # to the interpreter) instead of walking the tree each time
+        from .pycodegen import compile_rhs
+
+        self._reads = sorted(expr.atoms(Indexed), key=str)
+        self._kernel, self._reads = compile_rhs(expr, self._reads)
+
+    @property
+    def data_with_halo(self) -> np.ndarray:
+        if self._data is None:
+            raise RuntimeError(f"hoisted field {self.name!r} not materialised")
+        return self._data
+
+    def materialise(self) -> None:
+        """(Re)compute the buffer from the current constituent data.
+
+        Halo points may evaluate to inf/nan (e.g. ``1/m`` over a zero-filled
+        halo); they are never read — interior boxes only ever view the buffer
+        where the original expression would have read its operands.
+
+        Refreshes compare the constituent buffers against a snapshot of the
+        values last evaluated and skip the recomputation when nothing changed
+        (the overwhelmingly common case between applies); an equality scan is
+        cheaper than re-running the division/trig-heavy defining expression.
+        A NaN anywhere defeats the comparison and forces a recompute, which
+        errs on the side of correctness.
+        """
+        views = [leaf.function.data_with_halo for leaf in self._reads]
+        if self._snap is not None and all(
+            np.array_equal(s, v) for s, v in zip(self._snap, views)
+        ):
+            return
+        shapes = {buf.shape for buf in views}
+        if len(shapes) != 1:
+            raise ValueError(
+                f"hoisted field {self.name!r} mixes padded shapes {shapes}"
+            )
+        if self._data is None:
+            self._data = np.empty(shapes.pop(), dtype=self.dtype)
+        with np.errstate(all="ignore"):
+            self._kernel(self._data, *views)
+        if self._snap is None or any(
+            s.shape != v.shape for s, v in zip(self._snap, views)
+        ):
+            self._snap = [v.copy() for v in views]
+        else:
+            for s, v in zip(self._snap, views):
+                s[...] = v
+
+    def __repr__(self) -> str:
+        return f"HoistedField({self.name}, {self.expr})"
+
+
+@dataclass
+class HoistResult:
+    """Outcome of :func:`hoist_invariants`: rewritten right-hand sides plus
+    the precomputed fields their new ``__inv*`` reads refer to."""
+
+    rhss: List[Expr]
+    fields: List[HoistedField]
+
+
+def _time_invariant(expr: Expr) -> bool:
+    """True if *expr* reads no TimeFunction and contains no free symbols."""
+    for node in expr.preorder():
+        if isinstance(node, Symbol):
+            return False
+        if isinstance(node, Indexed) and isinstance(node.function, TimeFunction):
+            return False
+    return True
+
+
+def _unit_info(expr: Expr):
+    """``(offsets, halo)`` if *expr* is hoistable as one precomputed array.
+
+    Hoistable means: composite, time-invariant, at least one grid read, and
+    all reads share one offset map and one padded layout — then the defining
+    expression can be evaluated pointwise over the raw padded buffers and the
+    whole subtree replaced by a single read at the shared offsets.
+    """
+    if not isinstance(expr, _COMPOSITE) or not _time_invariant(expr):
+        return None
+    leaves = expr.atoms(Indexed)
+    if not leaves:
+        return None
+    offsets = {leaf.offsets for leaf in leaves}
+    halos = {leaf.function.halo for leaf in leaves}
+    grids = {id(getattr(leaf.function, "grid", None)) for leaf in leaves}
+    if len(offsets) != 1 or len(halos) != 1 or len(grids) != 1:
+        return None
+    return next(iter(offsets)), next(iter(halos))
+
+
+def hoist_invariants(rhss: Sequence[Expr], prefix: str = "__inv") -> HoistResult:
+    """Hoist maximal time-invariant subexpressions out of a sweep's RHSs.
+
+    Model-only terms (``1/m``, ``lambda + 2*mu``, ``cos(theta)``, ...) are
+    recomputed at every ``(t, box)`` instance by a naive lowering even though
+    their operands never change during time stepping.  This pass replaces
+    each maximal invariant subtree — and each leading invariant run of an
+    ``Add``/``Mul`` argument list, which is exactly a prefix of the
+    left-associative evaluation chain — with a read of a
+    :class:`HoistedField` computed once per bind.
+
+    Bit-identity is preserved by construction: the precomputed array holds
+    the very values the per-box instructions would have produced (same
+    elementwise operations on the same operands, evaluated once instead of
+    per instance), and chain prefixes are real computational stages of the
+    interpreter's evaluation order.
+    """
+    replacements: Dict[Expr, Indexed] = {}
+    fields: List[HoistedField] = []
+
+    def placeholder(expr: Expr, info) -> Indexed:
+        rep = replacements.get(expr)
+        if rep is None:
+            offsets, halo = info
+            hf = HoistedField(f"{prefix}{len(fields)}", expr, halo)
+            fields.append(hf)
+            rep = replacements[expr] = Indexed(hf, offsets)
+        return rep
+
+    def walk(expr: Expr) -> Expr:
+        if not isinstance(expr, _COMPOSITE):
+            return expr
+        info = _unit_info(expr)
+        if info is not None:
+            return placeholder(expr, info)
+        if isinstance(expr, (Add, Mul)):
+            args = list(expr.children())
+            k = 0
+            while k < len(args) and _time_invariant(args[k]):
+                k += 1
+            new_args: List[Expr] = []
+            if k >= 2:
+                # the leading invariant run is a prefix of the left-assoc
+                # evaluation chain: fold it into one precomputed stage
+                head = Mul(*args[:k]) if isinstance(expr, Mul) else Add(*args[:k])
+                head_info = _unit_info(head)
+                if head_info is not None:
+                    new_args.append(placeholder(head, head_info))
+                else:
+                    new_args.extend(walk(a) for a in args[:k])
+            else:
+                new_args.extend(walk(a) for a in args[:k])
+            new_args.extend(walk(a) for a in args[k:])
+            return Add(*new_args) if isinstance(expr, Add) else Mul(*new_args)
+        if isinstance(expr, Pow):
+            return Pow(walk(expr.base), walk(expr.exponent))
+        return Call(expr.name, walk(expr.argument))
+
+    return HoistResult(rhss=[walk(r) for r in rhss], fields=fields)
 
 
 def c_expr(expr, time_index: str = "t", buffers: dict | None = None) -> str:

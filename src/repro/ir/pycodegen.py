@@ -1,23 +1,51 @@
 """NumPy kernel generation: compile symbolic expressions to Python closures.
 
 Devito's key trick is generating low-level code from the symbolic problem
-definition; our executor applies the same idea at the NumPy level.  Instead
-of walking the expression tree for every (timestep, box) evaluation, each
-equation is rendered once into a Python source string over named array views
-and compiled with :func:`compile` — typically several times faster for wide
-stencils, and bit-identical to the tree-walking interpreter (the tests assert
-this; the interpreter remains available as ``BoundEq(..., compiled=False)``).
+definition; our executor applies the same idea at the NumPy level.  Two
+generations of kernel live here:
+
+* :func:`compile_rhs` — the original per-equation kernel: each equation's
+  right-hand side is rendered once into a single Python/NumPy expression over
+  named array views and compiled; every binary operation materialises a full
+  temporary (NumPy's normal evaluation).  Kept as the ``engine="kernel"``
+  execution mode and as the reference the fused engine is measured against.
+
+* :func:`compile_sweep` — the fused three-address engine (``engine="fused"``,
+  the default): all equations of a sweep are lowered, after the
+  common-subexpression-elimination pass of :func:`repro.ir.passes.cse_sweep`,
+  into a single linear program of ``np.add(a, b, out=s)``-style instructions
+  writing into a shape/dtype-keyed :class:`ScratchPool` — no temporaries are
+  allocated on the hot path, repeated subexpressions are evaluated once, and
+  scratch slots are recycled by liveness so the pool stays small.
+
+Both paths are bit-identical to the tree-walking interpreter (the tests
+assert this; the interpreter remains available as ``engine="interp"`` /
+``BoundEq(..., compiled=False)``): instruction order follows the
+interpreter's left-associative evaluation exactly, and every intermediate is
+computed in the dtype NumPy promotion would naturally give (determined at
+compile time by probing the ufuncs with zero-size specimen arrays).
+
+Compiled kernels are cached process-wide, keyed by the canonical (hashable)
+expression structure plus operand dtypes, so autotuner sweeps and repeated
+operator builds compile each distinct kernel once.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..dsl.symbols import Add, Call, Expr, Indexed, Mul, Number, Pow, Symbol
 
-__all__ = ["render_numpy_expression", "compile_rhs"]
+__all__ = [
+    "render_numpy_expression",
+    "compile_rhs",
+    "compile_sweep",
+    "ScratchPool",
+    "kernel_cache_stats",
+    "clear_kernel_caches",
+]
 
 _ALLOWED_CALLS = {"sin", "cos", "tan", "sqrt", "exp"}
 
@@ -60,21 +88,426 @@ def render_numpy_expression(expr: Expr, names: Dict[Indexed, str]) -> str:
     return rec(expr)
 
 
+# -- kernel caches ---------------------------------------------------------------
+
+_RHS_CACHE: Dict[object, Tuple[Callable, List[Indexed]]] = {}
+_SWEEP_CACHE: Dict[object, Callable] = {}
+_CACHE_STATS = {"rhs_hits": 0, "rhs_misses": 0, "sweep_hits": 0, "sweep_misses": 0}
+
+
+def kernel_cache_stats() -> Dict[str, int]:
+    """Hit/miss counters of the process-wide kernel caches (for tests/benches)."""
+    stats = dict(_CACHE_STATS)
+    stats["rhs_entries"] = len(_RHS_CACHE)
+    stats["sweep_entries"] = len(_SWEEP_CACHE)
+    return stats
+
+
+def clear_kernel_caches() -> None:
+    _RHS_CACHE.clear()
+    _SWEEP_CACHE.clear()
+    for k in _CACHE_STATS:
+        _CACHE_STATS[k] = 0
+
+
 def compile_rhs(rhs: Expr, reads: Sequence[Indexed]) -> Tuple[Callable, List[Indexed]]:
     """Compile ``rhs`` into ``kernel(out, v0, v1, ...)`` writing in place.
 
     Returns the compiled callable and the read order its positional view
     arguments follow.  The store uses ``out[...] = expr`` so dtype and layout
     follow the output view exactly as the interpreter's assignment does.
+    Kernels are cached by canonical expression structure: compiling the same
+    bound equation twice returns the same callable.
     """
     reads = list(reads)
+    key = (rhs, tuple(reads))
+    hit = _RHS_CACHE.get(key)
+    if hit is not None:
+        _CACHE_STATS["rhs_hits"] += 1
+        # return the *caller's* reads, not the cached ones: Indexed equality
+        # is structural, so a hit may come from an equation over different
+        # (same-named) Function objects and the cached accesses would bind
+        # views to stale arrays
+        return hit[0], reads
+    _CACHE_STATS["rhs_misses"] += 1
     names = {access: f"v{i}" for i, access in enumerate(reads)}
     body = render_numpy_expression(rhs, names)
     args = ", ".join(["out"] + [names[a] for a in reads])
     source = f"def _kernel({args}):\n    out[...] = {body}\n"
     namespace: Dict[str, object] = {"np": np}
-    code = compile(source, filename=f"<repro-kernel>", mode="exec")
+    code = compile(source, filename="<repro-kernel>", mode="exec")
     exec(code, namespace)
     kernel = namespace["_kernel"]
     kernel.__source__ = source  # for inspection/tests
+    _RHS_CACHE[key] = (kernel, list(reads))
     return kernel, reads
+
+
+# -- the fused three-address engine ----------------------------------------------
+
+
+class ScratchPool:
+    """Shape/dtype-keyed pool of scratch buffers for generated kernels.
+
+    A fused kernel's scratch slots are checked out with
+    ``pool.get(shape, dtype, slot)`` when a ``(t, box)`` instance is first
+    bound (the kernel's ``__slotspec__`` lists the required dtypes); the
+    arrays persist on the pool, so steady-state execution performs **zero**
+    allocations.  Distinct slot
+    indices of equal shape and dtype map to distinct arrays (a kernel may
+    need several same-typed scratch registers live at once), and the pool is
+    shared freely across sweeps and operator rebuilds — buffers are keyed
+    only by what they are, not by who uses them.
+    """
+
+    __slots__ = ("_bufs",)
+
+    def __init__(self) -> None:
+        self._bufs: Dict[Tuple, np.ndarray] = {}
+
+    def get(self, shape: Tuple[int, ...], dtype: np.dtype, slot: int) -> np.ndarray:
+        key = (shape, dtype, slot)
+        buf = self._bufs.get(key)
+        if buf is None:
+            buf = np.empty(shape, dtype=dtype)
+            self._bufs[key] = buf
+        return buf
+
+    def __len__(self) -> int:
+        return len(self._bufs)
+
+    def nbytes(self) -> int:
+        return sum(b.nbytes for b in self._bufs.values())
+
+    def clear(self) -> None:
+        self._bufs.clear()
+
+
+class _Operand:
+    """A value in the three-address program: scalar, view or scratch slot."""
+
+    __slots__ = ("kind", "text", "spec")
+
+    def __init__(self, kind: str, text: str, spec):
+        self.kind = kind  # 'scalar' | 'view' | 'slot'
+        self.text = text  # source fragment (repr of the scalar / local name)
+        self.spec = spec  # zero-size specimen array (None for scalars)
+
+
+class _Emitter:
+    """Lower rewritten expressions to three-address NumPy instructions.
+
+    Intermediate dtypes are established by executing every instruction once,
+    at compile time, on zero-size specimen arrays — so each scratch slot gets
+    exactly the dtype NumPy promotion gives the interpreter, including weak
+    scalar promotion.  Slots are recycled with exact liveness accounting
+    (``_remaining`` tracks future operand consumptions per slot), which keeps
+    the checkout list short regardless of expression size.
+    """
+
+    def __init__(self, view_names: Dict[Indexed, str], view_specs: Dict[str, np.ndarray]):
+        self.view_names = view_names
+        self.view_specs = view_specs
+        self.lines: List[str] = []
+        self.slots: Dict[str, np.dtype] = {}  # slot name -> dtype
+        self.consts: Dict[str, np.ndarray] = {}  # const name -> 0-d array
+        self._const_names: Dict[Tuple[str, str], str] = {}
+        self._free: Dict[np.dtype, List[str]] = {}
+        self._remaining: Dict[str, int] = {}
+        self._temps: Dict[Symbol, _Operand] = {}
+        self._nslots = 0
+
+    # -- slot lifecycle ---------------------------------------------------------
+    def _alloc(self, spec: np.ndarray) -> _Operand:
+        free = self._free.get(spec.dtype)
+        if free:
+            name = free.pop()
+        else:
+            name = f"s{self._nslots}"
+            self._nslots += 1
+            self.slots[name] = spec.dtype
+        self._remaining[name] = 1
+        return _Operand("slot", name, spec)
+
+    def _consume(self, op: _Operand) -> None:
+        if op.kind != "slot":
+            return
+        self._remaining[op.text] -= 1
+        if self._remaining[op.text] == 0:
+            self._free.setdefault(op.spec.dtype, []).append(op.text)
+
+    def _retain(self, op: _Operand, extra: int) -> None:
+        if op.kind == "slot" and extra:
+            self._remaining[op.text] += extra
+
+    # -- instruction emission ---------------------------------------------------
+    def _emit(self, ufunc: str, operands: List[_Operand]) -> _Operand:
+        # peephole: negating the result of the immediately preceding subtract
+        # reverses it instead: fl(-(a-b)) == fl(b-a) for every IEEE input
+        # (round-to-nearest is sign-symmetric; only zero signs can differ,
+        # which array equality treats as equal) — one whole-box op saved
+        if ufunc == "negative" and len(operands) == 1:
+            o = operands[0]
+            tail = f", {o.text})"
+            if (
+                o.kind == "slot"
+                and self._remaining.get(o.text, 0) == 1
+                and self.lines
+                and self.lines[-1].startswith("np.subtract(")
+                and self.lines[-1].endswith(tail)
+            ):
+                a, b, out = [
+                    p.strip()
+                    for p in self.lines[-1][len("np.subtract(") : -1].split(",")
+                ]
+                self.lines[-1] = f"np.subtract({b}, {a}, {out})"
+                return o
+        # peephole: multiply by the literal -1 is an exact IEEE sign flip, so
+        # emit np.negative instead (guarded on identical result dtype, which
+        # rules out e.g. -1.0 * int_array promoting to float64)
+        if ufunc == "multiply" and len(operands) == 2:
+            for i, o in enumerate(operands):
+                if o.kind == "scalar" and eval(o.text) == -1:
+                    other = operands[1 - i]
+                    if other.spec is not None:
+                        mul = np.multiply(eval(o.text), other.spec)
+                        if np.negative(other.spec).dtype == mul.dtype:
+                            return self._emit("negative", [other])
+                    break
+        spec = getattr(np, ufunc)(
+            *[o.spec if o.spec is not None else eval(o.text) for o in operands]
+        )
+        # bind scalar literals as 0-d arrays of the partner operand's dtype:
+        # NumPy's weak scalar promotion casts the Python scalar to exactly
+        # that dtype anyway (guarded by the result-dtype check, which rules
+        # out genuinely promoting cases like float * int_array), and the
+        # prebound constant skips the per-call scalar conversion — a large
+        # share of ufunc dispatch cost on small tiles
+        if len(operands) == 2:
+            for i, o in enumerate(operands):
+                other = operands[1 - i]
+                if (
+                    o.kind == "scalar"
+                    and other.spec is not None
+                    and spec.dtype == other.spec.dtype
+                ):
+                    operands[i] = self._const(o.text, other.spec.dtype)
+        for o in operands:
+            self._consume(o)
+        out = self._alloc(spec)
+        args = ", ".join(o.text for o in operands)
+        # positional out: skips the ufunc kwarg-parsing path, which is
+        # measurable at wavefront tile sizes
+        self.lines.append(f"np.{ufunc}({args}, {out.text})")
+        return out
+
+    def _const(self, text: str, dtype: np.dtype) -> _Operand:
+        key = (text, np.dtype(dtype).str)
+        name = self._const_names.get(key)
+        if name is None:
+            name = f"_c{len(self.consts)}"
+            self._const_names[key] = name
+            self.consts[name] = np.asarray(eval(text), dtype=dtype)
+        return _Operand("const", name, None)
+
+    def _chain(self, ufunc: str, first: _Operand, rest: Sequence[Expr]) -> _Operand:
+        acc = first
+        for term in rest:
+            if ufunc == "add":
+                negated = self._negated_factor(term)
+                if negated is not None:
+                    # acc + ((-1*r1)*r2*...) == acc - (r1*r2*...) exactly:
+                    # the -1 factor only ever flips the sign bit, and IEEE
+                    # defines a - b as a + (-b) with identical rounding
+                    rop = self.lower(negated)
+                    acc = self._emit("subtract", [acc, rop])
+                    continue
+            acc = self._emit(ufunc, [acc, self.lower(term)])
+        return acc
+
+    @staticmethod
+    def _negated_factor(term: Expr) -> Optional[Expr]:
+        """``rest`` if *term* is ``Mul(-1, *rest)`` with float-safe dtypes."""
+        if not (isinstance(term, Mul) and isinstance(term.args[0], Number)):
+            return None
+        c = term.args[0].value
+        if c != -1 or not isinstance(c, int):
+            # -1.0 * int_array would promote to float64; only the exact
+            # integer literal is dtype-neutral under weak scalar promotion
+            return None
+        rest = term.args[1:]
+        return rest[0] if len(rest) == 1 else Mul(*rest)
+
+    # -- lowering ---------------------------------------------------------------
+    def bind_temp(self, sym: Symbol, expr: Expr, uses: int) -> None:
+        """Lower a CSE assignment ``sym = expr`` with *uses* future reads."""
+        op = self.lower(expr)
+        if op.kind == "slot":
+            self._remaining[op.text] = uses
+        self._temps[sym] = op
+
+    def store(self, out_name: str, expr: Expr, out_dtype: Optional[np.dtype] = None) -> None:
+        """Emit the final per-equation assignment ``out[...] = value``.
+
+        When the value was just produced by the preceding instruction, is not
+        read again, and already has the output dtype, the instruction is
+        retargeted to write the output view directly — saving one full
+        box-sized copy per equation.  (NumPy ufuncs handle out-aliases-input
+        overlap correctly, so this is safe even for radius-0 self reads.)
+        """
+        op = self.lower(expr)
+        producer_tail = f", {op.text})"
+        if (
+            op.kind == "slot"
+            and out_dtype is not None
+            and op.spec.dtype == out_dtype
+            and self._remaining.get(op.text, 0) == 1
+            and self.lines
+            and self.lines[-1].endswith(producer_tail)
+        ):
+            self.lines[-1] = self.lines[-1][: -len(producer_tail)] + f", {out_name})"
+            self._consume(op)
+            return
+        self.lines.append(f"{out_name}[...] = {op.text}")
+        self._consume(op)
+
+    def lower(self, e: Expr) -> _Operand:
+        if isinstance(e, Number):
+            text = repr(float(e.value)) if isinstance(e.value, float) else repr(e.value)
+            return _Operand("scalar", text, None)
+        if isinstance(e, Indexed):
+            name = self.view_names[e]
+            return _Operand("view", name, self.view_specs[name])
+        if isinstance(e, Symbol):
+            try:
+                return self._temps[e]
+            except KeyError:
+                raise ValueError(f"unbound symbol {e.name!r} in expression") from None
+        if isinstance(e, Add):
+            return self._chain("add", self.lower(e.args[0]), e.args[1:])
+        if isinstance(e, Mul):
+            return self._chain("multiply", self.lower(e.args[0]), e.args[1:])
+        if isinstance(e, Pow):
+            return self._lower_pow(e)
+        if isinstance(e, Call):
+            if e.name not in _ALLOWED_CALLS:
+                raise ValueError(f"unsupported call {e.name!r} in generated kernel")
+            return self._emit(e.name, [self.lower(e.argument)])
+        raise TypeError(f"cannot lower node {type(e).__name__}")
+
+    def _lower_pow(self, e: Pow) -> _Operand:
+        exp = e.exponent
+        if isinstance(exp, Number):
+            v = exp.value
+            if v == -1:
+                return self._emit("divide", [_Operand("scalar", "1.0", None), self.lower(e.base)])
+            if isinstance(v, int) and 0 < v <= 4:
+                # repeated multiply, exactly as the single-expression kernels
+                base = self.lower(e.base)
+                self._retain(base, v - 1)
+                acc = base
+                for _ in range(v - 1):
+                    acc = self._emit("multiply", [acc, base])
+                return acc
+            text = repr(float(v)) if isinstance(v, float) else repr(v)
+            return self._emit("power", [self.lower(e.base), _Operand("scalar", text, None)])
+        return self._emit("power", [self.lower(e.base), self.lower(exp)])
+
+
+def _count_symbol_uses(exprs: Sequence[Expr]) -> Dict[Symbol, int]:
+    uses: Dict[Symbol, int] = {}
+    for expr in exprs:
+        for node in expr.preorder():
+            if isinstance(node, Symbol):
+                uses[node] = uses.get(node, 0) + 1
+    return uses
+
+
+def compile_sweep(
+    lhss: Sequence[Indexed],
+    rhss: Sequence[Expr],
+    reads: Sequence[Indexed],
+    read_dtypes: Sequence[np.dtype],
+    out_dtypes: Sequence[np.dtype],
+) -> Callable:
+    """Compile all equations of a sweep into one fused three-address kernel.
+
+    The kernel has signature ``kernel(pool, outs, views)`` where *outs* and
+    *views* are tuples of box-shaped array views in the order of *lhss* and
+    *reads*, and *pool* is a :class:`ScratchPool`.  Equations execute in
+    order, each ending in a plain ``out[...] = value`` store, so intra-sweep
+    radius-0 reads of earlier writes observe updated data exactly as the
+    sequential per-equation paths do.
+
+    Kernels are cached by the canonical expression structure of the whole
+    sweep plus every operand dtype; the generated source is shape-agnostic.
+    """
+    lhss = list(lhss)
+    rhss = list(rhss)
+    reads = list(reads)
+    read_dtypes = [np.dtype(d) for d in read_dtypes]
+    out_dtypes = [np.dtype(d) for d in out_dtypes]
+    key = (
+        tuple(lhss),
+        tuple(rhss),
+        tuple(reads),
+        tuple(d.str for d in read_dtypes),
+        tuple(d.str for d in out_dtypes),
+    )
+    hit = _SWEEP_CACHE.get(key)
+    if hit is not None:
+        _CACHE_STATS["sweep_hits"] += 1
+        return hit
+    _CACHE_STATS["sweep_misses"] += 1
+
+    from .passes import cse_sweep
+
+    written = frozenset((l.function.name, l.offset_map().get("t", 0)) for l in lhss)
+    cse = cse_sweep(rhss, protected_keys=written)
+    uses = _count_symbol_uses(
+        [expr for sink in cse.assignments for _, expr in sink] + cse.rhss
+    )
+
+    view_names = {access: f"v{i}" for i, access in enumerate(reads)}
+    view_specs = {
+        f"v{i}": np.empty(0, dtype=dt) for i, dt in enumerate(read_dtypes)
+    }
+    em = _Emitter(view_names, view_specs)
+    for i, rhs in enumerate(cse.rhss):
+        for sym, expr in cse.assignments[i]:
+            em.bind_temp(sym, expr, uses.get(sym, 1))
+        em.store(f"o{i}", rhs, out_dtypes[i])
+
+    # assemble: unpack the prebound scratch slots and view tuples, then the
+    # instruction body.  Slot checkout (pool lookups) happens once per cached
+    # (t, box) binding in BoundSweep.evaluate, not per kernel call.
+    onames = [f"o{i}" for i in range(len(lhss))]
+    lines = ["def _kernel(slots, outs, views):"]
+    if em.slots:
+        lines.append(f"    ({', '.join(em.slots)},) = slots")
+    lines.append(f"    ({', '.join(onames)},) = outs")
+    if reads:
+        vnames = [f"v{i}" for i in range(len(reads))]
+        lines.append(f"    ({', '.join(vnames)},) = views")
+    namespace: Dict[str, object] = {"np": np}
+    namespace.update(em.consts)
+    lines.extend(f"    {line}" for line in em.lines)
+    source = "\n".join(lines) + "\n"
+
+    code = compile(source, filename="<repro-fused-kernel>", mode="exec")
+    exec(code, namespace)
+    kernel = namespace["_kernel"]
+    kernel.__source__ = source  # for inspection/tests
+    kernel.__nslots__ = len(em.slots)
+    kernel.__ntemps__ = cse.ntemps
+    # (dtype, per-dtype index) per slot, in s0..sN order: the caller checks
+    # the actual buffers out of its ScratchPool with this spec
+    per_dtype_index: Dict[np.dtype, int] = {}
+    slotspec = []
+    for dt in em.slots.values():
+        idx = per_dtype_index.get(dt, 0)
+        per_dtype_index[dt] = idx + 1
+        slotspec.append((dt, idx))
+    kernel.__slotspec__ = tuple(slotspec)
+    _SWEEP_CACHE[key] = kernel
+    return kernel

@@ -65,9 +65,12 @@ class Propagator:
         schedule: Optional[Schedule] = None,
         sparse_mode: str = "auto",
         reset: bool = True,
+        engine: Optional[str] = None,
     ):
         """Run the forward model for *nt* steps (or *tn* ms) under *schedule*.
 
+        ``engine`` selects the sweep execution engine ("fused"/"kernel"/
+        "interp", see :meth:`repro.ir.operator.Operator.apply`).
         Returns ``(receiver_data, plan)``; wavefields stay on the propagator's
         :class:`TimeFunction` objects for inspection.
         """
@@ -85,7 +88,9 @@ class Propagator:
             if self.receivers is not None:
                 self.receivers.data[...] = 0.0
         schedule = schedule or NaiveSchedule()
-        plan = self.op.apply(time_M=nt, dt=dt, schedule=schedule, sparse_mode=sparse_mode)
+        plan = self.op.apply(
+            time_M=nt, dt=dt, schedule=schedule, sparse_mode=sparse_mode, engine=engine
+        )
         rec = self.receivers.data.copy() if self.receivers is not None else None
         return rec, plan
 

@@ -55,10 +55,10 @@ def make_acoustic_operator(grid, so=4, nt=10, src_coords=None, rec_coords=None, 
     return op, u, m, src, rec
 
 
-def run_and_capture(op, u, rec, nt, dt, schedule, sparse_mode="auto"):
+def run_and_capture(op, u, rec, nt, dt, schedule, sparse_mode="auto", engine=None):
     """Zero state, run, return (final wavefield copy, receiver copy)."""
     u.data_with_halo[...] = 0.0
     if rec is not None:
         rec.data[...] = 0.0
-    op.apply(time_M=nt, dt=dt, schedule=schedule, sparse_mode=sparse_mode)
+    op.apply(time_M=nt, dt=dt, schedule=schedule, sparse_mode=sparse_mode, engine=engine)
     return u.interior(nt).copy(), (rec.data.copy() if rec is not None else None)

@@ -99,3 +99,34 @@ def test_receiver_field_mismatch(setup):
     other = TimeFunction("w", grid, time_order=2, space_order=2)
     with pytest.raises(ValueError, match="targets field"):
         AlignedReceiver(d, other, rec.data)
+
+
+def test_injection_amplitudes_converted_once(setup):
+    """No per-timestep astype churn: amplitudes live in the field dtype."""
+    grid, u, src = setup
+    d = decompose_source(src.inject(u, expr=1.0), dt=1.0)
+    inj = AlignedInjection(d, u)
+    assert u.dtype == np.float32
+    assert inj._amplitudes.dtype == u.dtype
+    assert inj._amplitudes.flags["C_CONTIGUOUS"]
+    # identical values to casting the float64 decomposition per call
+    np.testing.assert_array_equal(
+        inj._amplitudes, d.data.astype(u.dtype, copy=False)
+    )
+    inj.apply(2)
+    assert u.buffer(3).dtype == u.dtype
+
+
+def test_receiver_staging_stays_float64(setup):
+    """Reconstruction precision is unchanged: staging and weights are float64
+    and the single cast happens on the output assignment."""
+    grid, u, src = setup
+    rec = SparseTimeFunction("rec", grid, npoint=2, nt=6)
+    d = decompose_receiver(rec.interpolate(u))
+    r = AlignedReceiver(d, u, rec.data)
+    u.buffer(2)[...] = 1.25
+    r.gather(2)
+    assert all(s.dtype == np.float64 for s in r._staging.values())
+    assert d.weights.dtype == np.float64
+    r.finalize(2)
+    assert rec.data.dtype == np.float32

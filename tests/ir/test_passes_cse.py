@@ -1,0 +1,202 @@
+"""Unit tests for the common-subexpression-elimination pass of the engine."""
+
+import numpy as np
+import pytest
+
+from repro.dsl.symbols import Add, Call, Indexed, Mul, Number, Pow, Symbol
+from repro.ir.passes import CSEResult, cse_sweep
+
+
+class DummyFunc:
+    def __init__(self, name):
+        self.name = name
+
+
+def acc(name, t=0, x=0):
+    return Indexed(DummyFunc(name), {Symbol("t"): t, Symbol("x"): x})
+
+
+def evaluate_result(result: CSEResult, env):
+    """Run the CSE program sequentially, returning each equation's value."""
+    env = dict(env)
+    values = []
+    for sink, rhs in zip(result.assignments, result.rhss):
+        for sym, expr in sink:
+            env[sym] = expr.evaluate(env)
+        values.append(rhs.evaluate(env))
+    return values
+
+
+@pytest.fixture
+def leaves():
+    rng = np.random.default_rng(11)
+    names = {n: acc(n) for n in "abcd"}
+    env = {v: rng.normal(size=5) for v in names.values()}
+    return names, env
+
+
+def test_shared_across_equations_assigned_once(leaves):
+    names, env = leaves
+    a, b, c, d = (names[n] for n in "abcd")
+    shared = Add(a, b)
+    rhss = [Mul(shared, c), Mul(shared, d)]
+    res = cse_sweep(rhss)
+    assert res.ntemps == 1
+    # the temp is assigned at its first-use equation only
+    assert len(res.assignments[0]) == 1
+    assert res.assignments[1] == []
+    sym, expr = res.assignments[0][0]
+    assert expr == shared and res.origin[sym] == shared
+    # both rewritten rhss reference the temp
+    assert sym in res.rhss[0].free_symbols()
+    assert sym in res.rhss[1].free_symbols()
+    for got, want in zip(evaluate_result(res, env), [e.evaluate(env) for e in rhss]):
+        np.testing.assert_array_equal(got, want)
+
+
+def test_nested_shared_subexpressions_in_dependency_order(leaves):
+    names, env = leaves
+    a, b, c, d = (names[n] for n in "abcd")
+    inner = Add(a, b)
+    outer = Call("sqrt", Mul(inner, inner))
+    rhss = [Add(outer, c), Add(outer, d), inner]
+    res = cse_sweep(rhss)
+    # inner (used twice inside outer, plus standalone) and outer both extracted
+    assert res.ntemps >= 2
+    seen = set()
+    for sink in res.assignments:
+        for sym, expr in sink:
+            assert expr.free_symbols() <= seen  # children assigned before parents
+            seen.add(sym)
+    for got, want in zip(evaluate_result(res, env), [e.evaluate(env) for e in rhss]):
+        np.testing.assert_array_equal(got, want)
+
+
+def test_unique_subexpressions_untouched(leaves):
+    names, _ = leaves
+    a, b, c, d = (names[n] for n in "abcd")
+    rhss = [Add(a, b), Mul(c, d)]
+    res = cse_sweep(rhss)
+    assert res.ntemps == 0
+    assert res.rhss == rhss
+    assert res.assignments == [[], []]
+
+
+def test_protected_reads_never_hoisted_across_equations():
+    # u(t+1) is written by the sweep: a subexpression reading it observes
+    # different values before/after the producing equation, so it must not
+    # be shared across equations...
+    u_next = acc("u", t=1)
+    v = acc("v")
+    shared = Mul(u_next, v)
+    rhss = [Add(shared, v), Add(shared, u_next)]
+    res = cse_sweep(rhss, protected_keys=frozenset({("u", 1)}))
+    assert res.ntemps == 0  # one occurrence per equation: recomputed in place
+    assert res.rhss == rhss
+
+    # ... but duplicate occurrences *within* one equation are still shared
+    # (flat Mul/Add canonicalisation would merge identical args, so wrap the
+    # two occurrences in distinct Call nodes)
+    rhss2 = [Add(Call("sqrt", shared), Call("exp", shared)), Add(shared, v)]
+    res2 = cse_sweep(rhss2, protected_keys=frozenset({("u", 1)}))
+    assert any(res2.origin[s] == shared for sink in res2.assignments for s, _ in sink)
+    # and the later equation does not reuse equation 0's protected temp
+    assert res2.rhss[1] == Add(shared, v)
+
+
+def test_unprotected_time_offsets_shared():
+    u_prev = acc("u", t=-1)
+    v = acc("v")
+    shared = Mul(u_prev, v)
+    rhss = [Add(shared, v), shared]
+    res = cse_sweep(rhss, protected_keys=frozenset({("u", 1)}))
+    assert res.ntemps == 1
+
+
+def test_min_uses_and_prefix(leaves):
+    names, _ = leaves
+    a, b = names["a"], names["b"]
+    shared = Add(a, b)
+    res = cse_sweep([Mul(shared, a), Mul(shared, b)], min_uses=3, prefix="tmp")
+    assert res.ntemps == 0
+    res2 = cse_sweep([Mul(shared, a), Mul(shared, b), shared], min_uses=3, prefix="tmp")
+    assert res2.ntemps == 1
+    assert next(iter(res2.origin)).name == "tmp0"
+
+
+def test_pow_and_call_subexpressions(leaves):
+    names, env = leaves
+    a, b = names["a"], names["b"]
+    env = {k: np.abs(v) + 1.0 for k, v in env.items()}
+    shared = Pow(Add(a, b), Number(-1))
+    rhss = [Mul(shared, a), Mul(shared, b)]
+    res = cse_sweep(rhss)
+    assert any(isinstance(e, Pow) for s in res.assignments for _, e in s)
+    for got, want in zip(evaluate_result(res, env), [e.evaluate(env) for e in rhss]):
+        np.testing.assert_array_equal(got, want)
+
+
+# -- time-invariant hoisting ------------------------------------------------------
+
+
+def _model_setup():
+    from repro.dsl.functions import Function, TimeFunction
+    from repro.dsl.grid import Grid
+
+    g = Grid(shape=(8, 7), extent=(70.0, 60.0))
+    u = TimeFunction("u", g, time_order=1, space_order=2)
+    m = Function("m", g, space_order=2)
+    return g, u, m
+
+
+def test_hoist_pulls_model_only_subtrees():
+    from repro.dsl.functions import Function
+    from repro.ir.passes import HoistedField, hoist_invariants
+
+    g, u, m = _model_setup()
+    inv = Pow(m.indexify(), Number(-1))  # 1/m: reads no TimeFunction
+    rhs = Mul(inv, u.indexify())
+    res = hoist_invariants([rhs])
+    assert len(res.fields) == 1
+    hf = res.fields[0]
+    assert isinstance(hf, HoistedField)
+    assert hf.expr == inv and hf.halo == m.halo
+    # the rewritten rhs reads the placeholder instead of recomputing 1/m
+    reads = {a.function.name for a in res.rhss[0].atoms(Indexed)}
+    assert hf.name in reads and "m" not in reads
+    # dtype inferred from the expression without touching real data
+    assert hf.dtype == np.dtype(np.float32)
+
+
+def test_hoist_dedups_and_skips_time_reads():
+    from repro.ir.passes import hoist_invariants
+
+    g, u, m = _model_setup()
+    inv = Pow(m.indexify(), Number(-1))
+    rhss = [Mul(inv, u.indexify()), Mul(inv, u.backward)]
+    res = hoist_invariants(rhss)
+    assert len(res.fields) == 1  # shared across equations, hoisted once
+    # expressions reading a TimeFunction are never hoisted
+    res2 = hoist_invariants([Mul(u.indexify(), u.backward)])
+    assert res2.fields == []
+    assert res2.rhss == [Mul(u.indexify(), u.backward)]
+
+
+def test_hoisted_field_materialise_and_refresh():
+    from repro.ir.passes import hoist_invariants
+
+    g, u, m = _model_setup()
+    m.data = 2.0
+    res = hoist_invariants([Mul(Pow(m.indexify(), Number(-1)), u.indexify())])
+    hf = res.fields[0]
+    with pytest.raises(RuntimeError):
+        hf.data_with_halo  # not materialised yet
+    hf.materialise()
+    first = hf.data_with_halo
+    interior = tuple(slice(m.halo, m.halo + s) for s in g.shape)
+    np.testing.assert_array_equal(first[interior], np.float32(0.5))
+    # refresh happens in place so views bound earlier stay valid
+    m.data = 4.0
+    hf.materialise()
+    assert hf.data_with_halo is first
+    np.testing.assert_array_equal(first[interior], np.float32(0.25))

@@ -100,3 +100,209 @@ def test_float32_output_preserved(grid3d):
     u.interior(0)[...] = 1.0
     beq.evaluate(0, full_box(grid3d))
     assert u.interior(1).dtype == np.float32
+
+
+# -- golden source / caches / the fused sweep engine -----------------------------
+
+
+def _bound_acoustic_eq(grid, dt=0.5, so=2):
+    u = TimeFunction("u", grid, time_order=2, space_order=so)
+    m = Function("m", grid, space_order=so)
+    eq = Eq(u.forward, solve(m * u.dt2 - u.laplace, u.forward))
+    subs = {Symbol("dt"): Number(dt)}
+    subs.update({d.spacing: Number(h) for d, h in zip(grid.dimensions, grid.spacing)})
+    return eq.subs(subs), u, m
+
+
+def test_compile_rhs_golden_source(grid1d):
+    """The exact source of a representative (1-D acoustic so=2) update."""
+    eq, _, _ = _bound_acoustic_eq(grid1d)
+    beq = BoundEq(eq, grid1d, compiled=True)
+    assert beq._kernel.__source__ == (
+        "def _kernel(out, v0, v1, v2, v3, v4):\n"
+        "    out[...] = (-1*((4*v0*((-2*v3) + v4)) + (-0.01*(v2 + (-2*v3) + v1)))"
+        "*(1.0/(4*v0)))\n"
+    )
+    assert [str(r) for r in beq.reads] == [
+        "m[x]", "u[t, x+1]", "u[t, x-1]", "u[t, x]", "u[t-1, x]",
+    ]
+    # the compile() filename is the plain string, not an f-string artefact
+    assert beq._kernel.__code__.co_filename == "<repro-kernel>"
+
+
+def test_rhs_kernel_cache_hits(grid1d):
+    from repro.ir.pycodegen import kernel_cache_stats
+
+    eq, _, _ = _bound_acoustic_eq(grid1d)
+    k1 = BoundEq(eq, grid1d, compiled=True)._kernel
+    before = kernel_cache_stats()
+    k2 = BoundEq(eq, grid1d, compiled=True)._kernel
+    after = kernel_cache_stats()
+    assert k1 is k2
+    assert after["rhs_hits"] == before["rhs_hits"] + 1
+
+
+def test_rhs_cache_hit_rebinds_fresh_reads(grid1d):
+    """A cache hit must return the caller's accesses, not the cached ones.
+
+    Indexed equality is structural, so a hit can come from an equation over
+    different (same-named) Function objects; returning the cached reads would
+    silently bind views to the stale arrays.
+    """
+    eq, u, _ = _bound_acoustic_eq(grid1d)
+    BoundEq(eq, grid1d, compiled=True)
+    eq2, u2, _ = _bound_acoustic_eq(grid1d)
+    beq2 = BoundEq(eq2, grid1d, compiled=True)
+    funcs = {r.function.name: r.function for r in beq2.reads}
+    assert funcs["u"] is u2 and funcs["u"] is not u
+
+
+def test_scratch_pool_reuse_and_identity():
+    from repro.ir.pycodegen import ScratchPool
+
+    pool = ScratchPool()
+    a = pool.get((4, 3), np.dtype(np.float32), 0)
+    b = pool.get((4, 3), np.dtype(np.float32), 1)
+    assert a is not b and a.shape == (4, 3) and a.dtype == np.float32
+    assert pool.get((4, 3), np.dtype(np.float32), 0) is a  # stable across calls
+    assert pool.get((4, 3), np.dtype(np.float64), 0) is not a
+    assert len(pool) == 3 and pool.nbytes() == 2 * 48 + 96
+    pool.clear()
+    assert len(pool) == 0
+
+
+def test_fused_sweep_kernel_structure(grid3d):
+    """The fused kernel is three-address: every op writes into out= and the
+    final instruction stores directly into the output view."""
+    from repro.execution.evalbox import BoundSweep
+
+    eq, u, m = _bound_acoustic_eq(grid3d, so=4)
+    sweep = BoundSweep([eq], grid3d, engine="fused")
+    src = sweep._kernel.__source__
+    assert src.startswith("def _kernel(slots, outs, views):")
+    body = [l.strip() for l in src.splitlines()[1:] if l.strip()]
+    computes = [l for l in body if l.startswith("np.")]
+    # three-address form: every instruction's final (positional out) argument
+    # is a scratch slot or an output view
+    assert computes and all(
+        l.rsplit(", ", 1)[1].rstrip(")").startswith(("s", "o")) for l in computes
+    )
+    # the last compute writes straight into the output view (no copy store)
+    assert computes[-1].endswith(", o0)")
+    assert not any(l.startswith("o0[...] = ") for l in body)
+    # scratch checkout happens once per (t, box) binding, driven by the spec
+    spec = sweep._kernel.__slotspec__
+    assert len(spec) == sweep._kernel.__nslots__
+    assert all(isinstance(dt, np.dtype) for dt, _ in spec)
+    # no full-size temporaries: slot count stays far below instruction count
+    assert 0 < sweep._kernel.__nslots__ <= 8 < len(computes)
+
+
+def test_fused_sweep_cache_and_view_cache(grid3d):
+    from repro.execution.evalbox import BoundSweep
+    from repro.ir.pycodegen import kernel_cache_stats
+
+    eq, u, m = _bound_acoustic_eq(grid3d)
+    s1 = BoundSweep([eq], grid3d, engine="fused")
+    before = kernel_cache_stats()
+    s2 = BoundSweep([eq], grid3d, engine="fused")
+    assert s2._kernel is s1._kernel
+    assert kernel_cache_stats()["sweep_hits"] == before["sweep_hits"] + 1
+
+    rng = np.random.default_rng(5)
+    u.interior(0)[...] = rng.normal(size=grid3d.shape).astype(np.float32)
+    m.data = 0.5
+    box = full_box(grid3d)
+    s1.evaluate(0, box)
+    got = u.interior(1).copy()
+    # time-congruent revisit hits the view cache (period = 3 buffers)
+    assert (0 % s1._period, box) in s1._view_cache
+    s1.evaluate(3, box)
+    np.testing.assert_array_equal(u.interior(4), got)
+    assert len(s1._view_cache) == 1
+
+
+def test_fused_sweep_intra_sweep_dependency(grid1d):
+    """Equation 2 of a sweep reads what equation 1 just wrote (radius 0)."""
+    from repro.execution.evalbox import BoundSweep
+
+    u = TimeFunction("u", grid1d, time_order=1, space_order=2)
+    w = TimeFunction("w", grid1d, time_order=1, space_order=2)
+    e1 = Eq(u.forward, u.indexify() * 2.0)
+    e2 = Eq(w.forward, u.forward * 3.0)  # reads u[t+1], written by e1
+    for engine in ("fused", "interp"):
+        u.data_with_halo[...] = 0
+        w.data_with_halo[...] = 0
+        u.interior(0)[...] = 1.5
+        BoundSweep([e1, e2], grid1d, engine=engine).evaluate(0, full_box(grid1d))
+        np.testing.assert_array_equal(u.interior(1), np.full(grid1d.shape, 3.0, np.float32))
+        np.testing.assert_array_equal(w.interior(1), np.full(grid1d.shape, 9.0, np.float32))
+
+
+def test_engine_rejects_unknown(grid1d):
+    from repro.execution.evalbox import BoundSweep
+
+    u = TimeFunction("u", grid1d, time_order=1, space_order=2)
+    with pytest.raises(ValueError, match="unknown engine"):
+        BoundSweep([Eq(u.forward, u.indexify())], grid1d, engine="jit")
+
+
+def test_fused_kernel_hoists_model_division(grid3d):
+    """dt^2/m is precomputed once per bind: the hot kernel has no divide."""
+    from repro.execution.evalbox import BoundSweep
+
+    eq, u, m = _bound_acoustic_eq(grid3d, so=4)
+    sweep = BoundSweep([eq], grid3d, engine="fused")
+    src = sweep._kernel.__source__
+    assert "divide" not in src and "power" not in src
+    assert len(sweep.hoisted_fields) >= 1
+    assert all(hf.name.startswith("__inv") for hf in sweep.hoisted_fields)
+    assert any(a.function.name.startswith("__inv") for a in sweep.reads)
+
+
+def test_negation_folds_into_subtract(grid1d):
+    """a + (-1)*b compiles to np.subtract (bit-identical, one op cheaper)."""
+    from repro.execution.evalbox import BoundSweep
+
+    u = TimeFunction("u", grid1d, time_order=1, space_order=2)
+    w = TimeFunction("w", grid1d, time_order=1, space_order=2)
+    eq = Eq(u.forward, w.indexify() + Number(-1) * u.indexify())
+    sweep = BoundSweep([eq], grid1d, engine="fused")
+    src = sweep._kernel.__source__
+    assert "np.subtract(" in src
+    assert "np.multiply(-1" not in src
+    rng = np.random.default_rng(3)
+    u.interior(0)[...] = rng.normal(size=grid1d.shape).astype(np.float32)
+    w.interior(0)[...] = rng.normal(size=grid1d.shape).astype(np.float32)
+    sweep.evaluate(0, full_box(grid1d))
+    np.testing.assert_array_equal(
+        u.interior(1), w.interior(0) + np.float32(-1) * u.interior(0)
+    )
+
+
+def test_model_mutation_between_applies_is_observed(grid3d):
+    """Cached bound sweeps re-materialise hoisted model terms per apply."""
+    from repro.ir.operator import Operator
+
+    u = TimeFunction("u", grid3d, time_order=2, space_order=4)
+    m = Function("m", grid3d, space_order=4)
+    eq = Eq(u.forward, solve(m * u.dt2 - u.laplace, u.forward))
+    op = Operator([eq])
+    rng = np.random.default_rng(9)
+    init = rng.normal(size=grid3d.shape).astype(np.float32)
+
+    def run(mval):
+        u.data_with_halo[...] = 0
+        u.interior(0)[...] = init
+        m.data = mval
+        op.apply(time_M=2, dt=0.5)
+        return u.interior(2).copy()
+
+    first = run(1.5)
+    second = run(3.0)  # same cached sweeps, mutated model
+    assert not np.array_equal(first, second)
+    u.data_with_halo[...] = 0
+    u.interior(0)[...] = init
+    m.data = 3.0
+    Operator([eq]).apply(time_M=2, dt=0.5, engine="interp")
+    np.testing.assert_array_equal(u.interior(2), second)
