@@ -23,16 +23,23 @@ Two baselines are reported:
 Run directly::
 
     PYTHONPATH=src python benchmarks/bench_engine.py
+    PYTHONPATH=src python benchmarks/bench_engine.py --guards
 
 or through pytest (slow-marked)::
 
     pytest benchmarks/bench_engine.py -m slow
+
+``--guards`` times the fused engine with the runtime health guard attached
+at its default cadence (NaN/Inf scan of the written views every
+``DEFAULT_CHECK_EVERY`` sweep instances) against unguarded runs, and merges
+the per-schedule overhead into ``BENCH_engine.json`` under ``"guards"``.
 """
 
 from __future__ import annotations
 
 import json
 import platform
+import sys
 import time
 from pathlib import Path
 
@@ -195,6 +202,81 @@ def print_report(report):
         )
 
 
+def time_guards(prop, dt, schedule, repeats=REPEATS):
+    """Min-of-N fused wall-clock with and without the default health guard.
+
+    Interleaved rounds for the same reason as :func:`time_engines`: both
+    series must sample the same noise landscape for the overhead ratio to be
+    meaningful.  A fresh :class:`HealthGuard` per round keeps the cadence
+    phase identical across rounds.
+    """
+    from repro.runtime import HealthGuard
+
+    prop.forward(nt=NT, dt=dt, schedule=schedule, engine="fused")  # warm
+    series = {"unguarded": [], "guarded": []}
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        prop.forward(nt=NT, dt=dt, schedule=schedule, engine="fused")
+        series["unguarded"].append(time.perf_counter() - t0)
+        guard = HealthGuard()  # DEFAULT_CHECK_EVERY cadence
+        t0 = time.perf_counter()
+        prop.forward(nt=NT, dt=dt, schedule=schedule, engine="fused", health=guard)
+        series["guarded"].append(time.perf_counter() - t0)
+    out = {name: min(vals) for name, vals in series.items()}
+    out["overhead"] = out["guarded"] / out["unguarded"] - 1.0
+    return out
+
+
+def run_guards_bench(repeats=REPEATS):
+    from repro.runtime.health import DEFAULT_CHECK_EVERY
+
+    prop, dt = build()
+    results = {}
+    for sched_name, sched in schedules().items():
+        results[sched_name] = time_guards(prop, dt, sched, repeats=repeats)
+    return {
+        "check_every": DEFAULT_CHECK_EVERY,
+        "timing": "min over N interleaved rounds, fused engine",
+        "seconds": {
+            s: {k: row[k] for k in ("unguarded", "guarded")}
+            for s, row in results.items()
+        },
+        "overhead": {s: row["overhead"] for s, row in results.items()},
+    }
+
+
+def merge_guards_report(guards, path=RESULT_PATH):
+    """Fold the guard-overhead section into the existing trajectory artefact
+    (or a fresh skeleton when the engine bench has not run yet)."""
+    report = json.loads(path.read_text()) if path.exists() else {"bench": "engine"}
+    report["guards"] = guards
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def print_guards_report(guards):
+    print(
+        f"# health-guard overhead — fused engine, cadence "
+        f"check_every={guards['check_every']}"
+    )
+    print(f"{'schedule':<12} {'unguarded':>12} {'guarded':>12} {'overhead':>10}")
+    for sched, row in guards["seconds"].items():
+        ov = guards["overhead"][sched]
+        print(
+            f"{sched:<12} {row['unguarded']*1e3:>10.2f}ms "
+            f"{row['guarded']*1e3:>10.2f}ms {ov:>9.2%}"
+        )
+
+
+@pytest.mark.slow
+def test_guard_overhead_within_budget():
+    """Acceptance: the default-cadence health guard costs < 5% wall-clock on
+    the wavefront (WTB) acoustic so=8 workload."""
+    guards = run_guards_bench()
+    merge_guards_report(guards)
+    assert guards["overhead"]["wavefront"] < 0.05
+
+
 @pytest.mark.slow
 def test_fused_engine_speedup_and_report():
     """Acceptance: >= 2x over the seed per-equation kernels on the WTB
@@ -209,7 +291,12 @@ def test_fused_engine_speedup_and_report():
 
 
 if __name__ == "__main__":
-    report = run_bench()
-    print_report(report)
-    out = write_report(report)
+    if "--guards" in sys.argv[1:]:
+        guards = run_guards_bench()
+        print_guards_report(guards)
+        out = merge_guards_report(guards)
+    else:
+        report = run_bench()
+        print_report(report)
+        out = write_report(report)
     print(f"\nwrote {out}")

@@ -53,6 +53,18 @@ from .dsl import (
     TimeFunction,
     solve,
 )
+from .errors import (
+    CoordinateOutOfDomain,
+    EngineCompilationError,
+    EngineFallbackWarning,
+    InjectedFault,
+    InvalidTimeRange,
+    NumericalBlowup,
+    PlanValidationError,
+    ReproError,
+    StabilityViolation,
+    StabilityWarning,
+)
 from .ir import Operator
 
 __version__ = "1.0.0"
@@ -71,5 +83,17 @@ __all__ = [
     "build_masks",
     "decompose_source",
     "decompose_receiver",
+    # structured error taxonomy (the runtime resilience layer lives in
+    # repro.runtime; import it explicitly — it is not pulled in by default)
+    "ReproError",
+    "NumericalBlowup",
+    "CoordinateOutOfDomain",
+    "StabilityViolation",
+    "EngineCompilationError",
+    "InvalidTimeRange",
+    "PlanValidationError",
+    "InjectedFault",
+    "StabilityWarning",
+    "EngineFallbackWarning",
     "__version__",
 ]

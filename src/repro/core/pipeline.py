@@ -68,17 +68,49 @@ class TemporalBlockingPipeline:
         pipe.run(time_M=nt, schedule=WavefrontSchedule(tile=(32, 32)))
     """
 
-    def __init__(self, operator, dt: float):
+    def __init__(self, operator, dt: float, model=None, kind: str = "acoustic"):
         self.operator = operator
         self.dt = float(dt)
+        self.model = model
+        self.kind = kind
         self.masks: Dict[str, SourceMasks] = {}
         self.sources: Dict[int, DecomposedSource] = {}
         self.receivers: Dict[int, DecomposedReceiver] = {}
         self._done = False
 
+    # -- pre-flight ----------------------------------------------------------------
+    def preflight(self, cfl_policy: str = "raise") -> "TemporalBlockingPipeline":
+        """Validate inputs before any precomputation or timestepping.
+
+        Checks, in order: the CFL condition of :attr:`dt` against the model's
+        critical timestep (only when a *model* was given; policy ``"raise"``
+        or ``"warn"``), every sparse operator's coordinates against the
+        physical domain, and — after :meth:`precompute` — the structural
+        consistency of the masks and decomposed wavelets.  Raises the
+        structured errors of :mod:`repro.errors`.
+        """
+        from ..runtime.preflight import check_cfl, check_coordinates, check_masks
+
+        if self.model is not None:
+            check_cfl(self.dt, self.model, kind=self.kind, policy=cfl_policy)
+        seen = set()
+        for sp_op in (*self.operator.injections(), *self.operator.interpolations()):
+            if id(sp_op.sparse) not in seen:
+                seen.add(id(sp_op.sparse))
+                check_coordinates(sp_op.sparse)
+        if self._done:
+            for masks in self.masks.values():
+                check_masks(masks)
+        return self
+
     # -- the steps -----------------------------------------------------------------
     def precompute(self, method: str = "analytic") -> "TemporalBlockingPipeline":
-        """Steps 1-3: affected points, masks, wavelet decomposition."""
+        """Steps 1-3: affected points, masks, wavelet decomposition.
+
+        Runs :meth:`preflight` first (geometry + CFL when a model is
+        attached), then once more after building the sparse structures so a
+        corrupted mask never reaches the executors."""
+        self.preflight()
         for inj in self.operator.injections():
             masks = self._masks_for(inj.sparse, method)
             self.sources[id(inj)] = decompose_source(inj, self.dt, masks=masks)
@@ -86,6 +118,10 @@ class TemporalBlockingPipeline:
             masks = self._masks_for(itp.sparse, method)
             self.receivers[id(itp)] = decompose_receiver(itp, masks=masks)
         self._done = True
+        from ..runtime.preflight import check_masks
+
+        for masks in self.masks.values():
+            check_masks(masks)
         # prime the operator's caches so apply() reuses this work
         for inj in self.operator.injections():
             self.operator._decomp_cache[(id(inj), self.dt)] = self.sources[id(inj)]
@@ -129,13 +165,23 @@ class TemporalBlockingPipeline:
         )
 
     # -- execution ---------------------------------------------------------------------
-    def run(self, time_M: int, schedule: Optional[WavefrontSchedule] = None, time_m: int = 0):
+    def run(
+        self,
+        time_M: int,
+        schedule: Optional[WavefrontSchedule] = None,
+        time_m: int = 0,
+        health=None,
+        checkpoint=None,
+        faults=None,
+    ):
         """Step 4-6: run the time-tiled, fused schedule using the precomputed
-        structures (cached on the operator)."""
+        structures (cached on the operator).  ``health``/``checkpoint``/
+        ``faults`` attach the runtime resilience layer (:mod:`repro.runtime`)."""
         if not self._done:
             self.precompute()
         schedule = schedule or WavefrontSchedule()
         return self.operator.apply(
             time_M=time_M, time_m=time_m, dt=self.dt,
             schedule=schedule, sparse_mode="precomputed",
+            health=health, checkpoint=checkpoint, faults=faults,
         )

@@ -351,10 +351,11 @@ class SparseTimeFunction:
                 f"coordinates must have shape ({self.npoint}, {grid.ndim}), "
                 f"got {coordinates.shape}"
             )
-        inside = grid.contains_points(coordinates)
-        if not np.all(inside):
-            bad = int(np.count_nonzero(~inside))
-            raise ValueError(f"{bad} sparse point(s) fall outside the grid domain")
+        # pre-flight: reject out-of-domain points at construction (naming the
+        # offending indices and coordinates) instead of at the first injection
+        from .interpolation import validate_coordinates
+
+        validate_coordinates(coordinates, grid, name=self.name)
         self.coordinates = coordinates
         self.data = np.zeros((self.nt, self.npoint), dtype=grid.dtype)
 

@@ -17,9 +17,11 @@ from typing import Tuple
 
 import numpy as np
 
+from ..errors import CoordinateOutOfDomain
 from .grid import Grid
 
 __all__ = [
+    "validate_coordinates",
     "locate_points",
     "corner_offsets",
     "multilinear_coefficients",
@@ -27,6 +29,41 @@ __all__ = [
     "inject_values",
     "interpolate_values",
 ]
+
+
+def validate_coordinates(
+    coords: np.ndarray, grid: Grid, name: str = "sparse", atol: float = 0.0
+) -> np.ndarray:
+    """Batch-validate physical coordinates against the domain box.
+
+    Returns the logical (grid-index-unit) coordinates.  On failure raises
+    :class:`~repro.errors.CoordinateOutOfDomain` naming each offending point
+    *index* and its physical coordinates — the error a pre-flight check can
+    act on, instead of a bare "a point is outside" deep in the first
+    injection.  ``atol`` is a tolerance in logical units on both faces.
+    """
+    coords = np.atleast_2d(np.asarray(coords, dtype=np.float64))
+    logical = grid.physical_to_logical(coords)
+    upper = np.asarray(grid.shape, dtype=np.float64) - 1.0
+    bad = np.any((logical < -atol) | (logical > upper + atol), axis=1)
+    if np.any(bad):
+        indices = np.flatnonzero(bad)
+        shown = ", ".join(
+            f"point {i} at {tuple(round(float(c), 6) for c in coords[i])}"
+            for i in indices[:5]
+        )
+        if indices.size > 5:
+            shown += f", ... ({indices.size - 5} more)"
+        domain = " x ".join(
+            f"[{o:g}, {o + e:g}]" for o, e in zip(grid.origin, grid.extent)
+        )
+        raise CoordinateOutOfDomain(
+            f"{name}: {indices.size} point(s) outside the domain {domain}: {shown}",
+            field=name,
+            indices=indices,
+            coordinates=coords[bad].copy(),
+        )
+    return logical
 
 
 def locate_points(coords: np.ndarray, grid: Grid) -> Tuple[np.ndarray, np.ndarray]:
@@ -37,10 +74,8 @@ def locate_points(coords: np.ndarray, grid: Grid) -> Tuple[np.ndarray, np.ndarra
     attached to the last interior cell with ``frac == 1`` so the support stays
     in bounds.
     """
-    logical = grid.physical_to_logical(coords)
+    logical = validate_coordinates(coords, grid, name="off-the-grid", atol=1e-9)
     upper = np.asarray(grid.shape, dtype=np.float64) - 1.0
-    if np.any(logical < -1e-9) or np.any(logical > upper + 1e-9):
-        raise ValueError("off-the-grid point lies outside the domain")
     logical = np.clip(logical, 0.0, upper)
     base = np.floor(logical).astype(np.int64)
     # attach boundary points to the last cell so base+1 is a valid index

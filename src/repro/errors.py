@@ -1,0 +1,125 @@
+"""Structured error taxonomy for the execution stack.
+
+A multi-thousand-timestep run must not die with a bare ``ValueError`` deep
+inside a tile loop: every failure the runtime can attribute carries its
+execution context — the logical timestep ``t``, the space(-time) ``tile``
+(a box of ``(lo, hi)`` pairs per dimension) and the ``field`` involved — so
+operators, logs and tests can reason about *where* a run went wrong.
+
+The hierarchy deliberately multiple-inherits from the builtin exception the
+pre-resilience code raised (``ValueError`` for validation failures,
+``RuntimeError`` for codegen failures), so existing ``except ValueError``
+call sites and tests keep working unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+__all__ = [
+    "ReproError",
+    "NumericalBlowup",
+    "CoordinateOutOfDomain",
+    "StabilityViolation",
+    "EngineCompilationError",
+    "InvalidTimeRange",
+    "PlanValidationError",
+    "InjectedFault",
+    "StabilityWarning",
+    "EngineFallbackWarning",
+]
+
+Box = Tuple[Tuple[int, int], ...]
+
+
+class ReproError(Exception):
+    """Base class of all structured runtime errors.
+
+    Parameters beyond *message* are keyword-only context: ``t`` (logical
+    timestep), ``tile`` (the box being executed) and ``field`` (the grid
+    function involved).  Any further keyword argument is stored as an
+    attribute and kept in ``context`` for structured logging.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        t: Optional[int] = None,
+        tile: Optional[Box] = None,
+        field: Optional[str] = None,
+        **context,
+    ):
+        self.t = t
+        self.tile = tuple(tuple(b) for b in tile) if tile is not None else None
+        self.field = field
+        self.context = dict(context)
+        for key, value in context.items():
+            setattr(self, key, value)
+        super().__init__(self._render(message))
+
+    def _render(self, message: str) -> str:
+        parts = []
+        if self.t is not None:
+            parts.append(f"t={self.t}")
+        if self.tile is not None:
+            parts.append(f"tile={self.tile}")
+        if self.field is not None:
+            parts.append(f"field={self.field!r}")
+        return f"{message} [{', '.join(parts)}]" if parts else message
+
+
+class NumericalBlowup(ReproError):
+    """A wavefield buffer holds NaN/Inf (or exceeded an amplitude bound).
+
+    Raised by the health guards with the first offending ``(t, tile)``;
+    ``point`` (absolute grid index) and ``count`` (non-finite values found in
+    the tile) arrive as extra context.
+    """
+
+
+class CoordinateOutOfDomain(ReproError, ValueError):
+    """Sparse point(s) fall outside the grid's physical domain.
+
+    Carries ``indices`` (offending point indices into the sparse function)
+    and ``coordinates`` (their physical positions) so the error names exactly
+    which sources/receivers are misplaced.
+    """
+
+
+class StabilityViolation(ReproError, ValueError):
+    """The requested ``dt`` exceeds the CFL-critical timestep.
+
+    Carries ``dt``, ``critical`` and the scheme ``kind``.
+    """
+
+
+class EngineCompilationError(ReproError, RuntimeError):
+    """An execution engine failed to compile its kernels.
+
+    Carries ``engine`` (the rung that failed).  The engine-selection ladder
+    catches this to degrade fused -> kernel -> interp; in strict mode it
+    propagates to the caller.
+    """
+
+
+class InvalidTimeRange(ReproError, ValueError):
+    """``time_m``/``time_M`` do not describe a valid iteration range."""
+
+
+class PlanValidationError(ReproError, ValueError):
+    """An execution plan or its precomputed sparse structures are inconsistent
+    (SM/SID/``src_dcmp`` shape mismatches, bad block/tile ranks, ...)."""
+
+
+class InjectedFault(ReproError):
+    """Raised by the fault-injection harness at its programmed ``(t, tile)``."""
+
+
+class StabilityWarning(UserWarning):
+    """Non-fatal counterpart of :class:`StabilityViolation` (warn-only CFL
+    policy, the default in :meth:`repro.propagators.base.Propagator.forward`)."""
+
+
+class EngineFallbackWarning(RuntimeWarning):
+    """An engine failed to compile and execution degraded to the next rung."""

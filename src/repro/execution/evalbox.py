@@ -19,6 +19,7 @@ from ..dsl.equation import Eq
 from ..dsl.functions import TimeFunction
 from ..dsl.grid import Grid
 from ..dsl.symbols import Expr, Indexed
+from ..errors import EngineCompilationError
 
 __all__ = [
     "Box",
@@ -114,7 +115,16 @@ class BoundEq:
         if compiled:
             from ..ir.pycodegen import compile_rhs
 
-            self._kernel, self.reads = compile_rhs(self.rhs, self.reads)
+            # equation validation above is engine-independent and raises raw;
+            # failures from here on are *engine* failures the selection
+            # ladder may recover from by degrading to the interpreter
+            try:
+                self._kernel, self.reads = compile_rhs(self.rhs, self.reads)
+            except Exception as exc:
+                raise EngineCompilationError(
+                    f"per-equation kernel compilation failed for {eq}: {exc}",
+                    engine="kernel",
+                ) from exc
 
     # -- view construction -------------------------------------------------------
     def _view(self, access: Indexed, t: int, box: Box) -> np.ndarray:
@@ -178,20 +188,27 @@ class BoundSweep:
             # become precomputed full-grid arrays instead of per-box work;
             # buffers are filled lazily at the first evaluate and refreshed
             # per bind so model mutations between applies are observed
-            hoisted = hoist_invariants([beq.rhs for beq in self.beqs])
-            self.hoisted_fields = hoisted.fields
-            self._stale_invariants = bool(hoisted.fields)
-            read_set = set()
-            for rhs in hoisted.rhss:
-                read_set.update(rhs.atoms(Indexed))
-            self.reads: List[Indexed] = sorted(read_set, key=str)
-            self._kernel = compile_sweep(
-                self.writes,
-                hoisted.rhss,
-                self.reads,
-                [a.function.dtype for a in self.reads],
-                [l.function.dtype for l in self.writes],
-            )
+            try:
+                hoisted = hoist_invariants([beq.rhs for beq in self.beqs])
+                self.hoisted_fields = hoisted.fields
+                self._stale_invariants = bool(hoisted.fields)
+                read_set = set()
+                for rhs in hoisted.rhss:
+                    read_set.update(rhs.atoms(Indexed))
+                self.reads: List[Indexed] = sorted(read_set, key=str)
+                self._kernel = compile_sweep(
+                    self.writes,
+                    hoisted.rhss,
+                    self.reads,
+                    [a.function.dtype for a in self.reads],
+                    [l.function.dtype for l in self.writes],
+                )
+            except EngineCompilationError:
+                raise
+            except Exception as exc:
+                raise EngineCompilationError(
+                    f"fused sweep compilation failed: {exc}", engine="fused"
+                ) from exc
             self.pool = pool if pool is not None else ScratchPool()
             self._period = math.lcm(
                 *[

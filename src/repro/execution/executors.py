@@ -23,9 +23,35 @@ from ..core.scheduler import (
     time_tiles,
 )
 from ..dsl.grid import Grid
+from ..errors import InvalidTimeRange, PlanValidationError
 from .evalbox import BoundSweep, Box, box_is_empty, clip_box, full_box
 
 __all__ = ["ExecutionPlan", "run_schedule", "run_naive", "run_spatial", "run_wavefront"]
+
+
+def _check_entry(plan: "ExecutionPlan", time_m: int, time_M: int) -> None:
+    """Structured validation at every executor entry point.
+
+    Failing here — with the offending values in the message — beats failing
+    thousands of instances deep inside a tile loop with an index error.
+    ``time_m == time_M`` is a legal empty run at this level; ``Operator.apply``
+    keeps its stricter "must exceed" contract.
+    """
+    if time_M < time_m:
+        raise InvalidTimeRange(
+            f"time range is empty or reversed: time_m={time_m}, time_M={time_M}"
+        )
+    if any(s < 1 for s in plan.grid.shape):
+        raise PlanValidationError(f"grid has an empty extent: shape {plan.grid.shape}")
+
+
+def _check_block_shape(plan: "ExecutionPlan", extents, what: str) -> None:
+    if not extents or any(b < 1 for b in extents):
+        raise PlanValidationError(f"{what} has an empty extent: {tuple(extents)}")
+    if len(extents) > plan.grid.ndim:
+        raise PlanValidationError(
+            f"{what} rank {len(extents)} exceeds grid rank {plan.grid.ndim}"
+        )
 
 
 @dataclass
@@ -56,6 +82,17 @@ class ExecutionPlan:
         """Wavefront skew per timestep (sum of sweep radii)."""
         return sum(self.radii)
 
+    def validate(self) -> "ExecutionPlan":
+        """Pre-flight the plan's precomputed sparse structures (SM/SID/
+        ``src_dcmp``/weight-matrix shape consistency); raises
+        :class:`~repro.errors.PlanValidationError` before timestep 0 instead
+        of failing inside a tile loop.  Checks are memoised per masks object,
+        so repeated applies pay almost nothing."""
+        from ..runtime.preflight import validate_plan
+
+        validate_plan(self)
+        return self
+
     def all_receivers(self) -> list:
         out = []
         for lst in self.receivers.values():
@@ -80,13 +117,20 @@ def _execute_instance(plan: ExecutionPlan, j: int, t: int, box: Optional[Box]) -
         rec.gather(t, box)
 
 
-def run_naive(plan: ExecutionPlan, time_m: int, time_M: int) -> None:
+def run_naive(plan: ExecutionPlan, time_m: int, time_M: int, monitor=None) -> None:
     """Listing 1: whole-grid sweeps, sparse operators after each sweep."""
+    _check_entry(plan, time_m, time_M)
+    if monitor is not None:
+        time_m = monitor.begin(plan, time_m, time_M)
     for t in range(time_m, time_M):
         for j in range(plan.nsweeps):
             _execute_instance(plan, j, t, None)
+            if monitor is not None:
+                monitor.after_instance(plan, j, t, None)
         for rec in plan.all_receivers():
             rec.finalize(t)
+        if monitor is not None:
+            monitor.after_step(plan, t)
 
 
 def _blocked_boxes(grid: Grid, block: Tuple[int, ...]):
@@ -106,20 +150,30 @@ def _blocked_boxes(grid: Grid, block: Tuple[int, ...]):
     yield from rec(0, ())
 
 
-def run_spatial(plan: ExecutionPlan, time_m: int, time_M: int, schedule: SpatialBlockSchedule) -> None:
+def run_spatial(
+    plan: ExecutionPlan,
+    time_m: int,
+    time_M: int,
+    schedule: SpatialBlockSchedule,
+    monitor=None,
+) -> None:
     """Fig. 4a: space blocking inside each timestep.
 
     A sweep's blocks may run in any order (no intra-sweep dependence), but a
     barrier separates sweeps, and sparse operators run after the full sweep --
     which is why space blocking never conflicts with off-the-grid operators.
     """
-    if len(schedule.block) > plan.grid.ndim:
-        raise ValueError("block rank exceeds grid rank")
+    _check_entry(plan, time_m, time_M)
+    _check_block_shape(plan, schedule.block, "space block")
+    if monitor is not None:
+        time_m = monitor.begin(plan, time_m, time_M)
     boxes = list(_blocked_boxes(plan.grid, schedule.block))
     for t in range(time_m, time_M):
         for j in range(plan.nsweeps):
             for box in boxes:
                 plan.sweeps[j].evaluate(t, box)
+                if monitor is not None:
+                    monitor.after_instance(plan, j, t, box)
             injections, receivers = plan._sparse_for(j)
             for inj in injections:
                 inj.apply(t, None)
@@ -127,6 +181,8 @@ def run_spatial(plan: ExecutionPlan, time_m: int, time_M: int, schedule: Spatial
                 rec.gather(t, None)
         for rec in plan.all_receivers():
             rec.finalize(t)
+        if monitor is not None:
+            monitor.after_step(plan, t)
 
 
 def _wavefront_steps(
@@ -165,6 +221,7 @@ def run_wavefront(
     time_M: int,
     schedule: WavefrontSchedule,
     step_cache: Optional[Dict] = None,
+    monitor=None,
 ) -> None:
     """Listing 6: wave-front temporal blocking over skewed space-time tiles.
 
@@ -184,9 +241,13 @@ def run_wavefront(
     operator.
     """
     grid = plan.grid
+    _check_entry(plan, time_m, time_M)
+    _check_block_shape(plan, schedule.tile, "space tile")
     nskew = len(schedule.tile)
-    if nskew > grid.ndim:
-        raise ValueError("tile rank exceeds grid rank")
+    if monitor is not None:
+        # snapshots are taken at tile boundaries, and resume points are tile
+        # boundaries of the original run, so the tiling below stays congruent
+        time_m = monitor.begin(plan, time_m, time_M)
 
     step_plans: Dict = step_cache if step_cache is not None else {}
     sweeps = plan.sweeps
@@ -210,9 +271,13 @@ def run_wavefront(
                 inj.apply(t, box)
             for rec in receivers:
                 rec.gather(t, box)
+            if monitor is not None:
+                monitor.after_instance(plan, j, t, box)
         for t in range(t0, t1):
             for rec in plan.all_receivers():
                 rec.finalize(t)
+        if monitor is not None:
+            monitor.after_tile(plan, t0, t1)
 
 
 def run_schedule(
@@ -221,13 +286,33 @@ def run_schedule(
     time_M: int,
     schedule: Schedule,
     step_cache: Optional[Dict] = None,
+    health=None,
+    checkpoint=None,
+    faults=None,
+    monitor=None,
 ) -> None:
-    """Dispatch on schedule kind.  *step_cache* only affects wavefront runs."""
+    """Dispatch on schedule kind.  *step_cache* only affects wavefront runs.
+
+    ``health`` (:class:`~repro.runtime.health.HealthGuard`), ``checkpoint``
+    (:class:`~repro.runtime.checkpoint.CheckpointConfig`) and ``faults``
+    (:class:`~repro.runtime.faults.FaultInjector`) attach the resilience
+    layer; they are bundled into a
+    :class:`~repro.runtime.monitor.RuntimeMonitor` (or pass *monitor*
+    directly).  All default to off and cost nothing when absent.
+    """
+    if monitor is None and (
+        health is not None or checkpoint is not None or faults is not None
+    ):
+        from ..runtime.monitor import RuntimeMonitor
+
+        monitor = RuntimeMonitor(health=health, checkpoint=checkpoint, faults=faults)
     if isinstance(schedule, NaiveSchedule):
-        run_naive(plan, time_m, time_M)
+        run_naive(plan, time_m, time_M, monitor=monitor)
     elif isinstance(schedule, SpatialBlockSchedule):
-        run_spatial(plan, time_m, time_M, schedule)
+        run_spatial(plan, time_m, time_M, schedule, monitor=monitor)
     elif isinstance(schedule, WavefrontSchedule):
-        run_wavefront(plan, time_m, time_M, schedule, step_cache=step_cache)
+        run_wavefront(
+            plan, time_m, time_M, schedule, step_cache=step_cache, monitor=monitor
+        )
     else:
         raise TypeError(f"unknown schedule {schedule!r}")

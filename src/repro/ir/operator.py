@@ -16,6 +16,7 @@ for inspection.
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..core.aligned import AlignedInjection, AlignedReceiver
@@ -31,6 +32,11 @@ from ..dsl.equation import Eq
 from ..dsl.functions import Injection, Interpolation
 from ..dsl.grid import Grid
 from ..dsl.symbols import Number, Symbol
+from ..errors import (
+    EngineCompilationError,
+    EngineFallbackWarning,
+    InvalidTimeRange,
+)
 from ..execution.evalbox import ENGINES, BoundSweep
 from ..execution.executors import ExecutionPlan, run_schedule
 from ..execution.sparse import RawInjection, RawInterpolation
@@ -135,6 +141,43 @@ class Operator:
         return AlignedReceiver(self._decomp_cache[key], itp.field, itp.sparse.data)
 
     # -- binding ------------------------------------------------------------------
+    #: graceful-degradation ladder: when an engine's codegen fails, execution
+    #: falls to the next rung (structured warning) instead of aborting
+    _ENGINE_LADDER = {
+        "fused": ("fused", "kernel", "interp"),
+        "kernel": ("kernel", "interp"),
+        "interp": ("interp",),
+    }
+
+    def _build_sweeps(
+        self, dt: float, engine: str, strict: bool
+    ) -> Tuple[str, List[BoundSweep]]:
+        """Bind sweeps under *engine*, degrading down the ladder on
+        :class:`EngineCompilationError` unless *strict*.  Returns the engine
+        that actually compiled plus its bound sweeps."""
+        subs = {Symbol("dt"): Number(float(dt))}
+        for sym, val in self.grid.spacing_map().items():
+            subs[sym] = Number(float(val))
+        sweep_eqs = [[e.subs(subs) for e in s.eqs] for s in self.sweeps]
+        rungs = self._ENGINE_LADDER[engine]
+        for i, eng in enumerate(rungs):
+            try:
+                return eng, [
+                    BoundSweep(eqs, self.grid, engine=eng, pool=self._pool)
+                    for eqs in sweep_eqs
+                ]
+            except EngineCompilationError as exc:
+                if strict or i == len(rungs) - 1:
+                    raise
+                warnings.warn(
+                    EngineFallbackWarning(
+                        f"{self.name}: engine {eng!r} failed to compile "
+                        f"({exc}); degrading to {rungs[i + 1]!r}"
+                    ),
+                    stacklevel=3,
+                )
+        raise AssertionError("unreachable: ladder ends at the interpreter")
+
     def _bind(
         self,
         dt: float,
@@ -142,6 +185,7 @@ class Operator:
         sparse_mode: str,
         compiled: bool = True,
         engine: Optional[str] = None,
+        strict_engine: bool = False,
     ) -> ExecutionPlan:
         if engine is None:
             engine = "fused" if compiled else "interp"
@@ -152,19 +196,10 @@ class Operator:
             for sw in bound_sweeps:
                 sw.invalidate_invariants()
         else:
-            subs = {Symbol("dt"): Number(float(dt))}
-            for sym, val in self.grid.spacing_map().items():
-                subs[sym] = Number(float(val))
-            bound_sweeps = [
-                BoundSweep(
-                    [e.subs(subs) for e in s.eqs],
-                    self.grid,
-                    engine=engine,
-                    pool=self._pool,
-                )
-                for s in self.sweeps
-            ]
-            if engine == "fused":
+            effective, bound_sweeps = self._build_sweeps(dt, engine, strict_engine)
+            # only a successful *fused* bind is reusable across applies; a
+            # degraded bind must retry the full ladder next time
+            if effective == "fused":
                 if len(self._sweep_cache) >= 8:  # many distinct dt values: bound
                     self._sweep_cache.clear()
                 self._sweep_cache[float(dt)] = bound_sweeps
@@ -213,6 +248,11 @@ class Operator:
         sparse_mode: str = "auto",
         compiled: bool = True,
         engine: Optional[str] = None,
+        health=None,
+        checkpoint=None,
+        faults=None,
+        preflight: bool = True,
+        strict_engine: bool = False,
     ) -> ExecutionPlan:
         """Run iterations ``t in [time_m, time_M)`` under *schedule*.
 
@@ -223,16 +263,46 @@ class Operator:
         bit-identical.  ``compiled=False`` is shorthand for
         ``engine="interp"`` (kept for the ablation bench and as a debugging
         aid).  Returns the execution plan (useful for inspection in tests).
+
+        Resilience (all optional, all off by default): a failing engine
+        degrades down the fused -> kernel -> interp ladder with an
+        :class:`~repro.errors.EngineFallbackWarning` unless ``strict_engine``;
+        ``preflight`` validates the precomputed sparse structures before
+        timestep 0; ``health``/``checkpoint``/``faults`` attach a
+        :class:`~repro.runtime.health.HealthGuard`, a
+        :class:`~repro.runtime.checkpoint.CheckpointConfig` (periodic
+        snapshots, bit-identical resume) and a
+        :class:`~repro.runtime.faults.FaultInjector`.
         """
         if time_M <= time_m:
-            raise ValueError("time_M must exceed time_m")
+            raise InvalidTimeRange(
+                f"time_M must exceed time_m, got [{time_m}, {time_M})"
+            )
         schedule = schedule or NaiveSchedule()
         if isinstance(schedule, WavefrontSchedule):
             if schedule.height not in self._validated_heights:
                 validate_wavefront(self.sweeps, schedule.height)
                 self._validated_heights.add(schedule.height)
-        plan = self._bind(dt, schedule, sparse_mode, compiled=compiled, engine=engine)
-        run_schedule(plan, time_m, time_M, schedule, step_cache=self._step_cache)
+        plan = self._bind(
+            dt,
+            schedule,
+            sparse_mode,
+            compiled=compiled,
+            engine=engine,
+            strict_engine=strict_engine,
+        )
+        if preflight:
+            plan.validate()
+        run_schedule(
+            plan,
+            time_m,
+            time_M,
+            schedule,
+            step_cache=self._step_cache,
+            health=health,
+            checkpoint=checkpoint,
+            faults=faults,
+        )
         return plan
 
     # -- code generation ------------------------------------------------------------

@@ -66,6 +66,11 @@ class Propagator:
         sparse_mode: str = "auto",
         reset: bool = True,
         engine: Optional[str] = None,
+        health=None,
+        checkpoint=None,
+        faults=None,
+        cfl: str = "warn",
+        strict_engine: bool = False,
     ):
         """Run the forward model for *nt* steps (or *tn* ms) under *schedule*.
 
@@ -73,8 +78,23 @@ class Propagator:
         "interp", see :meth:`repro.ir.operator.Operator.apply`).
         Returns ``(receiver_data, plan)``; wavefields stay on the propagator's
         :class:`TimeFunction` objects for inspection.
+
+        ``cfl`` sets the pre-flight stability policy for an explicit *dt*:
+        ``"warn"`` (default) emits a :class:`~repro.errors.StabilityWarning`
+        when *dt* exceeds the critical timestep — unstable runs remain legal,
+        the blow-up demonstration depends on them — ``"raise"`` turns it into
+        a :class:`~repro.errors.StabilityViolation`, ``"ignore"`` skips the
+        check.  ``health``/``checkpoint``/``faults`` attach the runtime
+        resilience layer (see :mod:`repro.runtime`); with
+        ``checkpoint.resume`` set and a snapshot available the wavefields are
+        *not* reset — the run continues from the restored state.
         """
-        dt = dt if dt is not None else self.critical_dt()
+        if dt is None:
+            dt = self.critical_dt()
+        elif cfl != "ignore":
+            from ..runtime.preflight import check_cfl
+
+            check_cfl(dt, self.model, kind=self.kind, policy=cfl)
         if nt is None:
             if tn is None:
                 raise ValueError("give either nt or tn")
@@ -83,13 +103,26 @@ class Propagator:
             raise ValueError(
                 f"source holds {self.source.nt} samples but {nt} steps requested"
             )
-        if reset:
+        resuming = (
+            checkpoint is not None
+            and getattr(checkpoint, "resume", False)
+            and checkpoint.store.latest() is not None
+        )
+        if reset and not resuming:
             self.zero_fields()
             if self.receivers is not None:
                 self.receivers.data[...] = 0.0
         schedule = schedule or NaiveSchedule()
         plan = self.op.apply(
-            time_M=nt, dt=dt, schedule=schedule, sparse_mode=sparse_mode, engine=engine
+            time_M=nt,
+            dt=dt,
+            schedule=schedule,
+            sparse_mode=sparse_mode,
+            engine=engine,
+            health=health,
+            checkpoint=checkpoint,
+            faults=faults,
+            strict_engine=strict_engine,
         )
         rec = self.receivers.data.copy() if self.receivers is not None else None
         return rec, plan

@@ -161,6 +161,37 @@ class SeismicModel:
         coeff = cfl if cfl is not None else CFL_COEFFICIENTS[kind]
         return coeff * min(self.spacing_values) / self.vp_max
 
+    def validate_dt(
+        self, dt: float, kind: str = "acoustic", cfl: Optional[float] = None
+    ) -> float:
+        """Check *dt* against the CFL limit for scheme *kind*.
+
+        Returns the critical timestep; raises
+        :class:`~repro.errors.StabilityViolation` (carrying ``dt``,
+        ``critical`` and ``kind``) when *dt* exceeds it.  A tiny relative
+        tolerance admits ``dt == critical_dt`` across FP round-off.
+        """
+        if dt <= 0:
+            from ..errors import StabilityViolation
+
+            raise StabilityViolation(
+                f"dt must be positive, got {dt}", dt=dt, critical=None, kind=kind
+            )
+        crit = self.critical_dt(kind, cfl=cfl)
+        if dt > crit * (1.0 + 1e-9):
+            from ..errors import StabilityViolation
+
+            raise StabilityViolation(
+                f"dt={dt:g} ms violates the CFL limit {crit:g} ms for the "
+                f"{kind} scheme (vp_max={self.vp_max:g} km/s, "
+                f"h_min={min(self.spacing_values):g} m); the simulation would "
+                "blow up",
+                dt=dt,
+                critical=crit,
+                kind=kind,
+            )
+        return crit
+
     def nt_for(self, tn: float, dt: float) -> int:
         """Number of iterations to simulate *tn* milliseconds."""
         if dt <= 0:

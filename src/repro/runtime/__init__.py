@@ -1,0 +1,60 @@
+"""Runtime resilience layer: health guards, checkpoint/restart, fault injection.
+
+Everything here is opt-in and threaded through the execution stack via
+``Operator.apply`` / ``Propagator.forward`` / ``run_schedule`` keyword
+arguments::
+
+    from repro.runtime import CheckpointConfig, FaultInjector, Fault, HealthGuard
+
+    op.apply(time_M=nt, dt=dt, schedule=WavefrontSchedule(),
+             health=HealthGuard(check_every=16),
+             checkpoint=CheckpointConfig(every=32),
+             faults=FaultInjector([Fault(t=100, kind="nan")], seed=7))
+
+See also :mod:`repro.errors` for the structured error taxonomy and
+:mod:`repro.runtime.preflight` for the validation that runs before
+timestep 0.
+"""
+
+from .checkpoint import (
+    CheckpointConfig,
+    CheckpointStore,
+    FileCheckpointStore,
+    MemoryCheckpointStore,
+    Snapshot,
+    capture_snapshot,
+    restore_snapshot,
+)
+from .faults import Fault, FaultInjector, break_engine
+from .health import DEFAULT_CHECK_EVERY, HealthGuard
+from .monitor import RuntimeMonitor
+from .preflight import (
+    check_cfl,
+    check_coordinates,
+    check_masks,
+    check_receiver,
+    check_source,
+    validate_plan,
+)
+
+__all__ = [
+    "HealthGuard",
+    "DEFAULT_CHECK_EVERY",
+    "CheckpointConfig",
+    "CheckpointStore",
+    "MemoryCheckpointStore",
+    "FileCheckpointStore",
+    "Snapshot",
+    "capture_snapshot",
+    "restore_snapshot",
+    "Fault",
+    "FaultInjector",
+    "break_engine",
+    "RuntimeMonitor",
+    "check_cfl",
+    "check_coordinates",
+    "check_masks",
+    "check_source",
+    "check_receiver",
+    "validate_plan",
+]

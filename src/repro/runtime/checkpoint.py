@@ -1,0 +1,260 @@
+"""Checkpoint/restart of executing plans.
+
+A snapshot captures everything a schedule mutates: the full circular time
+buffers of every :class:`~repro.dsl.functions.TimeFunction` the plan touches
+(halo included — resuming mid-run must reproduce halo state bit-for-bit),
+the receiver trace arrays, and any in-flight receiver staging rows.  Model
+fields, decomposed source wavelets and masks are immutable during a run and
+deliberately not stored.
+
+Snapshots are taken at *consistent* points only: timestep boundaries for the
+naive and spatially blocked schedules, time-tile boundaries for wavefront
+runs (inside a tile, different grid regions sit at different timesteps, so a
+mid-tile snapshot would not be a wavefield).  Because time tiles are
+arithmetic in ``height`` from ``time_m``, resuming from a tile boundary
+replays exactly the remaining tiles of the uninterrupted run — which is what
+makes restart *bit-identical*, not merely close.
+
+Two stores are provided: :class:`MemoryCheckpointStore` (default, zero-IO)
+and :class:`FileCheckpointStore` (``.npz`` files, survives the process).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dc_field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..dsl.functions import TimeFunction
+
+__all__ = [
+    "Snapshot",
+    "CheckpointConfig",
+    "CheckpointStore",
+    "MemoryCheckpointStore",
+    "FileCheckpointStore",
+    "capture_snapshot",
+    "restore_snapshot",
+]
+
+
+@dataclass
+class Snapshot:
+    """State at a consistent point: ``step`` is the next timestep to execute."""
+
+    step: int
+    #: TimeFunction name -> copy of the full padded circular buffer
+    fields: Dict[str, np.ndarray]
+    #: one entry per receiver executor (plan order): trace array + staging rows
+    receivers: List[dict]
+
+    def nbytes(self) -> int:
+        total = sum(int(a.nbytes) for a in self.fields.values())
+        for rec in self.receivers:
+            total += int(rec["output"].nbytes)
+            total += sum(int(a.nbytes) for a in rec["staging"].values())
+        return total
+
+
+class CheckpointStore:
+    """Interface: hold snapshots, hand back the most recent one."""
+
+    def save(self, snapshot: Snapshot) -> None:
+        raise NotImplementedError
+
+    def latest(self) -> Optional[Snapshot]:
+        raise NotImplementedError
+
+    def clear(self) -> None:
+        raise NotImplementedError
+
+
+class MemoryCheckpointStore(CheckpointStore):
+    """In-process snapshot ring; keeps the newest *keep* snapshots."""
+
+    def __init__(self, keep: int = 2):
+        if keep < 1:
+            raise ValueError("keep must be >= 1")
+        self.keep = int(keep)
+        self._snaps: List[Snapshot] = []
+
+    def save(self, snapshot: Snapshot) -> None:
+        self._snaps.append(snapshot)
+        del self._snaps[: -self.keep]
+
+    def latest(self) -> Optional[Snapshot]:
+        return self._snaps[-1] if self._snaps else None
+
+    def clear(self) -> None:
+        self._snaps.clear()
+
+    def __len__(self) -> int:
+        return len(self._snaps)
+
+
+class FileCheckpointStore(CheckpointStore):
+    """``.npz`` snapshots under a directory, newest-``step`` wins.
+
+    Array keys are flattened as ``field.<name>``, ``rec<i>.output`` and
+    ``rec<i>.staging.<row>``; ``step`` rides along as a 0-d array.
+    """
+
+    def __init__(self, directory, keep: int = 2):
+        if keep < 1:
+            raise ValueError("keep must be >= 1")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.keep = int(keep)
+
+    def _paths(self) -> List[Path]:
+        return sorted(self.directory.glob("ckpt_*.npz"))
+
+    def save(self, snapshot: Snapshot) -> None:
+        arrays: Dict[str, np.ndarray] = {"step": np.int64(snapshot.step)}
+        for name, buf in snapshot.fields.items():
+            arrays[f"field.{name}"] = buf
+        for i, rec in enumerate(snapshot.receivers):
+            arrays[f"rec{i}.output"] = rec["output"]
+            for row, stage in rec["staging"].items():
+                arrays[f"rec{i}.staging.{row}"] = stage
+        path = self.directory / f"ckpt_{snapshot.step:010d}.npz"
+        np.savez(path, **arrays)
+        for old in self._paths()[: -self.keep]:
+            old.unlink()
+
+    def latest(self) -> Optional[Snapshot]:
+        paths = self._paths()
+        if not paths:
+            return None
+        with np.load(paths[-1]) as data:
+            fields: Dict[str, np.ndarray] = {}
+            receivers: Dict[int, dict] = {}
+            for key in data.files:
+                if key == "step":
+                    continue
+                if key.startswith("field."):
+                    fields[key[len("field."):]] = data[key]
+                    continue
+                head, _, tail = key.partition(".")
+                idx = int(head[len("rec"):])
+                entry = receivers.setdefault(idx, {"output": None, "staging": {}})
+                if tail == "output":
+                    entry["output"] = data[key]
+                else:
+                    entry["staging"][int(tail.split(".")[-1])] = data[key]
+            step = int(data["step"])
+        return Snapshot(
+            step=step,
+            fields=fields,
+            receivers=[receivers[i] for i in sorted(receivers)],
+        )
+
+    def clear(self) -> None:
+        for path in self._paths():
+            path.unlink()
+
+
+@dataclass
+class CheckpointConfig:
+    """How a run checkpoints and whether it resumes.
+
+    Parameters
+    ----------
+    every:
+        Target number of timesteps between snapshots.  Wavefront runs round
+        up to the next time-tile boundary (the first consistent point).
+    store:
+        Where snapshots live; defaults to a fresh in-memory store.
+    resume:
+        When True and the store holds a snapshot whose ``step`` lies inside
+        the requested range, the run restores it and continues from there
+        instead of starting at ``time_m``.
+    """
+
+    every: int = 8
+    store: CheckpointStore = dc_field(default_factory=MemoryCheckpointStore)
+    resume: bool = False
+
+    def __post_init__(self):
+        if self.every < 1:
+            raise ValueError("checkpoint cadence must be >= 1 timestep")
+
+
+def _plan_time_functions(plan) -> Dict[str, TimeFunction]:
+    """Every TimeFunction a plan reads or writes, keyed by name."""
+    funcs: Dict[str, TimeFunction] = {}
+
+    def add(func):
+        if isinstance(func, TimeFunction):
+            funcs.setdefault(func.name, func)
+
+    for sweep in plan.sweeps:
+        for beq in sweep.beqs:
+            add(beq.lhs.function)
+            for access in beq.reads:
+                add(access.function)
+    for lst in plan.injections.values():
+        for op in lst:
+            add(op.field)
+    for lst in plan.receivers.values():
+        for op in lst:
+            add(op.field)
+    return funcs
+
+
+def _plan_receiver_executors(plan) -> list:
+    """Receiver executors in deterministic (sweep index, position) order."""
+    out = []
+    for j in sorted(plan.receivers):
+        out.extend(plan.receivers[j])
+    return out
+
+
+def _receiver_output(rec) -> np.ndarray:
+    # AlignedReceiver exposes .output; RawInterpolation writes .data in place
+    return rec.output if hasattr(rec, "output") else rec.data
+
+
+def capture_snapshot(plan, step: int) -> Snapshot:
+    """Copy the mutable state of *plan* at the consistent point *step*."""
+    fields = {
+        name: func.data_with_halo.copy()
+        for name, func in _plan_time_functions(plan).items()
+    }
+    receivers = []
+    for rec in _plan_receiver_executors(plan):
+        staging = getattr(rec, "_staging", {})
+        receivers.append(
+            {
+                "output": _receiver_output(rec).copy(),
+                "staging": {row: arr.copy() for row, arr in staging.items()},
+            }
+        )
+    return Snapshot(step=int(step), fields=fields, receivers=receivers)
+
+
+def restore_snapshot(plan, snapshot: Snapshot) -> int:
+    """Write *snapshot* back into *plan*'s live buffers; return the resume step.
+
+    Buffers are filled in place (never reallocated) so cached views held by
+    the fused engine stay valid.
+    """
+    funcs = _plan_time_functions(plan)
+    for name, saved in snapshot.fields.items():
+        func = funcs.get(name)
+        if func is None:
+            raise KeyError(f"snapshot field {name!r} not present in the plan")
+        func.data_with_halo[...] = saved
+    executors = _plan_receiver_executors(plan)
+    if len(executors) != len(snapshot.receivers):
+        raise ValueError(
+            f"snapshot holds {len(snapshot.receivers)} receiver state(s), "
+            f"plan has {len(executors)}"
+        )
+    for rec, saved in zip(executors, snapshot.receivers):
+        _receiver_output(rec)[...] = saved["output"]
+        if hasattr(rec, "_staging"):
+            rec._staging = {row: arr.copy() for row, arr in saved["staging"].items()}
+    return snapshot.step

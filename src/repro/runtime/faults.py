@@ -1,0 +1,152 @@
+"""Deterministic, seedable fault injection for resilience testing.
+
+A :class:`FaultInjector` is handed to a run (``op.apply(..., faults=...)``)
+and consulted by the executors after every sweep instance.  Each
+:class:`Fault` is armed once and fires at its programmed ``(t, tile)``:
+either *raising* :class:`~repro.errors.InjectedFault` (exercising
+checkpoint/restart) or *corrupting* a written buffer with NaN/Inf
+(exercising the health guards, which must then attribute the blowup to the
+same ``(t, tile)``).
+
+``point`` pins a fault to the tile containing that grid point — without it,
+the fault fires at the first instance of timestep ``t`` and corruption
+positions are drawn from the injector's seeded RNG, so a given
+``(faults, seed)`` pair replays identically.
+
+:func:`break_engine` is the codegen counterpart: a context manager that makes
+the fused (or per-equation kernel) compiler raise, exercising the
+engine-degradation ladder in :meth:`repro.ir.operator.Operator._bind`.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field as dc_field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import InjectedFault
+from ..execution.evalbox import Box, box_view
+
+__all__ = ["Fault", "FaultInjector", "break_engine"]
+
+KINDS = ("raise", "nan", "inf")
+
+
+@dataclass
+class Fault:
+    """One programmed fault.
+
+    Parameters
+    ----------
+    t:
+        Logical timestep at which to fire.
+    kind:
+        ``"raise"`` aborts the instance with :class:`InjectedFault`;
+        ``"nan"``/``"inf"`` poke one non-finite value into the buffer the
+        instance just wrote.
+    field:
+        Restrict corruption to the named field (default: the instance's
+        first written field).
+    point:
+        Absolute grid index; the fault only fires on an instance whose box
+        contains it, and corruption lands exactly there.
+    sweep:
+        Restrict to a sweep index.
+    """
+
+    t: int
+    kind: str = "raise"
+    field: Optional[str] = None
+    point: Optional[Tuple[int, ...]] = None
+    sweep: Optional[int] = None
+    message: str = "injected fault"
+    armed: bool = dc_field(default=True)
+
+    def __post_init__(self):
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; expected one of {KINDS}")
+        if self.point is not None:
+            self.point = tuple(int(p) for p in self.point)
+
+
+class FaultInjector:
+    """Arms a set of :class:`Fault` objects and fires them deterministically."""
+
+    def __init__(self, faults: Sequence[Fault], seed: int = 0):
+        self.faults: List[Fault] = list(faults)
+        self.seed = int(seed)
+        self.rng = np.random.default_rng(self.seed)
+        #: (t, tile, kind, field) of every fault fired, in order
+        self.log: List[Tuple] = []
+
+    def reset(self) -> None:
+        """Re-arm every fault and reset the RNG (exact replay)."""
+        for f in self.faults:
+            f.armed = True
+        self.rng = np.random.default_rng(self.seed)
+        self.log.clear()
+
+    # -- executor hook ---------------------------------------------------------------
+    def fire(self, plan, j: int, t: int, box: Box) -> None:
+        for f in self.faults:
+            if not f.armed or f.t != t:
+                continue
+            if f.sweep is not None and f.sweep != j:
+                continue
+            if f.point is not None and not all(
+                lo <= p < hi for p, (lo, hi) in zip(f.point, box)
+            ):
+                continue
+            f.armed = False
+            if f.kind == "raise":
+                self.log.append((t, box, f.kind, None))
+                raise InjectedFault(f.message, t=t, tile=box)
+            self._corrupt(plan, j, t, box, f)
+
+    def _corrupt(self, plan, j: int, t: int, box: Box, f: Fault) -> None:
+        sweep = plan.sweeps[j]
+        beq = next(
+            (b for b in sweep.beqs if b.lhs.function.name == f.field),
+            sweep.beqs[0],
+        )
+        view = box_view(beq.lhs, t, box, sweep.dim_names)
+        if f.point is not None:
+            pos = tuple(p - lo for p, (lo, _hi) in zip(f.point, box))
+        else:
+            pos = tuple(int(self.rng.integers(0, s)) for s in view.shape)
+        view[pos] = np.nan if f.kind == "nan" else np.inf
+        self.log.append((t, box, f.kind, beq.lhs.function.name))
+
+    def __repr__(self) -> str:
+        armed = sum(f.armed for f in self.faults)
+        return f"FaultInjector({len(self.faults)} fault(s), {armed} armed, seed={self.seed})"
+
+
+@contextmanager
+def break_engine(engine: str = "fused", exc: Optional[Exception] = None):
+    """Force the named engine's compiler to raise inside the ``with`` block.
+
+    Patches :func:`repro.ir.pycodegen.compile_sweep` (fused) or
+    :func:`~repro.ir.pycodegen.compile_rhs` (per-equation kernels); both are
+    looked up at call time by the execution layer, so the patch takes effect
+    for every sweep bound while the context is active.
+    """
+    from ..ir import pycodegen
+
+    target = {"fused": "compile_sweep", "kernel": "compile_rhs"}.get(engine)
+    if target is None:
+        raise ValueError(f"break_engine supports 'fused' or 'kernel', got {engine!r}")
+    original = getattr(pycodegen, target)
+
+    def broken(*args, **kwargs):
+        raise exc if exc is not None else RuntimeError(
+            f"injected {engine} codegen failure"
+        )
+
+    setattr(pycodegen, target, broken)
+    try:
+        yield
+    finally:
+        setattr(pycodegen, target, original)

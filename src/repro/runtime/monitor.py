@@ -1,0 +1,81 @@
+"""The runtime monitor: one object the executors consult during a run.
+
+Bundles the three optional resilience facilities — health guards, checkpoint
+/restart and fault injection — behind the narrow hook surface the executors
+call:
+
+* :meth:`begin` — once per run, before the first instance; restores the
+  latest snapshot when the checkpoint config asks to resume and returns the
+  (possibly advanced) start timestep.
+* :meth:`after_instance` — after every executed sweep instance ``(j, t,
+  box)``: fires due faults first (so a cadence-1 guard attributes the
+  corruption to the exact instance), then ticks the health guard.
+* :meth:`after_step` — naive/spatial schedules, after timestep ``t``
+  completed (stencil + sparse + receiver finalize): checkpoint cadence.
+* :meth:`after_tile` — wavefront schedules, after a full time tile
+  ``[t0, t1)``: the only consistent snapshot points of a tiled run.
+
+Executors keep a single ``monitor is not None`` branch on their hot paths;
+with no facility configured no monitor is built at all.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .checkpoint import CheckpointConfig, capture_snapshot, restore_snapshot
+from .faults import FaultInjector
+from .health import HealthGuard
+
+__all__ = ["RuntimeMonitor"]
+
+
+class RuntimeMonitor:
+    def __init__(
+        self,
+        health: Optional[HealthGuard] = None,
+        checkpoint: Optional[CheckpointConfig] = None,
+        faults: Optional[FaultInjector] = None,
+    ):
+        self.health = health
+        self.checkpoint = checkpoint
+        self.faults = faults
+        self._last_saved: Optional[int] = None
+
+    # -- lifecycle ---------------------------------------------------------------------
+    def begin(self, plan, time_m: int, time_M: int) -> int:
+        """Restore-if-resuming; returns the timestep the run starts from."""
+        self._last_saved = time_m
+        cfg = self.checkpoint
+        if cfg is None or not cfg.resume:
+            return time_m
+        snapshot = cfg.store.latest()
+        if snapshot is None or not time_m <= snapshot.step <= time_M:
+            return time_m
+        start = restore_snapshot(plan, snapshot)
+        self._last_saved = start
+        return start
+
+    # -- executor hooks ----------------------------------------------------------------
+    def after_instance(self, plan, j: int, t: int, box) -> None:
+        if box is None:
+            box = tuple((0, s) for s in plan.grid.shape)
+        if self.faults is not None:
+            self.faults.fire(plan, j, t, box)
+        if self.health is not None:
+            self.health.on_instance(plan.sweeps[j], t, box)
+
+    def after_step(self, plan, t: int) -> None:
+        self._maybe_save(plan, t + 1)
+
+    def after_tile(self, plan, t0: int, t1: int) -> None:
+        self._maybe_save(plan, t1)
+
+    # -- checkpointing -----------------------------------------------------------------
+    def _maybe_save(self, plan, step: int) -> None:
+        cfg = self.checkpoint
+        if cfg is None:
+            return
+        if step - self._last_saved >= cfg.every:
+            cfg.store.save(capture_snapshot(plan, step))
+            self._last_saved = step

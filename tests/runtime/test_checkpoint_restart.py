@@ -1,0 +1,184 @@
+"""Checkpoint/restart: an interrupted-then-resumed run must be bit-identical
+to the uninterrupted one — wavefields *and* receiver traces — on every
+schedule."""
+
+import numpy as np
+import pytest
+
+from repro.core import NaiveSchedule, SpatialBlockSchedule, WavefrontSchedule
+from repro.errors import InjectedFault
+from repro.propagators import AcousticPropagator, SeismicModel, point_source, receiver_line
+from repro.runtime import (
+    CheckpointConfig,
+    Fault,
+    FaultInjector,
+    FileCheckpointStore,
+    MemoryCheckpointStore,
+)
+
+from ..conftest import make_acoustic_operator, run_and_capture
+
+NT = 10
+DT = 0.5
+CRASH_T = 6
+
+SCHEDULES = {
+    "naive": NaiveSchedule(),
+    "spatial": SpatialBlockSchedule(block=(5, 4)),
+    "wavefront": WavefrontSchedule(tile=(6, 6), height=2),
+}
+
+
+def _schedule_param():
+    return pytest.mark.parametrize(
+        "schedule", list(SCHEDULES.values()), ids=list(SCHEDULES)
+    )
+
+
+def _mode(schedule):
+    return "precomputed" if isinstance(schedule, WavefrontSchedule) else "auto"
+
+
+@pytest.mark.faults
+@_schedule_param()
+def test_restart_is_bit_identical(grid2d, schedule, tmp_path):
+    op, u, m, src, rec = make_acoustic_operator(grid2d, nt=NT)
+    ref_u, ref_rec = run_and_capture(op, u, rec, NT, DT, schedule, _mode(schedule))
+
+    # interrupted run: checkpoint every 2 steps, injected abort at CRASH_T
+    u.data_with_halo[...] = 0.0
+    rec.data[...] = 0.0
+    store = MemoryCheckpointStore(keep=2)
+    cfg = CheckpointConfig(every=2, store=store)
+    faults = FaultInjector([Fault(t=CRASH_T, kind="raise")])
+    with pytest.raises(InjectedFault):
+        op.apply(
+            time_M=NT, dt=DT, schedule=schedule, sparse_mode=_mode(schedule),
+            checkpoint=cfg, faults=faults,
+        )
+    snap = store.latest()
+    assert snap is not None and 0 < snap.step <= CRASH_T
+
+    # resume: the monitor restores the snapshot and replays the remainder
+    op.apply(
+        time_M=NT, dt=DT, schedule=schedule, sparse_mode=_mode(schedule),
+        checkpoint=CheckpointConfig(every=2, store=store, resume=True),
+    )
+    np.testing.assert_array_equal(u.interior(NT), ref_u)
+    np.testing.assert_array_equal(rec.data, ref_rec)
+
+
+@_schedule_param()
+def test_checkpointed_run_unchanged_without_resume(grid2d, schedule):
+    """Snapshotting must not perturb the run it observes."""
+    op, u, m, src, rec = make_acoustic_operator(grid2d, nt=NT)
+    ref_u, ref_rec = run_and_capture(op, u, rec, NT, DT, schedule, _mode(schedule))
+    u.data_with_halo[...] = 0.0
+    rec.data[...] = 0.0
+    op.apply(
+        time_M=NT, dt=DT, schedule=schedule, sparse_mode=_mode(schedule),
+        checkpoint=CheckpointConfig(every=3),
+    )
+    np.testing.assert_array_equal(u.interior(NT), ref_u)
+    np.testing.assert_array_equal(rec.data, ref_rec)
+
+
+@pytest.mark.faults
+def test_restart_from_file_store(grid2d, tmp_path):
+    schedule = WavefrontSchedule(tile=(6, 6), height=2)
+    op, u, m, src, rec = make_acoustic_operator(grid2d, nt=NT)
+    ref_u, ref_rec = run_and_capture(op, u, rec, NT, DT, schedule, "precomputed")
+
+    u.data_with_halo[...] = 0.0
+    rec.data[...] = 0.0
+    store = FileCheckpointStore(tmp_path / "ckpt", keep=2)
+    faults = FaultInjector([Fault(t=CRASH_T, kind="raise")])
+    with pytest.raises(InjectedFault):
+        op.apply(
+            time_M=NT, dt=DT, schedule=schedule, sparse_mode="precomputed",
+            checkpoint=CheckpointConfig(every=2, store=store), faults=faults,
+        )
+    assert list((tmp_path / "ckpt").glob("ckpt_*.npz"))
+
+    op.apply(
+        time_M=NT, dt=DT, schedule=schedule, sparse_mode="precomputed",
+        checkpoint=CheckpointConfig(every=2, store=store, resume=True),
+    )
+    np.testing.assert_array_equal(u.interior(NT), ref_u)
+    np.testing.assert_array_equal(rec.data, ref_rec)
+
+
+def test_file_store_keeps_newest(tmp_path):
+    from repro.runtime.checkpoint import Snapshot
+
+    store = FileCheckpointStore(tmp_path, keep=2)
+    for step in (2, 4, 6):
+        store.save(
+            Snapshot(step=step, fields={"u": np.full((3, 3), step, np.float32)},
+                     receivers=[])
+        )
+    assert len(list(tmp_path.glob("ckpt_*.npz"))) == 2
+    latest = store.latest()
+    assert latest.step == 6
+    np.testing.assert_array_equal(latest.fields["u"], np.full((3, 3), 6, np.float32))
+    store.clear()
+    assert store.latest() is None
+
+
+def test_memory_store_ring():
+    from repro.runtime.checkpoint import Snapshot
+
+    store = MemoryCheckpointStore(keep=1)
+    store.save(Snapshot(step=1, fields={}, receivers=[]))
+    store.save(Snapshot(step=3, fields={}, receivers=[]))
+    assert len(store) == 1 and store.latest().step == 3
+
+
+def test_resume_outside_range_restarts_clean(grid2d):
+    """A stale snapshot beyond time_M must be ignored, not restored."""
+    op, u, m, src, rec = make_acoustic_operator(grid2d, nt=NT)
+    store = MemoryCheckpointStore()
+    op.apply(time_M=NT, dt=DT, checkpoint=CheckpointConfig(every=2, store=store))
+    assert store.latest().step > 4
+    ref_u, ref_rec = run_and_capture(op, u, rec, 4, DT, NaiveSchedule())
+    u.data_with_halo[...] = 0.0
+    rec.data[...] = 0.0
+    op.apply(
+        time_M=4, dt=DT,
+        checkpoint=CheckpointConfig(every=2, store=MemoryCheckpointStore(), resume=True),
+    )
+    np.testing.assert_array_equal(u.interior(4), ref_u)
+
+
+@pytest.mark.faults
+def test_propagator_restart_bit_identical():
+    """End-to-end: acoustic propagator crash/resume through forward()."""
+    def build():
+        model = SeismicModel((20, 20, 20), (10.0,) * 3, 2.0, nbl=4, space_order=4)
+        dt = model.critical_dt("acoustic")
+        nt = 12
+        src = point_source("src", model.grid, nt + 2, [model.domain_center],
+                           f0=0.03, dt=dt)
+        recv = receiver_line("rec", model.grid, nt + 2, npoint=4, depth=60.0)
+        return AcousticPropagator(model, space_order=4, source=src, receivers=recv), dt, nt
+
+    schedule = WavefrontSchedule(tile=(8, 8), height=2)
+    prop, dt, nt = build()
+    ref_rec, _ = prop.forward(nt=nt, dt=dt, schedule=schedule)
+    ref_u = prop.u.interior(nt).copy()
+
+    prop2, dt2, _ = build()
+    store = MemoryCheckpointStore()
+    faults = FaultInjector([Fault(t=7, kind="raise")])
+    with pytest.raises(InjectedFault):
+        prop2.forward(
+            nt=nt, dt=dt2, schedule=schedule,
+            checkpoint=CheckpointConfig(every=2, store=store), faults=faults,
+        )
+    # resume: forward() skips the zero-field reset when a snapshot is present
+    rec2, _ = prop2.forward(
+        nt=nt, dt=dt2, schedule=schedule,
+        checkpoint=CheckpointConfig(every=2, store=store, resume=True),
+    )
+    np.testing.assert_array_equal(prop2.u.interior(nt), ref_u)
+    np.testing.assert_array_equal(rec2, ref_rec)
