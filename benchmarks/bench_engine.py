@@ -33,6 +33,10 @@ or through pytest (slow-marked)::
 at its default cadence (NaN/Inf scan of the written views every
 ``DEFAULT_CHECK_EVERY`` sweep instances) against unguarded runs, and merges
 the per-schedule overhead into ``BENCH_engine.json`` under ``"guards"``.
+
+``--verify`` times the schedule-legality prover (cold ``prove_schedule``
+plus the cached ``certificate_for`` replay every wavefront ``apply`` hits)
+and merges the wall-clock into ``BENCH_engine.json`` under ``"verify"``.
 """
 
 from __future__ import annotations
@@ -268,6 +272,59 @@ def print_guards_report(guards):
         )
 
 
+def run_verify_bench(repeats=REPEATS):
+    """Wall-clock of the schedule-legality prover on the bench operator.
+
+    Times a cold :func:`repro.verify.prove_schedule` per schedule (dependence
+    extraction + per-edge inequalities) and the cached
+    :meth:`Operator.certificate_for` replay — the cost every wavefront
+    ``apply`` pays at most once per (schedule, sparse-mode) pair.
+    """
+    from repro.verify import prove_schedule
+
+    prop, _dt = build()
+    op = prop.op
+    results = {}
+    for sched_name, sched in schedules().items():
+        cold = []
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            cert = prove_schedule(op, sched)
+            cold.append(time.perf_counter() - t0)
+        op.certificates.clear()
+        op.certificate_for(sched)  # populate
+        t0 = time.perf_counter()
+        op.certificate_for(sched)  # cached replay
+        cached = time.perf_counter() - t0
+        results[sched_name] = {
+            "prove": min(cold),
+            "cached": cached,
+            "edges": len(cert.dependences),
+            "legal": bool(cert.check()),
+        }
+    return {
+        "timing": "min over N rounds: cold prove_schedule vs cached certificate_for",
+        "schedules": results,
+    }
+
+
+def merge_verify_report(verify, path=RESULT_PATH):
+    report = json.loads(path.read_text()) if path.exists() else {"bench": "engine"}
+    report["verify"] = verify
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def print_verify_report(verify):
+    print("# schedule-legality prover wall-clock")
+    print(f"{'schedule':<12} {'prove':>12} {'cached':>12} {'edges':>7} {'legal':>6}")
+    for sched, row in verify["schedules"].items():
+        print(
+            f"{sched:<12} {row['prove']*1e3:>10.2f}ms {row['cached']*1e6:>10.2f}us "
+            f"{row['edges']:>7} {str(row['legal']):>6}"
+        )
+
+
 @pytest.mark.slow
 def test_guard_overhead_within_budget():
     """Acceptance: the default-cadence health guard costs < 5% wall-clock on
@@ -291,7 +348,11 @@ def test_fused_engine_speedup_and_report():
 
 
 if __name__ == "__main__":
-    if "--guards" in sys.argv[1:]:
+    if "--verify" in sys.argv[1:]:
+        verify = run_verify_bench()
+        print_verify_report(verify)
+        out = merge_verify_report(verify)
+    elif "--guards" in sys.argv[1:]:
         guards = run_guards_bench()
         print_guards_report(guards)
         out = merge_guards_report(guards)

@@ -59,9 +59,11 @@ from .errors import (
     EngineFallbackWarning,
     InjectedFault,
     InvalidTimeRange,
+    KernelLintError,
     NumericalBlowup,
     PlanValidationError,
     ReproError,
+    ScheduleLegalityError,
     StabilityViolation,
     StabilityWarning,
 )
@@ -90,6 +92,8 @@ __all__ = [
     "CoordinateOutOfDomain",
     "StabilityViolation",
     "EngineCompilationError",
+    "KernelLintError",
+    "ScheduleLegalityError",
     "InvalidTimeRange",
     "PlanValidationError",
     "InjectedFault",

@@ -6,7 +6,12 @@ from .metrics import (
     flop_count,
     gpoints_per_s,
 )
-from .report import render_series, render_speedup_bars, render_table
+from .report import (
+    render_certificate,
+    render_series,
+    render_speedup_bars,
+    render_table,
+)
 
 __all__ = [
     "flop_count",
@@ -17,4 +22,5 @@ __all__ = [
     "render_table",
     "render_series",
     "render_speedup_bars",
+    "render_certificate",
 ]

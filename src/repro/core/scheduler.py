@@ -21,6 +21,7 @@ one description drives every measurement plane.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Iterator, List, Tuple
 
@@ -32,6 +33,7 @@ __all__ = [
     "time_tiles",
     "tile_origins",
     "instance_lags",
+    "lag_span",
 ]
 
 
@@ -39,6 +41,24 @@ class Schedule:
     """Base class; concrete schedules are plain frozen dataclasses."""
 
     kind = "abstract"
+
+    def describe(self) -> dict:
+        """JSON-able description of the schedule: its kind plus every
+        geometry parameter.  Used as the legality-certificate key and in
+        certificate serialisation (:mod:`repro.verify`)."""
+        out = {"kind": self.kind}
+        if dataclasses.is_dataclass(self):
+            for f in dataclasses.fields(self):
+                value = getattr(self, f.name)
+                out[f.name] = list(value) if isinstance(value, tuple) else value
+        return out
+
+    def key(self) -> tuple:
+        """Hashable form of :meth:`describe` (cache key)."""
+        return tuple(
+            (k, tuple(v) if isinstance(v, list) else v)
+            for k, v in sorted(self.describe().items())
+        )
 
 
 @dataclass(frozen=True)
@@ -135,6 +155,27 @@ def instance_lags(radii: Tuple[int, ...], nsteps: int) -> List[int]:
                 current += int(r)
             lags.append(current)
     return lags
+
+
+def lag_span(radii: Tuple[int, ...], j_from: int, count: int) -> int:
+    """Lag accumulated over *count* instance advances after a sweep-*j_from*
+    instance.
+
+    Instances of a time tile are ordered ``(t0, s0), (t0, s1), ...,
+    (t0+1, s0), ...`` and every instance after the first adds its own sweep's
+    read radius to the cumulative lag (:func:`instance_lags`).  The lag gap
+    between an instance of sweep *j_from* and the instance *count* positions
+    later is therefore ``sum(radii[(j_from + m) % nsweeps] for m in
+    1..count)`` — independent of which congruent pair is picked, which is what
+    lets the legality prover check one inequality per dependence edge instead
+    of one per instance pair (:mod:`repro.verify.prover`).
+    """
+    if count < 0:
+        raise ValueError("count must be >= 0")
+    ns = len(radii)
+    if ns == 0:
+        raise ValueError("need at least one sweep")
+    return sum(int(radii[(j_from + m) % ns]) for m in range(1, count + 1))
 
 
 def tile_origins(extents: Tuple[int, ...], tile: Tuple[int, ...], max_lag: int) -> Iterator[Tuple[int, ...]]:

@@ -22,6 +22,8 @@ __all__ = [
     "CoordinateOutOfDomain",
     "StabilityViolation",
     "EngineCompilationError",
+    "KernelLintError",
+    "ScheduleLegalityError",
     "InvalidTimeRange",
     "PlanValidationError",
     "InjectedFault",
@@ -100,6 +102,29 @@ class EngineCompilationError(ReproError, RuntimeError):
     Carries ``engine`` (the rung that failed).  The engine-selection ladder
     catches this to degrade fused -> kernel -> interp; in strict mode it
     propagates to the caller.
+    """
+
+
+class KernelLintError(EngineCompilationError):
+    """The kernel-IR linter rejected a compiled sweep.
+
+    Raised on the fused rung of the engine ladder when static analysis of the
+    bound sweeps finds an error-severity defect (out-of-halo footprint, stale
+    scratch read, aliasing write, ...).  Carries ``diagnostics`` (the list of
+    :class:`repro.verify.linter.Diagnostic` that failed the bind) so strict
+    mode surfaces the exact lint findings; non-strict mode degrades down the
+    ladder like any other compilation failure.
+    """
+
+
+class ScheduleLegalityError(ReproError, ValueError):
+    """A schedule fails the dependence-legality proof.
+
+    Carries ``counterexample`` (a :class:`repro.verify.certificate.Counterexample`
+    naming two conflicting instances ``(t, tile, point)``) and, when a partial
+    proof exists, ``certificate``.  Subclasses ``ValueError`` because the
+    pre-prover code raised bare ``ValueError`` for illegal schedule/sparse-mode
+    combinations and call sites match on that.
     """
 
 

@@ -250,6 +250,13 @@ class BoundSweep:
             bound = self._view_cache[key] = (slots, outs, views)
         self._kernel(*bound)
 
+    def kernel_source(self):
+        """The generated three-address source of the fused kernel, or ``None``
+        for the non-fused engines (kernel-IR linter entry point)."""
+        if self._kernel is None:
+            return None
+        return getattr(self._kernel, "__source__", None)
+
     def invalidate_invariants(self) -> None:
         """Force hoisted model-term buffers to re-materialise on next use.
 

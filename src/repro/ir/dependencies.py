@@ -170,6 +170,19 @@ def build_sweeps(eqs: Sequence[Eq]) -> List[Sweep]:
     return sweeps
 
 
+def sweep_read_radius(sweep: Sweep) -> int:
+    """Module-level form of :meth:`Sweep.read_radius`: the largest spatial
+    radius at which *sweep* reads time-stepped data it does not itself
+    produce — i.e. the wavefront lag the sweep contributes.
+
+    Zero-radius sweeps (pointwise updates, e.g. damping-only corrections) and
+    multi-field sweeps (elastic: one sweep reads several staggered fields)
+    are both covered: the maximum runs over every external time-field read,
+    and an empty read set yields 0.
+    """
+    return sweep.read_radius()
+
+
 def wavefront_angle(sweeps: Sequence[Sweep]) -> int:
     """Wavefront skew per timestep: the sum of the per-sweep read radii.
 

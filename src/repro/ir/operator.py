@@ -40,7 +40,7 @@ from ..errors import (
 from ..execution.evalbox import ENGINES, BoundSweep
 from ..execution.executors import ExecutionPlan, run_schedule
 from ..execution.sparse import RawInjection, RawInterpolation
-from .dependencies import Sweep, build_sweeps, validate_wavefront, wavefront_angle
+from .dependencies import Sweep, build_sweeps, wavefront_angle
 
 __all__ = ["Operator"]
 
@@ -73,7 +73,10 @@ class Operator:
         # interp engines bind per apply, exactly as the seed engine did: they
         # exist as ablation baselines and carry no reusable state.
         self._sweep_cache: Dict[float, List[BoundSweep]] = {}
-        self._validated_heights: set = set()
+        # legality certificates from the schedule prover, keyed by
+        # (schedule.key(), resolved sparse mode); apply() proves each
+        # wavefront schedule once and replays the cached verdict after
+        self.certificates: Dict = {}
         # precomputed wavefront step plans, persisted across apply() calls;
         # keyed (tile, height) -- the only schedule knobs geometry depends on
         # (grid and sweep radii are fixed per operator)
@@ -108,6 +111,26 @@ class Operator:
 
     def interpolations(self) -> List[Interpolation]:
         return [s for s in self.sparse_ops if isinstance(s, Interpolation)]
+
+    # -- legality --------------------------------------------------------------------
+    def certificate_for(
+        self, schedule: Optional[Schedule] = None, sparse_mode: str = "auto"
+    ):
+        """Prove (once, then cache) the legality of *schedule* for this
+        operator, returning the
+        :class:`~repro.verify.certificate.LegalityCertificate`; raises
+        :class:`~repro.errors.ScheduleLegalityError` with a concrete
+        counterexample when the schedule is illegal.  ``apply`` calls this as
+        its wavefront preflight."""
+        from ..verify.prover import prove_schedule, resolve_sparse_mode
+
+        schedule = schedule or NaiveSchedule()
+        key = (schedule.key(), resolve_sparse_mode(sparse_mode, schedule))
+        cert = self.certificates.get(key)
+        if cert is None:
+            cert = prove_schedule(self, schedule, sparse_mode=sparse_mode)
+            self.certificates[key] = cert
+        return cert
 
     # -- sweep attachment ------------------------------------------------------------
     def _sweep_index_for(self, field_name: str, time_offset: int) -> int:
@@ -162,10 +185,27 @@ class Operator:
         rungs = self._ENGINE_LADDER[engine]
         for i, eng in enumerate(rungs):
             try:
-                return eng, [
+                bound = [
                     BoundSweep(eqs, self.grid, engine=eng, pool=self._pool)
                     for eqs in sweep_eqs
                 ]
+                if eng == "fused":
+                    # kernel-IR lint gate: error findings reject the fused
+                    # bind; the KernelLintError rides the same ladder as any
+                    # compilation failure (degrade unless strict)
+                    from ..errors import KernelLintError
+                    from ..verify.linter import lint_bound_sweeps
+
+                    report = lint_bound_sweeps(bound, name=self.name)
+                    if not report.ok:
+                        raise KernelLintError(
+                            f"{self.name}: kernel-IR linter rejected the "
+                            "fused bind: "
+                            + "; ".join(d.render() for d in report.errors),
+                            engine="fused",
+                            diagnostics=report.diagnostics,
+                        )
+                return eng, bound
             except EngineCompilationError as exc:
                 if strict or i == len(rungs) - 1:
                     raise
@@ -211,10 +251,20 @@ class Operator:
         if sparse_mode not in ("offgrid", "precomputed"):
             raise ValueError(f"unknown sparse mode {sparse_mode!r}")
         if sparse_mode == "offgrid" and isinstance(schedule, WavefrontSchedule):
-            raise ValueError(
+            # backstop for callers that bind without the apply() preflight;
+            # carries the same concrete counterexample the prover builds
+            from ..errors import ScheduleLegalityError
+            from ..verify.prover import offgrid_counterexample
+
+            sparse = self.sparse_ops
+            ce = offgrid_counterexample(self, schedule, sparse[0]) if sparse else None
+            raise ScheduleLegalityError(
                 "wavefront temporal blocking requires grid-aligned sparse "
                 "operators (sparse_mode='precomputed'): off-the-grid "
                 "injection inside space-time tiles violates data dependencies"
+                + (f" — {ce.describe()}" if ce is not None else ""),
+                counterexample=ce,
+                schedule=schedule.describe(),
             )
 
         plan = ExecutionPlan(
@@ -280,9 +330,10 @@ class Operator:
             )
         schedule = schedule or NaiveSchedule()
         if isinstance(schedule, WavefrontSchedule):
-            if schedule.height not in self._validated_heights:
-                validate_wavefront(self.sweeps, schedule.height)
-                self._validated_heights.add(schedule.height)
+            # dependence-legality preflight: a certificate per (schedule,
+            # sparse-mode) pair, or a ScheduleLegalityError naming two
+            # conflicting statement instances
+            self.certificate_for(schedule, sparse_mode)
         plan = self._bind(
             dt,
             schedule,

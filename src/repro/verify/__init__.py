@@ -1,0 +1,75 @@
+"""Static verification subsystem: dependence analysis, schedule-legality
+certificates, kernel-IR linting and a dynamic shadow-memory race oracle.
+
+Layers (each usable standalone):
+
+* :mod:`repro.verify.dependence` — per-statement read/write access sets over
+  every engine IR and flow/anti/output dependences with per-dimension
+  distance vectors (supersedes the radius-only summary of
+  :mod:`repro.ir.dependencies`).
+* :mod:`repro.verify.prover` — :func:`prove_schedule` turns the dependence
+  graph plus a schedule into a machine-checkable
+  :class:`~repro.verify.certificate.LegalityCertificate`, or raises
+  :class:`~repro.errors.ScheduleLegalityError` carrying a concrete
+  :class:`~repro.verify.certificate.Counterexample` naming two conflicting
+  statement instances ``(t, tile, point)``.
+* :mod:`repro.verify.linter` — static checks over compiled sweeps
+  (``python -m repro.lint`` is the CLI front-end); error findings reject the
+  fused bind via :class:`~repro.errors.KernelLintError`.
+* :mod:`repro.verify.oracle` — shadow-memory replay of real executions on
+  small grids, confirming certified schedules race-free and counterexamples
+  real.
+"""
+
+from .certificate import (
+    CheckedDependence,
+    Counterexample,
+    InstanceRef,
+    LegalityCertificate,
+)
+from .dependence import (
+    AccessInfo,
+    Dependence,
+    Statement,
+    classify_indexed,
+    compute_dependences,
+    fused_statements,
+    statements_for,
+)
+from .linter import (
+    Diagnostic,
+    LintReport,
+    analyse_kernel_source,
+    lint_bound_sweeps,
+    lint_equations,
+    lint_operator,
+)
+from .oracle import OracleReport, RaceRecord, ShadowState, run_oracle
+from .prover import offgrid_counterexample, prove_schedule, resolve_sparse_mode
+
+__all__ = [
+    "AccessInfo",
+    "Statement",
+    "Dependence",
+    "classify_indexed",
+    "statements_for",
+    "fused_statements",
+    "compute_dependences",
+    "InstanceRef",
+    "Counterexample",
+    "CheckedDependence",
+    "LegalityCertificate",
+    "prove_schedule",
+    "offgrid_counterexample",
+    "resolve_sparse_mode",
+    "Diagnostic",
+    "LintReport",
+    "analyse_kernel_source",
+    "lint_equations",
+    "lint_bound_sweeps",
+    "lint_operator",
+    "OracleReport",
+    "RaceRecord",
+    "ShadowState",
+    "run_oracle",
+]

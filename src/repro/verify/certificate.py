@@ -1,0 +1,261 @@
+"""Machine-checkable legality certificates and concrete counterexamples.
+
+A :class:`LegalityCertificate` is the prover's positive verdict: for every
+dependence edge of the operator it records the per-edge legality inequality —
+required lag gap (from the distance vector) vs available lag gap (from the
+schedule's cumulative-lag table) — together with the schedule geometry the
+inequalities were evaluated under.  :meth:`LegalityCertificate.check`
+re-evaluates every inequality from the recorded data alone, so a certificate
+can be serialised (:meth:`to_dict` / :meth:`from_dict`), shipped, and
+re-verified without the operator that produced it.
+
+A :class:`Counterexample` is the negative verdict: two conflicting statement
+instances, each named ``(t, tile, point)``, plus the dependence they violate.
+The shadow-memory oracle (:mod:`repro.verify.oracle`) replays counterexamples
+on small grids to confirm they manifest as real races.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+__all__ = [
+    "InstanceRef",
+    "Counterexample",
+    "CheckedDependence",
+    "LegalityCertificate",
+]
+
+Box = Tuple[Tuple[int, int], ...]
+
+
+@dataclass(frozen=True)
+class InstanceRef:
+    """One statement instance: timestep, space(-time) tile, grid point."""
+
+    t: int
+    sweep: int
+    tile: Box
+    point: Tuple[int, ...]
+    role: str = "stencil"
+
+    def describe(self) -> str:
+        tile = "x".join(f"[{lo},{hi})" for lo, hi in self.tile)
+        return (
+            f"{self.role} instance (t={self.t}, sweep={self.sweep}, "
+            f"tile={tile}, point={self.point})"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "t": self.t,
+            "sweep": self.sweep,
+            "tile": [list(b) for b in self.tile],
+            "point": list(self.point),
+            "role": self.role,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "InstanceRef":
+        return cls(
+            t=int(d["t"]),
+            sweep=int(d["sweep"]),
+            tile=tuple(tuple(b) for b in d["tile"]),
+            point=tuple(d["point"]),
+            role=d.get("role", "stencil"),
+        )
+
+
+@dataclass(frozen=True)
+class Counterexample:
+    """Two conflicting instances violating a dependence under a schedule.
+
+    ``first`` executes before ``second`` under the *schedule*, but sequential
+    semantics requires the opposite order (or an ordering the schedule cannot
+    provide).  ``manifest`` states whether the conflict is realisable with
+    the operator's actual source/tile geometry — when the prover rejects a
+    schedule *class* (e.g. off-the-grid injection under wavefront blocking)
+    but the concrete source placement happens to dodge every tile boundary,
+    it still emits the nearest would-be conflict with ``manifest=False``.
+    """
+
+    kind: str  # dependence kind violated: "flow" | "anti" | "output"
+    field: str
+    first: InstanceRef
+    second: InstanceRef
+    reason: str
+    manifest: bool = True
+
+    def describe(self) -> str:
+        return (
+            f"{self.kind} violation on field {self.field!r}: "
+            f"{self.first.describe()} conflicts with {self.second.describe()} "
+            f"— {self.reason}"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "field": self.field,
+            "first": self.first.to_dict(),
+            "second": self.second.to_dict(),
+            "reason": self.reason,
+            "manifest": self.manifest,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "Counterexample":
+        return cls(
+            kind=d["kind"],
+            field=d["field"],
+            first=InstanceRef.from_dict(d["first"]),
+            second=InstanceRef.from_dict(d["second"]),
+            reason=d["reason"],
+            manifest=bool(d.get("manifest", True)),
+        )
+
+
+@dataclass(frozen=True)
+class CheckedDependence:
+    """One dependence edge with its legality inequality evaluated.
+
+    ``required <= available`` is the edge's legality condition; ``cross_tile``
+    marks edges whose instances always fall in different time tiles (a full
+    barrier separates them, so the inequality is vacuous).
+    """
+
+    kind: str
+    function: str
+    source: Tuple[int, int, str]  # (sweep, stmt index, role)
+    sink: Tuple[int, int, str]
+    time_distance: int
+    distance: Tuple[Tuple[str, int], ...]
+    required: int
+    available: int
+    cross_tile: bool = False
+    affine: bool = True
+
+    @property
+    def satisfied(self) -> bool:
+        if self.time_distance < 0:
+            return False
+        if not self.affine:
+            return False
+        return self.cross_tile or self.available >= self.required
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "function": self.function,
+            "source": list(self.source),
+            "sink": list(self.sink),
+            "time_distance": self.time_distance,
+            "distance": {d: s for d, s in self.distance},
+            "required": self.required,
+            "available": self.available,
+            "cross_tile": self.cross_tile,
+            "affine": self.affine,
+            "satisfied": self.satisfied,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "CheckedDependence":
+        return cls(
+            kind=d["kind"],
+            function=d["function"],
+            source=tuple(d["source"]),
+            sink=tuple(d["sink"]),
+            time_distance=int(d["time_distance"]),
+            distance=tuple(sorted((k, int(v)) for k, v in d["distance"].items())),
+            required=int(d["required"]),
+            available=int(d["available"]),
+            cross_tile=bool(d.get("cross_tile", False)),
+            affine=bool(d.get("affine", True)),
+        )
+
+
+@dataclass
+class LegalityCertificate:
+    """The prover's positive verdict for (operator, schedule, sparse mode)."""
+
+    operator: str
+    schedule: Dict  # Schedule.describe()
+    sparse_mode: str
+    dims: Tuple[str, ...]
+    skewed_dims: Tuple[str, ...]
+    sweep_radii: Tuple[int, ...]
+    wavefront_angle: int
+    lags: Tuple[int, ...]  # per-instance cumulative lags of one time tile
+    dependences: Tuple[CheckedDependence, ...] = ()
+
+    @property
+    def max_distance(self) -> Dict[str, int]:
+        """Componentwise maximum absolute distance vector over all edges
+        (``"t"`` plus each spatial dimension)."""
+        out = {"t": 0}
+        for d in self.dims:
+            out[d] = 0
+        for dep in self.dependences:
+            out["t"] = max(out["t"], abs(dep.time_distance))
+            for dim, s in dep.distance:
+                out[dim] = max(out.get(dim, 0), abs(s))
+        return out
+
+    @property
+    def tile_skew(self) -> int:
+        """Total skew across one time tile (lag of the last instance)."""
+        return self.lags[-1] if self.lags else 0
+
+    def check(self) -> bool:
+        """Re-evaluate every recorded legality inequality."""
+        return all(dep.satisfied for dep in self.dependences)
+
+    def violations(self) -> List[CheckedDependence]:
+        return [dep for dep in self.dependences if not dep.satisfied]
+
+    def to_dict(self) -> dict:
+        return {
+            "operator": self.operator,
+            "schedule": dict(self.schedule),
+            "sparse_mode": self.sparse_mode,
+            "dims": list(self.dims),
+            "skewed_dims": list(self.skewed_dims),
+            "sweep_radii": list(self.sweep_radii),
+            "wavefront_angle": self.wavefront_angle,
+            "lags": list(self.lags),
+            "max_distance": self.max_distance,
+            "tile_skew": self.tile_skew,
+            "dependences": [d.to_dict() for d in self.dependences],
+            "legal": self.check(),
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "LegalityCertificate":
+        return cls(
+            operator=d["operator"],
+            schedule=dict(d["schedule"]),
+            sparse_mode=d["sparse_mode"],
+            dims=tuple(d["dims"]),
+            skewed_dims=tuple(d["skewed_dims"]),
+            sweep_radii=tuple(int(r) for r in d["sweep_radii"]),
+            wavefront_angle=int(d["wavefront_angle"]),
+            lags=tuple(int(x) for x in d["lags"]),
+            dependences=tuple(
+                CheckedDependence.from_dict(x) for x in d["dependences"]
+            ),
+        )
+
+    def summary(self) -> str:
+        md = self.max_distance
+        dist = ", ".join(f"{k}={v}" for k, v in md.items())
+        return (
+            f"LegalityCertificate({self.operator}, "
+            f"schedule={self.schedule.get('kind')}, sparse={self.sparse_mode}, "
+            f"angle={self.wavefront_angle}, skew={self.tile_skew}, "
+            f"edges={len(self.dependences)}, max_distance=({dist}), "
+            f"legal={self.check()})"
+        )
+
+    def __repr__(self) -> str:
+        return self.summary()

@@ -1,0 +1,365 @@
+"""Kernel-IR linter over compiled sweeps.
+
+Static checks at two levels:
+
+* **equation level** (any engine): out-of-bounds stencil footprint vs the
+  declared halo (``E101``), non-pointwise writes (``E102``), intra-sweep
+  aliasing reads at nonzero radius (``E401``), duplicate ``(field, time)``
+  writes within a sweep (``E402``), and dtype narrowing through the store
+  (``W201``, via specimen evaluation — the same zero-size-array promotion
+  rules the fused emitter uses).
+* **kernel level** (fused engine): the three-address program of
+  ``kernel.__source__`` is parsed and its scratch slots tracked — a read of a
+  slot never written in this kernel observes stale pooled memory from some
+  earlier sweep (``E301``); a value stored to a slot and never consumed is a
+  dead statement (``W302``).
+
+Error-severity findings reject the fused bind: :meth:`Operator._build_sweeps`
+raises :class:`~repro.errors.KernelLintError` (an
+:class:`~repro.errors.EngineCompilationError`), so the engine ladder degrades
+fused -> kernel -> interp exactly as for any compilation failure, and strict
+mode surfaces the diagnostics.
+
+Run from the command line as ``python -m repro.lint <example|--all> [--json]``
+(see :mod:`repro.lint`).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..dsl.symbols import Expr, Indexed
+from ..ir.dependencies import read_accesses, written_access
+
+__all__ = [
+    "Diagnostic",
+    "LintReport",
+    "analyse_kernel_source",
+    "lint_equations",
+    "lint_bound_sweeps",
+    "lint_operator",
+]
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One linter finding."""
+
+    code: str  # "E101", "W302", ...
+    severity: str  # "error" | "warning"
+    message: str
+    sweep: Optional[int] = None
+    statement: Optional[str] = None
+    field: Optional[str] = None
+
+    def to_dict(self) -> dict:
+        return {
+            "code": self.code,
+            "severity": self.severity,
+            "message": self.message,
+            "sweep": self.sweep,
+            "statement": self.statement,
+            "field": self.field,
+        }
+
+    def render(self) -> str:
+        where = f"sweep {self.sweep}: " if self.sweep is not None else ""
+        return f"{self.code} [{self.severity}] {where}{self.message}"
+
+
+@dataclass
+class LintReport:
+    """All findings for one operator."""
+
+    name: str
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == "error"]
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == "warning"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "ok": self.ok,
+            "errors": len(self.errors),
+            "warnings": len(self.warnings),
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"{self.name}: "
+            f"{'OK' if self.ok else 'FAIL'} "
+            f"({len(self.errors)} errors, {len(self.warnings)} warnings)"
+        ]
+        lines.extend("  " + d.render() for d in self.diagnostics)
+        return "\n".join(lines)
+
+
+# -- kernel-source analysis -----------------------------------------------------
+
+_CALL_RE = re.compile(r"^np\.(\w+)\((.*)\)$")
+_STORE_RE = re.compile(r"^(\w+)\[\.\.\.\] = (\w+)$")
+_SLOT_RE = re.compile(r"^s\d+$")
+_OUT_RE = re.compile(r"^o\d+$")
+
+
+def analyse_kernel_source(source: str, sweep: Optional[int] = None) -> List[Diagnostic]:
+    """Scratch-slot liveness analysis of a fused three-address kernel.
+
+    Parses the generated ``kernel.__source__`` (``np.ufunc(a, b, out)``
+    instructions and ``oN[...] = sK`` stores) and tracks every ``sN`` scratch
+    slot: reads before any write in this kernel observe *stale pooled
+    memory* (the pool hands out buffers shared across sweeps) -> ``E301``;
+    writes whose value is never consumed are dead statements -> ``W302``.
+    """
+    diags: List[Diagnostic] = []
+    written: set = set()
+    pending: Dict[str, str] = {}  # slot -> instruction that last wrote it
+
+    def read_of(tok: str, line: str) -> None:
+        if not _SLOT_RE.match(tok):
+            return
+        if tok not in written:
+            diags.append(
+                Diagnostic(
+                    "E301",
+                    "error",
+                    f"instruction {line!r} reads scratch slot {tok} before "
+                    "any write in this kernel: the pooled buffer holds stale "
+                    "data from another sweep",
+                    sweep=sweep,
+                    statement=line,
+                )
+            )
+            written.add(tok)  # report each stale slot once
+        pending.pop(tok, None)
+
+    def write_of(tok: str, line: str) -> None:
+        if not _SLOT_RE.match(tok):
+            return
+        prev = pending.get(tok)
+        if prev is not None:
+            diags.append(
+                Diagnostic(
+                    "W302",
+                    "warning",
+                    f"dead statement: {prev!r} writes scratch slot {tok} "
+                    f"but {line!r} overwrites it before any read",
+                    sweep=sweep,
+                    statement=prev,
+                )
+            )
+        written.add(tok)
+        pending[tok] = line
+
+    for raw in source.splitlines():
+        line = raw.strip()
+        if (
+            not line
+            or line.startswith("def ")
+            or line.endswith("= slots")
+            or line.endswith("= outs")
+            or line.endswith("= views")
+        ):
+            continue
+        m = _STORE_RE.match(line)
+        if m:
+            read_of(m.group(2), line)
+            continue
+        m = _CALL_RE.match(line)
+        if m:
+            args = [a.strip() for a in m.group(2).split(",")]
+            out = args[-1]
+            for a in args[:-1]:
+                read_of(a, line)
+            write_of(out, line)
+            continue
+    for slot, line in pending.items():
+        diags.append(
+            Diagnostic(
+                "W302",
+                "warning",
+                f"dead statement: {line!r} writes scratch slot {slot} "
+                "whose value is never read",
+                sweep=sweep,
+                statement=line,
+            )
+        )
+    return diags
+
+
+# -- equation-level checks ------------------------------------------------------
+
+
+def _specimen_dtype(rhs: Expr, reads: Sequence[Indexed]) -> Optional[np.dtype]:
+    """The dtype NumPy promotion gives *rhs*, via zero-size specimen arrays."""
+    env: Dict[Expr, np.ndarray] = {
+        a: np.empty(0, dtype=a.function.dtype) for a in reads
+    }
+    try:
+        return np.asarray(rhs.evaluate(env)).dtype
+    except Exception:
+        return None  # unbound symbols etc.: other checks own that failure
+
+
+def lint_equations(eqs, sweep: Optional[int] = None) -> List[Diagnostic]:
+    """Halo-footprint, pointwise-write, aliasing and dtype checks on the
+    (possibly dt-bound) equations of one sweep."""
+    diags: List[Diagnostic] = []
+    produced: set = set()
+    for eq in eqs:
+        w = written_access(eq)
+        reads = read_accesses(eq)
+        for a in reads:
+            halo = getattr(a.function, "halo", 0)
+            bad = [(d, s) for d, s in a.space_offsets if abs(s) > halo]
+            if bad:
+                dims = ", ".join(f"{d}{s:+d}" for d, s in bad)
+                diags.append(
+                    Diagnostic(
+                        "E101",
+                        "error",
+                        f"stencil footprint exceeds the declared halo of "
+                        f"{a.function.name!r} (halo={halo}): offsets {dims} "
+                        f"in {eq}",
+                        sweep=sweep,
+                        statement=str(eq),
+                        field=a.function.name,
+                    )
+                )
+        if w.radius > 0:
+            diags.append(
+                Diagnostic(
+                    "E102",
+                    "error",
+                    f"non-pointwise write {eq.lhs} (radius {w.radius}): "
+                    "explicit FD sweeps must write at the iteration point",
+                    sweep=sweep,
+                    statement=str(eq),
+                    field=w.function.name,
+                )
+            )
+        for a in reads:
+            key = (a.function.name, a.time_offset)
+            if key in produced and a.radius > 0:
+                diags.append(
+                    Diagnostic(
+                        "E401",
+                        "error",
+                        f"intra-sweep aliasing read: {eq} reads "
+                        f"{a.function.name}[t+{a.time_offset}] at radius "
+                        f"{a.radius} although an earlier equation of the same "
+                        "sweep writes that slot — the read crosses the box "
+                        "boundary into not-yet-computed data",
+                        sweep=sweep,
+                        statement=str(eq),
+                        field=a.function.name,
+                    )
+                )
+        wkey = (w.function.name, w.time_offset)
+        if wkey in produced:
+            diags.append(
+                Diagnostic(
+                    "E402",
+                    "error",
+                    f"duplicate write to {w.function.name}[t+{w.time_offset}] "
+                    "within one sweep: the earlier statement is dead",
+                    sweep=sweep,
+                    statement=str(eq),
+                    field=w.function.name,
+                )
+            )
+        produced.add(wkey)
+        expr_dtype = _specimen_dtype(eq.rhs, sorted(eq.rhs.atoms(Indexed), key=str))
+        out_dtype = np.dtype(eq.lhs.function.dtype)
+        if expr_dtype is not None and expr_dtype != out_dtype:
+            diags.append(
+                Diagnostic(
+                    "W201",
+                    "warning",
+                    f"store narrows/casts: expression evaluates to "
+                    f"{expr_dtype} but {eq.lhs.function.name!r} holds "
+                    f"{out_dtype}",
+                    sweep=sweep,
+                    statement=str(eq),
+                    field=eq.lhs.function.name,
+                )
+            )
+    return diags
+
+
+# -- entry points ----------------------------------------------------------------
+
+
+def lint_bound_sweeps(bound_sweeps, name: str = "Kernel") -> LintReport:
+    """Lint already-bound sweeps (the fused rung of the engine ladder)."""
+    report = LintReport(name=name)
+    for j, sw in enumerate(bound_sweeps):
+        report.diagnostics.extend(lint_equations(sw.eqs, sweep=j))
+        source = sw.kernel_source()
+        if source is not None:
+            report.diagnostics.extend(analyse_kernel_source(source, sweep=j))
+    return report
+
+
+def lint_operator(op, dt: float = 1.0) -> LintReport:
+    """Lint *op*: equation-level checks on every sweep, plus scratch-slot
+    analysis of the fused kernels when the fused engine compiles.
+
+    Binds ``dt`` and the grid spacings exactly as
+    :meth:`~repro.ir.operator.Operator.apply` does, so the analysis sees the
+    very expressions the engines execute.
+    """
+    from ..dsl.symbols import Number, Symbol
+    from ..errors import EngineCompilationError
+    from ..execution.evalbox import BoundSweep
+
+    report = LintReport(name=op.name)
+    subs = {Symbol("dt"): Number(float(dt))}
+    for sym, val in op.grid.spacing_map().items():
+        subs[sym] = Number(float(val))
+    for j, sweep in enumerate(op.sweeps):
+        eqs = [e.subs(subs) for e in sweep.eqs]
+        report.diagnostics.extend(lint_equations(eqs, sweep=j))
+        try:
+            sw = BoundSweep(eqs, op.grid, engine="fused")
+        except EngineCompilationError as exc:
+            report.diagnostics.append(
+                Diagnostic(
+                    "W001",
+                    "warning",
+                    f"fused engine failed to compile sweep {j} ({exc}); "
+                    "scratch-slot analysis skipped (execution would degrade "
+                    "down the engine ladder)",
+                    sweep=j,
+                )
+            )
+            continue
+        except ValueError as exc:
+            report.diagnostics.append(
+                Diagnostic(
+                    "E001",
+                    "error",
+                    f"sweep {j} fails equation validation: {exc}",
+                    sweep=j,
+                )
+            )
+            continue
+        source = sw.kernel_source()
+        if source is not None:
+            report.diagnostics.extend(analyse_kernel_source(source, sweep=j))
+    return report

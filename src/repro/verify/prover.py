@@ -1,0 +1,437 @@
+"""The schedule-legality prover.
+
+Given (operator, schedule), :func:`prove_schedule` either returns a
+:class:`~repro.verify.certificate.LegalityCertificate` — one checked
+inequality per dependence edge — or raises
+:class:`~repro.errors.ScheduleLegalityError` carrying a concrete
+:class:`~repro.verify.certificate.Counterexample` that names two conflicting
+statement instances ``(t, tile, point)``.
+
+The wavefront legality condition, per dependence edge
+---------------------------------------------------
+
+Order the sweep instances of a time tile ``(t0,s0), (t0,s1), ...,
+(t0+1,s0), ...`` and give each the cumulative lag of
+:func:`repro.core.scheduler.instance_lags`; each instance executes on the
+tile window shifted left by its lag, space tiles ascending.  For an edge with
+time distance ``k`` (< tile height; larger ``k`` crosses a time-tile barrier)
+between sweeps ``j_src -> j_snk``, the two instances sit ``k*nsweeps +
+(j_snk - j_src)`` positions apart, so their lag gap is the fixed quantity
+:func:`repro.core.scheduler.lag_span` — and the edge is legal iff that gap
+covers the edge's spatial reach along every skewed dimension:
+
+* **flow** (write then read at offsets ``d``): by the time the reader's
+  window ``[X0-L_r, X1-L_r)`` runs, the writer has covered everything below
+  ``X1 - L_w`` — all reads resolve iff ``L_r - L_w >= max(d, 0)`` per skewed
+  dim (reads at negative offsets look into even older tiles).
+* **anti** (read then slot-reusing write one buffer cycle later): the writer
+  must not overwrite a point a *later* tile's reader still needs:
+  ``L_w - L_r >= max(-d, 0)`` per skewed dim.
+* **output** (slot reuse between writes): pointwise, gap >= 0, always holds.
+
+Off-the-grid sparse operators have *non-affine* footprints — the support
+corners of a source are not a function of the iteration point — so no finite
+lag gap covers them: the paper's Fig. 4b illegality.  The prover rejects them
+statically under :class:`~repro.core.scheduler.WavefrontSchedule` and builds
+the counterexample from the actual source support and tile geometry: a
+source whose support straddles a tile-window boundary is injected by the
+earlier tile's instance, then the later tile's stencil assignment to the same
+``(t, point)`` destroys the contribution (a lost update).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..core.scheduler import (
+    NaiveSchedule,
+    Schedule,
+    WavefrontSchedule,
+    instance_lags,
+    lag_span,
+)
+from ..dsl.functions import Injection
+from ..dsl.interpolation import support_points
+from ..dsl.symbols import Indexed
+from ..errors import ScheduleLegalityError
+from ..ir.dependencies import wavefront_angle
+from .certificate import (
+    CheckedDependence,
+    Counterexample,
+    InstanceRef,
+    LegalityCertificate,
+)
+from .dependence import Dependence, compute_dependences, statements_for
+
+__all__ = ["prove_schedule", "resolve_sparse_mode", "offgrid_counterexample"]
+
+
+def resolve_sparse_mode(sparse_mode: str, schedule: Schedule) -> str:
+    """The operator's sparse-mode policy: 'auto' precomputes exactly when the
+    schedule tiles time (mirrors :meth:`repro.ir.operator.Operator._bind`)."""
+    if sparse_mode == "auto":
+        return "precomputed" if isinstance(schedule, WavefrontSchedule) else "offgrid"
+    if sparse_mode not in ("offgrid", "precomputed"):
+        raise ValueError(f"unknown sparse mode {sparse_mode!r}")
+    return sparse_mode
+
+
+def _first_point(grid) -> Tuple[int, ...]:
+    return tuple(s // 2 for s in grid.shape)
+
+
+def _full_tile(grid) -> Tuple[Tuple[int, int], ...]:
+    return tuple((0, s) for s in grid.shape)
+
+
+def _instance_positions(
+    dep: Dependence, nsweeps: int
+) -> Tuple[int, int]:
+    """(sweep of source, instance-position gap sink - source) for *dep*."""
+    j_src = dep.source.sweep
+    j_snk = dep.sink.sweep
+    return j_src, dep.time_distance * nsweeps + (j_snk - j_src)
+
+
+def _check_edge(
+    dep: Dependence,
+    radii: Tuple[int, ...],
+    skewed: Tuple[str, ...],
+    height: int,
+    wavefront: bool,
+) -> CheckedDependence:
+    src = (dep.source.sweep, dep.source.index, dep.source.role)
+    snk = (dep.sink.sweep, dep.sink.index, dep.sink.role)
+    if not wavefront:
+        # sequential schedules execute instances in exactly the dependence
+        # order; the only inconsistency a statement system can carry is a
+        # same-timestep edge pointing against program order (time_distance<0
+        # edges model reads of genuinely future steps, which sequential
+        # buffers resolve to stale data exactly as the seed semantics did)
+        return CheckedDependence(
+            kind=dep.kind,
+            function=dep.function,
+            source=src,
+            sink=snk,
+            time_distance=max(dep.time_distance, 0),
+            distance=dep.distance,
+            required=0,
+            available=0,
+            cross_tile=True,
+            affine=True,  # off-grid ops run after full sweeps: always legal
+        )
+    if dep.time_distance < 0:
+        return CheckedDependence(
+            kind=dep.kind,
+            function=dep.function,
+            source=src,
+            sink=snk,
+            time_distance=dep.time_distance,
+            distance=dep.distance,
+            required=0,
+            available=0,
+            affine=dep.affine,
+        )
+    j_src, gap_count = _instance_positions(dep, len(radii))
+    if dep.time_distance >= height:
+        # the two instances always land in different time tiles; a full
+        # barrier separates them
+        return CheckedDependence(
+            kind=dep.kind,
+            function=dep.function,
+            source=src,
+            sink=snk,
+            time_distance=dep.time_distance,
+            distance=dep.distance,
+            required=0,
+            available=0,
+            cross_tile=True,
+            affine=dep.affine,
+        )
+    if gap_count < 0 or (
+        gap_count == 0 and dep.source.index >= dep.sink.index
+    ):
+        # the sink instance runs before (or is) the source instance under any
+        # lag assignment: a future read
+        required = 1
+        available = 0
+    else:
+        # gap_count == 0 is the same instance: statements execute in program
+        # order within it, so pointwise edges (required 0) are satisfied and
+        # any nonzero skewed reach crosses the window boundary (violation)
+        if dep.kind == "flow":
+            required = max(
+                (dep.distance_along(d) for d in skewed), default=0
+            )
+            required = max(required, 0)
+        elif dep.kind == "anti":
+            required = max(
+                (-dep.distance_along(d) for d in skewed), default=0
+            )
+            required = max(required, 0)
+        else:  # output: pointwise slot reuse
+            required = 0
+        available = lag_span(radii, j_src, gap_count)
+    return CheckedDependence(
+        kind=dep.kind,
+        function=dep.function,
+        source=src,
+        sink=snk,
+        time_distance=dep.time_distance,
+        distance=dep.distance,
+        required=required,
+        available=available,
+        affine=dep.affine,
+    )
+
+
+def _violation_counterexample(
+    op, schedule: Schedule, dep: Dependence, checked: CheckedDependence
+) -> Counterexample:
+    """Concrete conflicting instances for a failed affine edge."""
+    grid = op.grid
+    point = _first_point(grid)
+    if isinstance(schedule, WavefrontSchedule):
+        tile_a = tuple(
+            (0, t) for t in schedule.tile
+        ) + tuple((0, s) for s in grid.shape[len(schedule.tile):])
+        tile_b = tile_a
+    else:
+        tile_a = tile_b = _full_tile(grid)
+    if dep.time_distance < 0:
+        # future read: the sink (reader) at t consumes data the source
+        # (writer) only produces at t + |k|
+        reader = InstanceRef(0, dep.sink.sweep, tile_a, point, dep.sink.role)
+        writer = InstanceRef(
+            -dep.time_distance, dep.source.sweep, tile_b, point, dep.source.role
+        )
+        reason = (
+            f"instance reads {dep.function}[t+{-dep.time_distance}] before any "
+            "schedule can have produced it (future read)"
+        )
+        return Counterexample("flow", dep.function, reader, writer, reason)
+    reason = (
+        f"lag gap {checked.available} does not cover the edge's spatial reach "
+        f"{checked.required} along the skewed dimensions"
+    )
+    writer = InstanceRef(0, dep.source.sweep, tile_a, point, dep.source.role)
+    reader = InstanceRef(
+        dep.time_distance, dep.sink.sweep, tile_b, point, dep.sink.role
+    )
+    return Counterexample(dep.kind, dep.function, writer, reader, reason)
+
+
+def offgrid_counterexample(
+    op, schedule: WavefrontSchedule, sparse_op
+) -> Counterexample:
+    """The paper's Fig. 4b conflict, made concrete for *sparse_op*.
+
+    Searches the actual source support corners against the lag-shifted tile
+    windows of every instance of the owning sweep: a support straddling a
+    window boundary along a skewed dimension yields a manifest lost-update —
+    the off-the-grid scatter fired by the window containing the source's base
+    corner writes a corner point in the *next* window, whose stencil
+    assignment (executed later, same timestep) then overwrites it.  When the
+    given placement straddles no boundary, the nearest would-be conflict is
+    returned with ``manifest=False``.
+    """
+    grid = op.grid
+    sparse = sparse_op.sparse
+    indices, _weights = support_points(sparse.coordinates, grid)
+    j = op._sweep_index_for(sparse_op.field.name, sparse_op.time_offset)
+    radii = tuple(op.sweep_radii)
+    lags = instance_lags(radii, schedule.height)
+    nsweeps = len(radii)
+    nskew = len(schedule.tile)
+    role_first = (
+        "injection" if isinstance(sparse_op, Injection) else "interpolation"
+    )
+
+    def window(coord: int, extent: int, lag: int) -> Tuple[int, int]:
+        # windows along a skewed dim are [k*T - lag, k*T - lag + T)
+        k = (coord + lag) // extent
+        return (k * extent - lag, k * extent - lag + extent)
+
+    def tile_of(point, lag) -> Tuple[Tuple[int, int], ...]:
+        box = tuple(
+            window(point[d], schedule.tile[d], lag) for d in range(nskew)
+        )
+        return box + tuple((0, s) for s in grid.shape[nskew:])
+
+    best: Optional[Counterexample] = None
+    for dt in range(schedule.height):
+        lag = lags[dt * nsweeps + j]
+        for s in range(indices.shape[0]):
+            corners = indices[s]
+            base = corners[0]
+            for d in range(nskew):
+                extent = schedule.tile[d]
+                lo_w = window(int(base[d]), extent, lag)
+                spread = corners[:, d].max() - base[d]
+                if spread <= 0:
+                    continue
+                if int(base[d]) + int(spread) < lo_w[1]:
+                    continue  # whole support inside one window along d
+                # pick the corner that crossed into the next window
+                over = corners[corners[:, d] >= lo_w[1]]
+                point = tuple(int(v) for v in over[0])
+                first = InstanceRef(
+                    t=dt,
+                    sweep=j,
+                    tile=tile_of(tuple(int(v) for v in base), lag),
+                    point=point,
+                    role=role_first,
+                )
+                second = InstanceRef(
+                    t=dt,
+                    sweep=j,
+                    tile=tile_of(point, lag),
+                    point=point,
+                    role="stencil",
+                )
+                if isinstance(sparse_op, Injection):
+                    reason = (
+                        f"source {s} has support corners on both sides of the "
+                        f"tile-window boundary at x{d}={lo_w[1]}: the "
+                        "off-the-grid scatter fired from "
+                        "the earlier window injects the corner, then the "
+                        "later window's stencil assignment to the same "
+                        "(t, point) destroys the contribution; precompute "
+                        "the injection (sparse_mode='precomputed') to make "
+                        "it grid-aligned and window-local"
+                    )
+                    kind = "output"
+                else:
+                    reason = (
+                        f"receiver {s} gathers corners on both sides of the "
+                        f"tile-window boundary at x{d}={lo_w[1]}: the corner "
+                        "in the later window has not been written for this "
+                        "timestep when the earlier window gathers; "
+                        "precompute the interpolation "
+                        "(sparse_mode='precomputed')"
+                    )
+                    kind = "flow"
+                return Counterexample(
+                    kind, sparse_op.field.name, first, second, reason
+                )
+    # no straddle with this exact placement: report the nearest would-be
+    # conflict (the class of schedules is still illegal — a legal schedule
+    # may not depend on where the user happens to put the sources)
+    base = tuple(int(v) for v in indices[0, 0])
+    lag = lags[j]
+    boundary = window(base[0], schedule.tile[0], lag)[1]
+    point = (boundary,) + base[1:]
+    first = InstanceRef(0, j, tile_of(base, lag), point, role_first)
+    second = InstanceRef(0, j, tile_of(point, lag), point, "stencil")
+    return Counterexample(
+        "output" if isinstance(sparse_op, Injection) else "flow",
+        sparse_op.field.name,
+        first,
+        second,
+        "off-the-grid support is not a function of the iteration point: a "
+        "source placed one point further would straddle the window boundary "
+        f"at x0={boundary}; precompute the sparse operator "
+        "(sparse_mode='precomputed') to make it grid-aligned",
+        manifest=False,
+    )
+
+
+def prove_schedule(
+    op,
+    schedule: Optional[Schedule] = None,
+    sparse_mode: str = "auto",
+) -> LegalityCertificate:
+    """Prove (or refute) the legality of running *op* under *schedule*.
+
+    Returns a :class:`LegalityCertificate` with one checked inequality per
+    dependence edge; raises :class:`~repro.errors.ScheduleLegalityError`
+    (carrying a :class:`Counterexample`) when the schedule is illegal.
+    """
+    schedule = schedule or NaiveSchedule()
+    mode = resolve_sparse_mode(sparse_mode, schedule)
+    wavefront = isinstance(schedule, WavefrontSchedule)
+    aligned = mode == "precomputed"
+
+    grid = op.grid
+    dims = tuple(d.name for d in grid.dimensions)
+    skewed = dims[: len(schedule.tile)] if wavefront else ()
+    radii = tuple(op.sweep_radii)
+    height = schedule.height if wavefront else 1
+
+    # the paper's headline rejection first: off-the-grid sparse operators
+    # under wavefront blocking, with a concrete counterexample
+    if wavefront and not aligned:
+        offgrid = op.injections() + op.interpolations()
+        if offgrid:
+            ce = offgrid_counterexample(op, schedule, offgrid[0])
+            raise ScheduleLegalityError(
+                "wavefront temporal blocking requires grid-aligned sparse "
+                "operators (sparse_mode='precomputed'): off-the-grid "
+                "injection inside space-time tiles violates data "
+                f"dependencies — {ce.describe()}",
+                t=ce.first.t,
+                tile=ce.first.tile,
+                field=ce.field,
+                counterexample=ce,
+                schedule=schedule.describe(),
+            )
+
+    sweep_of = {}
+    for sp in op.sparse_ops:
+        try:
+            sweep_of[id(sp)] = op._sweep_index_for(sp.field.name, sp.time_offset)
+        except ValueError:
+            pass  # unattachable sparse op: Operator.apply raises its own error
+    stmts = statements_for(
+        op.sweeps,
+        injections=op.injections(),
+        interpolations=op.interpolations(),
+        sweep_of=sweep_of,
+        aligned=aligned,
+    )
+    # field name -> time-buffer count, harvested from every Indexed leaf and
+    # sparse-operator target (slot-reuse anti/output dependences need it)
+    buffers = {}
+    for eq in op.eqs:
+        for ix in (eq.lhs, *eq.rhs.atoms(Indexed)):
+            fn = ix.function
+            if hasattr(fn, "buffers"):
+                buffers[fn.name] = fn.buffers
+    for sp in op.sparse_ops:
+        buffers.setdefault(sp.field.name, sp.field.buffers)
+
+    deps = compute_dependences(stmts, buffers)
+    checked: List[CheckedDependence] = []
+    for dep in deps:
+        edge = _check_edge(dep, radii, skewed, height, wavefront)
+        checked.append(edge)
+        if not edge.satisfied:
+            ce = _violation_counterexample(op, schedule, dep, edge)
+            future = dep.time_distance < 0 or (
+                dep.time_distance == 0 and dep.source.position > dep.sink.position
+            )
+            raise ScheduleLegalityError(
+                (
+                    f"equation system reads future data: {ce.describe()}; "
+                    "wavefront blocking is not legal for this system"
+                    if future
+                    else f"schedule fails the legality proof: {ce.describe()}"
+                ),
+                t=ce.first.t,
+                tile=ce.first.tile,
+                field=ce.field,
+                counterexample=ce,
+                schedule=schedule.describe(),
+            )
+
+    return LegalityCertificate(
+        operator=op.name,
+        schedule=schedule.describe(),
+        sparse_mode=mode,
+        dims=dims,
+        skewed_dims=tuple(skewed),
+        sweep_radii=radii,
+        wavefront_angle=wavefront_angle(op.sweeps),
+        lags=tuple(instance_lags(radii, height)) if wavefront else (),
+        dependences=tuple(checked),
+    )

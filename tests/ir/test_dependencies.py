@@ -152,3 +152,53 @@ def test_model_fields_do_not_add_lag(grid):
     eq = Eq(u.forward, m.laplace + u.indexify())
     (sweep,) = build_sweeps([eq])
     assert sweep.read_radius() == 0
+
+
+# -- sweep_read_radius (module-level form) ------------------------------------------
+def test_sweep_read_radius_exported():
+    import repro.ir.dependencies as dep
+
+    assert "sweep_read_radius" in dep.__all__
+    from repro.ir.dependencies import sweep_read_radius  # noqa: F401
+
+
+def test_sweep_read_radius_matches_method(grid):
+    from repro.ir.dependencies import sweep_read_radius
+
+    eq, u, m = acoustic_eq(grid, so=8)
+    (sweep,) = build_sweeps([eq])
+    assert sweep_read_radius(sweep) == sweep.read_radius() == 4
+
+
+def test_sweep_read_radius_zero_radius_sweep(grid):
+    from repro.ir.dependencies import sweep_read_radius
+
+    u = TimeFunction("u", grid, time_order=1, space_order=4)
+    # pointwise damping update: no spatial reach, no wavefront lag
+    (sweep,) = build_sweeps([Eq(u.forward, 0.9 * u.indexify())])
+    assert sweep_read_radius(sweep) == 0
+    assert wavefront_angle([sweep]) == 0
+
+
+def test_sweep_read_radius_multi_field_sweep(grid):
+    from repro.ir.dependencies import sweep_read_radius
+
+    # one sweep reading several time fields at different radii (the elastic
+    # pattern): the lag is the maximum over all external time-field reads
+    a = TimeFunction("a", grid, time_order=1, space_order=4)
+    b = TimeFunction("b", grid, time_order=1, space_order=8)
+    c = TimeFunction("c", grid, time_order=1, space_order=4)
+    eqs = [Eq(a.forward, b.dx2 + c.dy)]
+    (sweep,) = build_sweeps(eqs)
+    assert sweep_read_radius(sweep) == 4  # b.dx2 at so=8 dominates c.dy
+
+
+def test_sweep_read_radius_ignores_in_sweep_pointwise_products(grid):
+    from repro.ir.dependencies import sweep_read_radius
+
+    a = TimeFunction("a", grid, time_order=1, space_order=4)
+    b = TimeFunction("b", grid, time_order=1, space_order=4)
+    eqs = [Eq(a.forward, a.dx), Eq(b.forward, a.forward * 2)]
+    (sweep,) = build_sweeps(eqs)
+    # the in-sweep pointwise consumption of a.forward adds no radius
+    assert sweep_read_radius(sweep) == 2

@@ -1,0 +1,89 @@
+"""The lint gate on the fused bind rides the engine-degradation ladder."""
+
+import contextlib
+
+import numpy as np
+import pytest
+
+import repro.verify.linter as linter_mod
+from repro.core import NaiveSchedule
+from repro.errors import EngineFallbackWarning, KernelLintError
+from repro.verify import Diagnostic, LintReport
+
+from ..conftest import make_acoustic_operator, run_and_capture
+
+NT = 8
+DT = 0.5
+
+
+@contextlib.contextmanager
+def reject_all_kernels(monkeypatch):
+    """Make the linter flag every fused bind with a synthetic error finding."""
+
+    def failing(bound_sweeps, name="Kernel"):
+        return LintReport(
+            name=name,
+            diagnostics=[
+                Diagnostic(
+                    "E301",
+                    "error",
+                    "synthetic: scratch slot s0 read before write",
+                    sweep=0,
+                )
+            ],
+        )
+
+    with monkeypatch.context() as m:
+        m.setattr(linter_mod, "lint_bound_sweeps", failing)
+        yield
+
+
+def test_lint_rejected_bind_degrades_with_identical_numerics(grid2d, monkeypatch):
+    op, u, m, src, rec = make_acoustic_operator(grid2d, nt=NT)
+    ref_u, ref_rec = run_and_capture(op, u, rec, NT, DT, NaiveSchedule(), engine="kernel")
+
+    op2, u2, m2, src2, rec2 = make_acoustic_operator(grid2d, nt=NT)
+    with reject_all_kernels(monkeypatch):
+        with pytest.warns(EngineFallbackWarning, match="'fused'.*degrading to 'kernel'"):
+            deg_u, deg_rec = run_and_capture(
+                op2, u2, rec2, NT, DT, NaiveSchedule(), engine="fused"
+            )
+    np.testing.assert_array_equal(deg_u, ref_u)
+    np.testing.assert_array_equal(deg_rec, ref_rec)
+
+
+def test_lint_rejected_bind_is_never_cached(grid2d, monkeypatch):
+    op, u, m, src, rec = make_acoustic_operator(grid2d, nt=NT)
+    with reject_all_kernels(monkeypatch):
+        with pytest.warns(EngineFallbackWarning):
+            op.apply(time_M=NT, dt=DT)
+        assert not op._sweep_cache  # a degraded bind must retry the ladder
+        with pytest.warns(EngineFallbackWarning):
+            op.apply(time_M=NT, dt=DT)
+        assert not op._sweep_cache
+    # the lint gate lifted: the next apply binds fused again and caches it
+    op.apply(time_M=NT, dt=DT)
+    assert float(DT) in op._sweep_cache
+
+
+def test_strict_engine_surfaces_lint_diagnostics(grid2d, monkeypatch):
+    op, u, m, src, rec = make_acoustic_operator(grid2d, nt=NT)
+    with reject_all_kernels(monkeypatch):
+        with pytest.raises(KernelLintError) as excinfo:
+            op.apply(time_M=NT, dt=DT, strict_engine=True)
+    exc = excinfo.value
+    assert exc.engine == "fused"
+    assert exc.diagnostics and exc.diagnostics[0].code == "E301"
+    assert "E301" in str(exc)
+
+
+def test_clean_operator_passes_the_gate(grid2d):
+    # the real linter runs on every fused bind: a clean operator binds fused,
+    # caches, and emits no fallback warning
+    import warnings
+
+    op, u, m, src, rec = make_acoustic_operator(grid2d, nt=NT)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", EngineFallbackWarning)
+        op.apply(time_M=NT, dt=DT)
+    assert float(DT) in op._sweep_cache
