@@ -37,6 +37,13 @@ the per-schedule overhead into ``BENCH_engine.json`` under ``"guards"``.
 ``--verify`` times the schedule-legality prover (cold ``prove_schedule``
 plus the cached ``certificate_for`` replay every wavefront ``apply`` hits)
 and merges the wall-clock into ``BENCH_engine.json`` under ``"verify"``.
+
+``--telemetry`` times the fused engine with a phase-detail
+:class:`~repro.telemetry.Telemetry` buffer attached against bare runs,
+records the per-phase breakdown / coverage / counters / achieved GPts/s of
+the fastest instrumented round, checks receiver bit-identity between the
+two series, and merges everything into ``BENCH_engine.json`` under
+``"telemetry"``.
 """
 
 from __future__ import annotations
@@ -325,6 +332,120 @@ def print_verify_report(verify):
         )
 
 
+def time_telemetry(prop, dt, schedule, repeats=REPEATS):
+    """Min-of-N fused wall-clock with and without a phase-detail telemetry
+    buffer, plus the phase breakdown of the fastest instrumented round.
+
+    Interleaved rounds, as everywhere in this bench, so both series sample
+    the same noise landscape.  A fresh :class:`Telemetry` per round keeps
+    the buffer small and the round self-contained; the buffer belonging to
+    the fastest "on" round is the one whose phases/counters are reported —
+    its phase sum is the coverage claim, so it must come from the same run
+    as the minimum wall-clock, not from an arbitrary round.  Receiver data
+    from the two series is compared bit-for-bit: telemetry must observe the
+    run, never perturb it.
+
+    The overhead estimator is the *median over rounds of the paired on/off
+    ratio*, not ``min(on)/min(off)``: on a shared vCPU, noise arrives in
+    multi-second waves, and the two unpaired minima can land in different
+    wave states, swinging the unpaired ratio by several percent in either
+    direction.  Each round's pair runs back-to-back inside one wave state,
+    so its ratio isolates the instrumentation cost, and the median over
+    rounds is robust to the rounds where a wave boundary splits a pair.
+    ``min(on)/min(off)`` is reported alongside (``overhead_minmin``) for
+    comparison with the other sections of this bench.
+    """
+    from repro.analysis import achieved_gpoints_per_s
+    from repro.telemetry import Telemetry
+
+    series = {"off": [], "on": []}
+    best = None  # (seconds, telemetry) of the fastest instrumented round
+    rec_off = rec_on = None
+    prop.forward(nt=NT, dt=dt, schedule=schedule, engine="fused")  # warm
+    # warm instrumented run: populates the persistent instrumentation
+    # counts cached on the operator's step cache
+    prop.forward(
+        nt=NT, dt=dt, schedule=schedule, engine="fused", telemetry=Telemetry()
+    )
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        rec_off, _ = prop.forward(nt=NT, dt=dt, schedule=schedule, engine="fused")
+        series["off"].append(time.perf_counter() - t0)
+        tel = Telemetry()
+        t0 = time.perf_counter()
+        rec_on, _ = prop.forward(
+            nt=NT, dt=dt, schedule=schedule, engine="fused", telemetry=tel
+        )
+        elapsed = time.perf_counter() - t0
+        series["on"].append(elapsed)
+        if best is None or elapsed < best[0]:
+            best = (elapsed, tel)
+    assert np.array_equal(rec_off, rec_on), "telemetry perturbed the numerics"
+    tel = best[1]
+    out = {name: min(vals) for name, vals in series.items()}
+    ratios = [on / off for off, on in zip(series["off"], series["on"])]
+    out["overhead"] = float(np.median(ratios)) - 1.0
+    out["overhead_minmin"] = out["on"] / out["off"] - 1.0
+    out["coverage"] = tel.coverage()
+    out["phases"] = tel.phase_totals()
+    out["counters"] = tel.counters.to_dict()
+    out["gpoints_per_s"] = achieved_gpoints_per_s(tel)
+    return out
+
+
+def run_telemetry_bench(repeats=25):
+    # more rounds than the engine bench: the measurand (a few-percent
+    # overhead ratio) is smaller than single-round noise on a shared vCPU,
+    # so min-of-N needs a larger N to converge
+    prop, dt = build()
+    results = {}
+    for sched_name, sched in schedules().items():
+        results[sched_name] = time_telemetry(prop, dt, sched, repeats=repeats)
+    return {
+        "detail": "phase",
+        "timing": "min over N interleaved rounds, fused engine; "
+        "phases/counters from the fastest instrumented round",
+        "seconds": {
+            s: {k: row[k] for k in ("off", "on")} for s, row in results.items()
+        },
+        "overhead": {s: row["overhead"] for s, row in results.items()},
+        "overhead_minmin": {s: row["overhead_minmin"] for s, row in results.items()},
+        "coverage": {s: row["coverage"] for s, row in results.items()},
+        "phases": {s: row["phases"] for s, row in results.items()},
+        "counters": {s: row["counters"] for s, row in results.items()},
+        "gpoints_per_s": {s: row["gpoints_per_s"] for s, row in results.items()},
+    }
+
+
+def merge_telemetry_report(telemetry, path=RESULT_PATH):
+    report = json.loads(path.read_text()) if path.exists() else {"bench": "engine"}
+    report["telemetry"] = telemetry
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def print_telemetry_report(telemetry):
+    print("# telemetry overhead + phase breakdown — fused engine, detail=phase")
+    print(
+        f"{'schedule':<12} {'off':>10} {'on':>10} {'overhead':>9} "
+        f"{'(minmin)':>9} {'coverage':>9} {'GPts/s':>8}"
+    )
+    for sched, row in telemetry["seconds"].items():
+        ov = telemetry["overhead"][sched]
+        ovm = telemetry["overhead_minmin"][sched]
+        cov = telemetry["coverage"][sched]
+        gp = telemetry["gpoints_per_s"][sched]
+        print(
+            f"{sched:<12} {row['off']*1e3:>8.2f}ms {row['on']*1e3:>8.2f}ms "
+            f"{ov:>8.2%} {ovm:>8.2%} {cov:>8.1%} {gp:>8.3f}"
+        )
+    for sched, phases in telemetry["phases"].items():
+        parts = ", ".join(
+            f"{k} {v*1e3:.2f}ms" for k, v in phases.items() if v > 0
+        )
+        print(f"  {sched}: {parts}")
+
+
 @pytest.mark.slow
 def test_guard_overhead_within_budget():
     """Acceptance: the default-cadence health guard costs < 5% wall-clock on
@@ -332,6 +453,21 @@ def test_guard_overhead_within_budget():
     guards = run_guards_bench()
     merge_guards_report(guards)
     assert guards["overhead"]["wavefront"] < 0.05
+
+
+@pytest.mark.slow
+def test_telemetry_overhead_and_coverage():
+    """Acceptance: phase-detail telemetry on the WTB acoustic so=8 workload
+    attributes >= 95% of run wall-time to named phases, costs <= 3%
+    wall-clock, and is bit-identical to uninstrumented runs (asserted inside
+    :func:`time_telemetry`)."""
+    telemetry = run_telemetry_bench()
+    merge_telemetry_report(telemetry)
+    assert telemetry["coverage"]["wavefront"] >= 0.95
+    assert telemetry["overhead"]["wavefront"] <= 0.03
+    for sched, counters in telemetry["counters"].items():
+        assert counters["points_updated"] > 0
+        assert counters["src_points_injected"] > 0
 
 
 @pytest.mark.slow
@@ -348,7 +484,11 @@ def test_fused_engine_speedup_and_report():
 
 
 if __name__ == "__main__":
-    if "--verify" in sys.argv[1:]:
+    if "--telemetry" in sys.argv[1:]:
+        telemetry = run_telemetry_bench()
+        print_telemetry_report(telemetry)
+        out = merge_telemetry_report(telemetry)
+    elif "--verify" in sys.argv[1:]:
         verify = run_verify_bench()
         print_verify_report(verify)
         out = merge_verify_report(verify)

@@ -68,6 +68,7 @@ from .errors import (
     StabilityWarning,
 )
 from .ir import Operator
+from .telemetry import Telemetry
 
 __version__ = "1.0.0"
 
@@ -85,6 +86,8 @@ __all__ = [
     "build_masks",
     "decompose_source",
     "decompose_receiver",
+    # per-run tracing/counters (exporters live in repro.telemetry)
+    "Telemetry",
     # structured error taxonomy (the runtime resilience layer lives in
     # repro.runtime; import it explicitly — it is not pulled in by default)
     "ReproError",

@@ -117,6 +117,15 @@ class SourceMasks:
         per query (the executable analogue of the Listing-5 compression).
         Results are memoised per box; tile geometry repeats every time tile.
         """
+        if self.indexed:
+            # probe with the raw box first: int-valued tuples hash equal to
+            # their canonical form, so repeated hot-loop queries skip the
+            # per-element int() conversion below entirely
+            hit = self._box_cache.get(box)
+            if hit is not None:
+                self.stats["queries"] += 1
+                self.stats["cache_hits"] += 1
+                return hit
         box = tuple((int(lo), int(hi)) for lo, hi in box)
         self.stats["queries"] += 1
         if not self.indexed:  # seed-path ablation: O(npts) scan, no memo

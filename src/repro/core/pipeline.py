@@ -104,19 +104,44 @@ class TemporalBlockingPipeline:
         return self
 
     # -- the steps -----------------------------------------------------------------
-    def precompute(self, method: str = "analytic") -> "TemporalBlockingPipeline":
+    def precompute(
+        self, method: str = "analytic", telemetry=None
+    ) -> "TemporalBlockingPipeline":
         """Steps 1-3: affected points, masks, wavelet decomposition.
 
         Runs :meth:`preflight` first (geometry + CFL when a model is
         attached), then once more after building the sparse structures so a
-        corrupted mask never reaches the executors."""
+        corrupted mask never reaches the executors.  With *telemetry* given,
+        the whole precomputation is recorded as a ``pipeline.precompute``
+        span (sub-spans per decomposition step) accumulated into the
+        ``precompute`` phase.
+        """
+        pspan = None
+        if telemetry is not None:
+            pspan = telemetry.begin(
+                "pipeline.precompute", phase="precompute", method=method
+            )
         self.preflight()
         for inj in self.operator.injections():
-            masks = self._masks_for(inj.sparse, method)
-            self.sources[id(inj)] = decompose_source(inj, self.dt, masks=masks)
+            if telemetry is not None:
+                with telemetry.span(
+                    "decompose.source", phase="precompute", sparse=inj.sparse.name
+                ):
+                    masks = self._masks_for(inj.sparse, method)
+                    self.sources[id(inj)] = decompose_source(inj, self.dt, masks=masks)
+            else:
+                masks = self._masks_for(inj.sparse, method)
+                self.sources[id(inj)] = decompose_source(inj, self.dt, masks=masks)
         for itp in self.operator.interpolations():
-            masks = self._masks_for(itp.sparse, method)
-            self.receivers[id(itp)] = decompose_receiver(itp, masks=masks)
+            if telemetry is not None:
+                with telemetry.span(
+                    "decompose.receiver", phase="precompute", sparse=itp.sparse.name
+                ):
+                    masks = self._masks_for(itp.sparse, method)
+                    self.receivers[id(itp)] = decompose_receiver(itp, masks=masks)
+            else:
+                masks = self._masks_for(itp.sparse, method)
+                self.receivers[id(itp)] = decompose_receiver(itp, masks=masks)
         self._done = True
         from ..runtime.preflight import check_masks
 
@@ -127,6 +152,9 @@ class TemporalBlockingPipeline:
             self.operator._decomp_cache[(id(inj), self.dt)] = self.sources[id(inj)]
         for itp in self.operator.interpolations():
             self.operator._decomp_cache[(id(itp), 0.0)] = self.receivers[id(itp)]
+        if pspan is not None:
+            telemetry.end(pspan)
+            telemetry.add_phase("precompute", pspan.dur)
         return self
 
     def _masks_for(self, sparse_fn, method: str) -> SourceMasks:
@@ -173,15 +201,18 @@ class TemporalBlockingPipeline:
         health=None,
         checkpoint=None,
         faults=None,
+        telemetry=None,
     ):
         """Step 4-6: run the time-tiled, fused schedule using the precomputed
         structures (cached on the operator).  ``health``/``checkpoint``/
-        ``faults`` attach the runtime resilience layer (:mod:`repro.runtime`)."""
+        ``faults`` attach the runtime resilience layer (:mod:`repro.runtime`);
+        ``telemetry`` the tracing/counter layer (:mod:`repro.telemetry`)."""
         if not self._done:
-            self.precompute()
+            self.precompute(telemetry=telemetry)
         schedule = schedule or WavefrontSchedule()
         return self.operator.apply(
             time_M=time_M, time_m=time_m, dt=self.dt,
             schedule=schedule, sparse_mode="precomputed",
             health=health, checkpoint=checkpoint, faults=faults,
+            telemetry=telemetry,
         )

@@ -219,6 +219,12 @@ class BoundSweep:
                 1,
             )
             self._view_cache: Dict[Tuple, Tuple[tuple, tuple]] = {}
+            # plain-int tallies of the memoised (t, box) bindings; read by
+            # the telemetry layer as per-run deltas (Operator.apply).  Kept
+            # unconditional: two int adds per evaluate are noise next to the
+            # kernel call, and gating them would cost the branch they save.
+            self.view_hits = 0
+            self.view_misses = 0
 
     def evaluate(self, t: int, box: Box) -> None:
         """Execute every equation of the sweep on *box* at timestep *t*."""
@@ -237,6 +243,7 @@ class BoundSweep:
         key = (t % self._period, box)
         bound = self._view_cache.get(key)
         if bound is None:
+            self.view_misses += 1
             if box_is_empty(box):
                 return
             outs = tuple(box_view(l, t, box, self.dim_names) for l in self.writes)
@@ -248,6 +255,8 @@ class BoundSweep:
             if len(self._view_cache) >= 4096:  # safety valve, never hit in practice
                 self._view_cache.clear()
             bound = self._view_cache[key] = (slots, outs, views)
+        else:
+            self.view_hits += 1
         self._kernel(*bound)
 
     def kernel_source(self):

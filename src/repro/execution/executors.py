@@ -24,7 +24,7 @@ from ..core.scheduler import (
 )
 from ..dsl.grid import Grid
 from ..errors import InvalidTimeRange, PlanValidationError
-from .evalbox import BoundSweep, Box, box_is_empty, clip_box, full_box
+from .evalbox import BoundSweep, Box, box_is_empty, box_points, clip_box, full_box
 
 __all__ = ["ExecutionPlan", "run_schedule", "run_naive", "run_spatial", "run_wavefront"]
 
@@ -117,9 +117,14 @@ def _execute_instance(plan: ExecutionPlan, j: int, t: int, box: Optional[Box]) -
         rec.gather(t, box)
 
 
-def run_naive(plan: ExecutionPlan, time_m: int, time_M: int, monitor=None) -> None:
+def run_naive(
+    plan: ExecutionPlan, time_m: int, time_M: int, monitor=None, telemetry=None
+) -> None:
     """Listing 1: whole-grid sweeps, sparse operators after each sweep."""
     _check_entry(plan, time_m, time_M)
+    if telemetry is not None:
+        _instr_naive(plan, time_m, time_M, monitor, telemetry)
+        return
     if monitor is not None:
         time_m = monitor.begin(plan, time_m, time_M)
     for t in range(time_m, time_M):
@@ -156,6 +161,7 @@ def run_spatial(
     time_M: int,
     schedule: SpatialBlockSchedule,
     monitor=None,
+    telemetry=None,
 ) -> None:
     """Fig. 4a: space blocking inside each timestep.
 
@@ -165,6 +171,9 @@ def run_spatial(
     """
     _check_entry(plan, time_m, time_M)
     _check_block_shape(plan, schedule.block, "space block")
+    if telemetry is not None:
+        _instr_spatial(plan, time_m, time_M, schedule, monitor, telemetry)
+        return
     if monitor is not None:
         time_m = monitor.begin(plan, time_m, time_M)
     boxes = list(_blocked_boxes(plan.grid, schedule.block))
@@ -187,15 +196,15 @@ def run_spatial(
 
 def _wavefront_steps(
     plan: ExecutionPlan, schedule: WavefrontSchedule, height: int
-) -> List[Tuple[int, int, Box]]:
+) -> List[Tuple[int, int, Box, int]]:
     """The full traversal of one time tile of *height*, precomputed.
 
-    Returns ``(dt, j, box)`` steps in execution order: for every space tile
-    origin (ascending lexicographic over the skewed domain), every sweep
-    instance ``(dt, j)`` with its lag-shifted, grid-clipped, non-empty box.
-    The step list depends on the time tile only through its height, so
-    executors compute it once per distinct height and replay it for every
-    congruent tile.
+    Returns ``(dt, j, box, tile)`` steps in execution order: for every space
+    tile origin (ascending lexicographic over the skewed domain, numbered by
+    ``tile``), every sweep instance ``(dt, j)`` with its lag-shifted,
+    grid-clipped, non-empty box.  The step list depends on the time tile only
+    through its height, so executors compute it once per distinct height and
+    replay it for every congruent tile.
     """
     grid = plan.grid
     nskew = len(schedule.tile)
@@ -203,15 +212,15 @@ def _wavefront_steps(
     tail = tuple((0, s) for s in grid.shape[nskew:])
     lags = instance_lags(tuple(plan.radii), height)
     instances = [(dt, j) for dt in range(height) for j in range(plan.nsweeps)]
-    steps: List[Tuple[int, int, Box]] = []
-    for origin in tile_origins(skew_extents, schedule.tile, lags[-1]):
+    steps: List[Tuple[int, int, Box, int]] = []
+    for tile_id, origin in enumerate(tile_origins(skew_extents, schedule.tile, lags[-1])):
         for (dt, j), lag in zip(instances, lags):
             window = tuple(
                 (o - lag, o - lag + ext) for o, ext in zip(origin, schedule.tile)
             )
             box = clip_box(window + tail, grid)
             if not box_is_empty(box):
-                steps.append((dt, j, box))
+                steps.append((dt, j, box, tile_id))
     return steps
 
 
@@ -222,6 +231,7 @@ def run_wavefront(
     schedule: WavefrontSchedule,
     step_cache: Optional[Dict] = None,
     monitor=None,
+    telemetry=None,
 ) -> None:
     """Listing 6: wave-front temporal blocking over skewed space-time tiles.
 
@@ -240,10 +250,13 @@ def run_wavefront(
     only on the grid, the sweep radii and the schedule, all fixed per
     operator.
     """
-    grid = plan.grid
     _check_entry(plan, time_m, time_M)
     _check_block_shape(plan, schedule.tile, "space tile")
-    nskew = len(schedule.tile)
+    if telemetry is not None:
+        _instr_wavefront(
+            plan, time_m, time_M, schedule, step_cache, monitor, telemetry
+        )
+        return
     if monitor is not None:
         # snapshots are taken at tile boundaries, and resume points are tile
         # boundaries of the original run, so the tiling below stays congruent
@@ -263,7 +276,7 @@ def run_wavefront(
             steps = _wavefront_steps(plan, schedule, height)
         # steps hold only non-empty clipped boxes, so the hot loop skips the
         # emptiness/full-grid handling of the generic _execute_instance path
-        for dt, j, box in steps:
+        for dt, j, box, _tile in steps:
             t = t0 + dt
             sweeps[j].evaluate(t, box)
             injections, receivers = sparse[j]
@@ -290,6 +303,7 @@ def run_schedule(
     checkpoint=None,
     faults=None,
     monitor=None,
+    telemetry=None,
 ) -> None:
     """Dispatch on schedule kind.  *step_cache* only affects wavefront runs.
 
@@ -298,7 +312,9 @@ def run_schedule(
     (:class:`~repro.runtime.faults.FaultInjector`) attach the resilience
     layer; they are bundled into a
     :class:`~repro.runtime.monitor.RuntimeMonitor` (or pass *monitor*
-    directly).  All default to off and cost nothing when absent.
+    directly).  ``telemetry`` (:class:`~repro.telemetry.Telemetry`) attaches
+    the tracing/counter layer.  All default to off and cost nothing when
+    absent.
     """
     if monitor is None and (
         health is not None or checkpoint is not None or faults is not None
@@ -306,13 +322,418 @@ def run_schedule(
         from ..runtime.monitor import RuntimeMonitor
 
         monitor = RuntimeMonitor(health=health, checkpoint=checkpoint, faults=faults)
-    if isinstance(schedule, NaiveSchedule):
-        run_naive(plan, time_m, time_M, monitor=monitor)
-    elif isinstance(schedule, SpatialBlockSchedule):
-        run_spatial(plan, time_m, time_M, schedule, monitor=monitor)
-    elif isinstance(schedule, WavefrontSchedule):
-        run_wavefront(
-            plan, time_m, time_M, schedule, step_cache=step_cache, monitor=monitor
+    guard_base = None
+    if monitor is not None and telemetry is not None:
+        # checkpoint saves / fired faults emit telemetry events through the
+        # monitor; guard activity is folded in as a delta after the run
+        monitor.telemetry = telemetry
+        if monitor.health is not None:
+            guard_base = dict(monitor.health.stats)
+    try:
+        if isinstance(schedule, NaiveSchedule):
+            run_naive(plan, time_m, time_M, monitor=monitor, telemetry=telemetry)
+        elif isinstance(schedule, SpatialBlockSchedule):
+            run_spatial(
+                plan, time_m, time_M, schedule, monitor=monitor, telemetry=telemetry
+            )
+        elif isinstance(schedule, WavefrontSchedule):
+            run_wavefront(
+                plan,
+                time_m,
+                time_M,
+                schedule,
+                step_cache=step_cache,
+                monitor=monitor,
+                telemetry=telemetry,
+            )
+        else:
+            raise TypeError(f"unknown schedule {schedule!r}")
+    finally:
+        # flush even when the run aborts (e.g. NumericalBlowup) — partial
+        # telemetry of a crashed run is the postmortem
+        if guard_base is not None:
+            stats = monitor.health.stats
+            telemetry.counters.add("guard_ticks", stats["ticks"] - guard_base["ticks"])
+            telemetry.counters.add(
+                "guard_checks", stats["checks"] - guard_base["checks"]
+            )
+
+
+# -- instrumented traversals ------------------------------------------------------
+#
+# Mirrors of the hot loops above with boundary-to-boundary phase timing: each
+# clock reading picks up from the previous one, so loop overhead is absorbed
+# into the adjacent phase and the per-phase sum covers the run wall-time
+# almost exactly.  Counters accumulate in locals and flush once per run.  At
+# ``detail="trace"`` one span per sweep instance is recorded from the same
+# clock readings (no extra clock calls on the instance path).
+
+
+def _sweep_names(plan: ExecutionPlan) -> List[str]:
+    return [
+        f"sweep{j}:{sw.beqs[0].lhs.function.name}" for j, sw in enumerate(plan.sweeps)
+    ]
+
+
+class _InstrCounts:
+    """Local tallies of one instrumented run, flushed to telemetry once."""
+
+    def __init__(self, plan: ExecutionPlan):
+        self.nsweeps = plan.nsweeps
+        self.neqs = [len(s) for s in plan.sweeps]
+        self.instances = [0] * plan.nsweeps
+        self.points = [0] * plan.nsweeps
+        self.inj_points = 0
+        self.rec_points = 0
+        self.rec_rows = 0
+
+    def flush(self, telemetry) -> None:
+        c = telemetry.counters
+        c.add("instances", sum(self.instances))
+        c.add(
+            "points_updated",
+            sum(p * n for p, n in zip(self.points, self.neqs)),
         )
-    else:
-        raise TypeError(f"unknown schedule {schedule!r}")
+        for j in range(self.nsweeps):
+            c.add(f"sweep{j}.instances", self.instances[j])
+            c.add(f"sweep{j}.points", self.points[j])
+        c.add("src_points_injected", self.inj_points)
+        c.add("rec_points_gathered", self.rec_points)
+        c.add("rec_rows_finalized", self.rec_rows)
+
+
+def _instr_naive(plan, time_m, time_M, monitor, tel) -> None:
+    from ..telemetry.counters import gathered_points, injected_points
+
+    clock, ph, trace = tel._clock, tel.phase_seconds, tel.trace
+    rspan = tel.begin("run", schedule="naive", time_m=time_m, time_M=time_M)
+    last = rspan.start
+    if monitor is not None:
+        time_m = monitor.begin(plan, time_m, time_M)
+        now = clock()
+        ph["checkpoint+guard"] += now - last
+        last = now
+    names = _sweep_names(plan)
+    counts = _InstrCounts(plan)
+    sparse = [plan._sparse_for(j) for j in range(plan.nsweeps)]
+    full = full_box(plan.grid)
+    gpts = box_points(full)
+    for t in range(time_m, time_M):
+        sspan = tel.begin("step", t=t)
+        last = sspan.start
+        depth = len(tel._stack)
+        for j in range(plan.nsweeps):
+            inst_start = last
+            plan.sweeps[j].evaluate(t, full)
+            now = clock()
+            ph["stencil"] += now - last
+            last = now
+            counts.instances[j] += 1
+            counts.points[j] += gpts
+            injections, receivers = sparse[j]
+            if injections:
+                for inj in injections:
+                    inj.apply(t, None)
+                    counts.inj_points += injected_points(inj, t, None)
+                now = clock()
+                ph["injection"] += now - last
+                last = now
+            if receivers:
+                for rec in receivers:
+                    rec.gather(t, None)
+                    counts.rec_points += gathered_points(rec, t, None)
+                now = clock()
+                ph["receivers"] += now - last
+                last = now
+            if monitor is not None:
+                monitor.after_instance(plan, j, t, None)
+                now = clock()
+                ph["checkpoint+guard"] += now - last
+                last = now
+            if trace:
+                tel.record(
+                    names[j], "stencil", inst_start, last - inst_start, depth,
+                    {"t": t, "sweep": j},
+                )
+        for rec in plan.all_receivers():
+            rec.finalize(t)
+            counts.rec_rows += 1
+        now = clock()
+        ph["receivers"] += now - last
+        last = now
+        if monitor is not None:
+            monitor.after_step(plan, t)
+            now = clock()
+            ph["checkpoint+guard"] += now - last
+            last = now
+        tel.end(sspan)
+        last = sspan.end
+    counts.flush(tel)
+    tel.end(rspan)
+
+
+def _instr_spatial(plan, time_m, time_M, schedule, monitor, tel) -> None:
+    from ..telemetry.counters import gathered_points, injected_points
+
+    clock, ph, trace = tel._clock, tel.phase_seconds, tel.trace
+    rspan = tel.begin(
+        "run", schedule="spatial", block=tuple(schedule.block),
+        time_m=time_m, time_M=time_M,
+    )
+    last = rspan.start
+    if monitor is not None:
+        time_m = monitor.begin(plan, time_m, time_M)
+        now = clock()
+        ph["checkpoint+guard"] += now - last
+        last = now
+    boxes = list(_blocked_boxes(plan.grid, schedule.block))
+    now = clock()
+    ph["precompute"] += now - last  # block geometry
+    last = now
+    names = _sweep_names(plan)
+    counts = _InstrCounts(plan)
+    sparse = [plan._sparse_for(j) for j in range(plan.nsweeps)]
+    bpts = [box_points(b) for b in boxes]
+    for t in range(time_m, time_M):
+        sspan = tel.begin("step", t=t)
+        last = sspan.start
+        depth = len(tel._stack)
+        st_acc = mon_acc = 0.0  # local accumulators, folded in per step
+        for j in range(plan.nsweeps):
+            for b, box in enumerate(boxes):
+                inst_start = last
+                plan.sweeps[j].evaluate(t, box)
+                now = clock()
+                st_acc += now - last
+                last = now
+                counts.instances[j] += 1
+                counts.points[j] += bpts[b]
+                if monitor is not None:
+                    monitor.after_instance(plan, j, t, box)
+                    now = clock()
+                    mon_acc += now - last
+                    last = now
+                if trace:
+                    tel.record(
+                        names[j], "stencil", inst_start, last - inst_start, depth,
+                        {"t": t, "sweep": j, "block": b, "box": box},
+                    )
+            injections, receivers = sparse[j]
+            if injections:
+                for inj in injections:
+                    inj.apply(t, None)
+                    counts.inj_points += injected_points(inj, t, None)
+                now = clock()
+                ph["injection"] += now - last
+                last = now
+            if receivers:
+                for rec in receivers:
+                    rec.gather(t, None)
+                    counts.rec_points += gathered_points(rec, t, None)
+                now = clock()
+                ph["receivers"] += now - last
+                last = now
+        ph["stencil"] += st_acc
+        ph["checkpoint+guard"] += mon_acc
+        for rec in plan.all_receivers():
+            rec.finalize(t)
+            counts.rec_rows += 1
+        now = clock()
+        ph["receivers"] += now - last
+        last = now
+        if monitor is not None:
+            monitor.after_step(plan, t)
+            now = clock()
+            ph["checkpoint+guard"] += now - last
+            last = now
+        tel.end(sspan)
+        last = sspan.end
+    counts.flush(tel)
+    tel.end(rspan)
+
+
+def _sparse_fingerprint(sparse) -> tuple:
+    """Identity of a plan's bound sparse operators, for reuse of the
+    persistent instrumentation counts across applies.  Masks objects are
+    cached per operator, so their ids are stable for the operator's
+    lifetime; a re-bind under a different sparse mode (raw vs precomputed)
+    or with different masks changes the fingerprint and invalidates the
+    cached counts."""
+    fp = []
+    for injections, receivers in sparse:
+        fp.append((
+            tuple(
+                (
+                    id(inj.masks) if getattr(inj, "masks", None) is not None else -1,
+                    getattr(inj, "nt", -1),
+                    inj.time_offset,
+                )
+                for inj in injections
+            ),
+            tuple(
+                (
+                    id(rec.masks) if getattr(rec, "masks", None) is not None else -1,
+                    rec.output.shape[0] if hasattr(rec, "output") else -1,
+                    rec.time_offset,
+                )
+                for rec in receivers
+            ),
+        ))
+    return tuple(fp)
+
+
+def _instr_wavefront(
+    plan, time_m, time_M, schedule, step_cache, monitor, tel
+) -> None:
+    from ..telemetry.counters import gathered_points, injected_points
+
+    clock, ph, trace = tel._clock, tel.phase_seconds, tel.trace
+    rspan = tel.begin(
+        "run", schedule="wavefront", tile=tuple(schedule.tile),
+        height=schedule.height, time_m=time_m, time_M=time_M,
+    )
+    last = rspan.start
+    if monitor is not None:
+        time_m = monitor.begin(plan, time_m, time_M)
+        now = clock()
+        ph["checkpoint+guard"] += now - last
+        last = now
+    step_plans: Dict = step_cache if step_cache is not None else {}
+    names = _sweep_names(plan)
+    counts = _InstrCounts(plan)
+    sweeps = plan.sweeps
+    sparse = [plan._sparse_for(j) for j in range(plan.nsweeps)]
+    # lazy per-(sweep, box) instrumentation entries: (box points, injection
+    # ops with points in the box, receiver ops with points in the box), each
+    # op as (op, n, tmin, tmax) with the t-bounds of its countable window
+    # precomputed — steady state costs one dict probe per instance, and
+    # sparse ops whose masks miss the box are skipped outright (their
+    # apply/gather is a no-op, so skipping is observation, not perturbation)
+    sp_cache: List[Dict[Box, tuple]] = [{} for _ in range(plan.nsweeps)]
+    # the counts themselves ((j, box) -> (points, per-slot sparse windows))
+    # depend only on the masks and the tile geometry, both stable across
+    # applies, so they persist in the caller's step cache — guarded by a
+    # fingerprint of the bound sparse ops so a re-bind with different masks
+    # or sparse mode rebuilds them
+    counts_map: Dict = {}
+    if step_cache is not None:
+        fp = _sparse_fingerprint(sparse)
+        persist = step_cache.get("instr-counts")
+        if persist is None or persist[0] != fp:
+            persist = (fp, {})
+            step_cache["instr-counts"] = persist
+        counts_map = persist[1]
+
+    def _entry(j: int, box) -> tuple:
+        injections, receivers = sparse[j]
+        cm = counts_map.get((j, box))
+        if cm is None:
+            pts = box_points(box)
+            inj_meta = []
+            rec_meta = []
+            for slot, inj in enumerate(injections):
+                if getattr(inj, "masks", None) is None:
+                    # raw off-the-grid op: apply() must still run so it
+                    # raises exactly as the uninstrumented path does;
+                    # never countable
+                    inj_meta.append((slot, -1, 0, 0))
+                else:
+                    n = injected_points(inj, 0, box)
+                    if n:
+                        inj_meta.append((slot, n, 0, inj.nt))
+            for slot, rec in enumerate(receivers):
+                if getattr(rec, "masks", None) is None:
+                    rec_meta.append((slot, -1, 0, 0))
+                else:
+                    n = gathered_points(rec, -rec.time_offset, box)
+                    if n:
+                        off = rec.time_offset
+                        rec_meta.append(
+                            (slot, n, -off, rec.output.shape[0] - off)
+                        )
+            cm = counts_map[(j, box)] = (pts, tuple(inj_meta), tuple(rec_meta))
+        pts, inj_meta, rec_meta = cm
+        entry = (
+            pts,
+            tuple((injections[s], n, ta, tb) for s, n, ta, tb in inj_meta),
+            tuple((receivers[s], n, ta, tb) for s, n, ta, tb in rec_meta),
+        )
+        sp_cache[j][box] = entry
+        return entry
+    for t0, t1 in time_tiles(time_m, time_M, schedule.height):
+        height = t1 - t0
+        if schedule.precompute_steps:
+            key = (tuple(schedule.tile), height)
+            steps = step_plans.get(key)
+            if steps is None:
+                steps = step_plans[key] = _wavefront_steps(plan, schedule, height)
+        else:
+            steps = _wavefront_steps(plan, schedule, height)
+        now = clock()
+        ph["precompute"] += now - last  # step-plan geometry (cached after once)
+        last = now
+        tspan = tel.begin("tile", t0=t0, t1=t1)
+        last = tspan.start
+        depth = len(tel._stack)
+        # plain local accumulators in the hot loop — string-keyed dict
+        # writes per instance are both slower and hash-seed-sensitive
+        st_acc = inj_acc = rec_acc = mon_acc = 0.0
+        for dt, j, box, tile_id in steps:
+            t = t0 + dt
+            inst_start = last
+            sweeps[j].evaluate(t, box)
+            now = clock()
+            st_acc += now - last
+            last = now
+            entry = sp_cache[j].get(box)
+            if entry is None:
+                entry = _entry(j, box)
+            pts, inj_ops, rec_ops = entry
+            counts.instances[j] += 1
+            counts.points[j] += pts
+            if inj_ops:
+                for inj, n, ta, tb in inj_ops:
+                    inj.apply(t, box)
+                    if ta <= t < tb:
+                        counts.inj_points += n
+                now = clock()
+                inj_acc += now - last
+                last = now
+            if rec_ops:
+                for rec, n, ta, tb in rec_ops:
+                    rec.gather(t, box)
+                    if ta <= t < tb:
+                        counts.rec_points += n
+                now = clock()
+                rec_acc += now - last
+                last = now
+            if monitor is not None:
+                monitor.after_instance(plan, j, t, box)
+                now = clock()
+                mon_acc += now - last
+                last = now
+            if trace:
+                tel.record(
+                    names[j], "stencil", inst_start, last - inst_start, depth,
+                    {"t": t, "sweep": j, "tile": tile_id, "box": box},
+                )
+        for t in range(t0, t1):
+            for rec in plan.all_receivers():
+                rec.finalize(t)
+                counts.rec_rows += 1
+        now = clock()
+        rec_acc += now - last
+        last = now
+        ph["stencil"] += st_acc
+        ph["injection"] += inj_acc
+        ph["receivers"] += rec_acc
+        ph["checkpoint+guard"] += mon_acc
+        if monitor is not None:
+            monitor.after_tile(plan, t0, t1)
+            now = clock()
+            ph["checkpoint+guard"] += now - last
+            last = now
+        tel.end(tspan)
+        last = tspan.end
+    counts.flush(tel)
+    tel.end(rspan)

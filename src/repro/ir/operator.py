@@ -47,6 +47,14 @@ __all__ = ["Operator"]
 SparseOp = Union[Injection, Interpolation]
 
 
+def _view_cache_totals(plan: ExecutionPlan) -> Tuple[int, int]:
+    """Summed (hits, misses) of the fused sweeps' memoised view bindings;
+    (0, 0) for engines without a view cache."""
+    hits = sum(getattr(s, "view_hits", 0) for s in plan.sweeps)
+    misses = sum(getattr(s, "view_misses", 0) for s in plan.sweeps)
+    return hits, misses
+
+
 class Operator:
     """An executable stencil operator with optional off-the-grid operators."""
 
@@ -81,6 +89,7 @@ class Operator:
         # keyed (tile, height) -- the only schedule knobs geometry depends on
         # (grid and sweep radii are fixed per operator)
         self._step_cache: Dict = {}
+        self._static_costs = None  # telemetry: per-sweep (flops, accesses)
         # one scratch pool per operator, shared by all fused sweeps across
         # apply() calls -- buffers are keyed by (shape, dtype, slot) so reuse
         # is automatic and steady-state execution allocates nothing
@@ -173,7 +182,7 @@ class Operator:
     }
 
     def _build_sweeps(
-        self, dt: float, engine: str, strict: bool
+        self, dt: float, engine: str, strict: bool, telemetry=None
     ) -> Tuple[str, List[BoundSweep]]:
         """Bind sweeps under *engine*, degrading down the ladder on
         :class:`EngineCompilationError` unless *strict*.  Returns the engine
@@ -209,6 +218,14 @@ class Operator:
             except EngineCompilationError as exc:
                 if strict or i == len(rungs) - 1:
                     raise
+                if telemetry is not None:
+                    telemetry.counters.add("engine_fallbacks")
+                    telemetry.event(
+                        "engine.fallback",
+                        phase="precompute",
+                        failed=eng,
+                        degraded_to=rungs[i + 1],
+                    )
                 warnings.warn(
                     EngineFallbackWarning(
                         f"{self.name}: engine {eng!r} failed to compile "
@@ -226,6 +243,7 @@ class Operator:
         compiled: bool = True,
         engine: Optional[str] = None,
         strict_engine: bool = False,
+        telemetry=None,
     ) -> ExecutionPlan:
         if engine is None:
             engine = "fused" if compiled else "interp"
@@ -236,7 +254,9 @@ class Operator:
             for sw in bound_sweeps:
                 sw.invalidate_invariants()
         else:
-            effective, bound_sweeps = self._build_sweeps(dt, engine, strict_engine)
+            effective, bound_sweeps = self._build_sweeps(
+                dt, engine, strict_engine, telemetry=telemetry
+            )
             # only a successful *fused* bind is reusable across applies; a
             # degraded bind must retry the full ladder next time
             if effective == "fused":
@@ -303,6 +323,7 @@ class Operator:
         faults=None,
         preflight: bool = True,
         strict_engine: bool = False,
+        telemetry=None,
     ) -> ExecutionPlan:
         """Run iterations ``t in [time_m, time_M)`` under *schedule*.
 
@@ -323,12 +344,31 @@ class Operator:
         :class:`~repro.runtime.checkpoint.CheckpointConfig` (periodic
         snapshots, bit-identical resume) and a
         :class:`~repro.runtime.faults.FaultInjector`.
+
+        ``telemetry`` attaches a :class:`~repro.telemetry.Telemetry` buffer:
+        binding/preflight/prover time lands in the ``precompute`` phase, the
+        executors account stencil/injection/receiver/monitor time per phase
+        (plus per-instance spans at ``detail="trace"``), and the static
+        per-sweep flop/access counts are registered so achieved GPts/s and
+        arithmetic intensity can be derived from measured sweep time.
+        Telemetry never changes numerics — a telemetry-on run is
+        bit-identical to a telemetry-off run.
         """
         if time_M <= time_m:
             raise InvalidTimeRange(
                 f"time_M must exceed time_m, got [{time_m}, {time_M})"
             )
         schedule = schedule or NaiveSchedule()
+        tel = telemetry
+        if tel is not None:
+            aspan = tel.begin(
+                "apply",
+                operator=self.name,
+                schedule=schedule.kind,
+                time_m=time_m,
+                time_M=time_M,
+            )
+            last = aspan.start
         if isinstance(schedule, WavefrontSchedule):
             # dependence-legality preflight: a certificate per (schedule,
             # sparse-mode) pair, or a ScheduleLegalityError naming two
@@ -341,9 +381,21 @@ class Operator:
             compiled=compiled,
             engine=engine,
             strict_engine=strict_engine,
+            telemetry=tel,
         )
+        if tel is not None:
+            # prove + bind (mask/decompose precomputation included) so far
+            now = tel.now()
+            tel.add_phase("precompute", now - last)
+            last = now
+            self._register_static_costs(tel, schedule, plan)
+            view_base = _view_cache_totals(plan)
         if preflight:
             plan.validate()
+            if tel is not None:
+                now = tel.now()
+                tel.add_phase("precompute", now - last)
+                last = now
         run_schedule(
             plan,
             time_m,
@@ -353,8 +405,36 @@ class Operator:
             health=health,
             checkpoint=checkpoint,
             faults=faults,
+            telemetry=tel,
         )
+        if tel is not None:
+            hits, misses = _view_cache_totals(plan)
+            tel.counters.add("view_cache_hits", hits - view_base[0])
+            tel.counters.add("view_cache_misses", misses - view_base[1])
+            tel.end(aspan)
         return plan
+
+    def _register_static_costs(self, tel, schedule: Schedule, plan: ExecutionPlan) -> None:
+        """Static per-sweep flop/access counts joined with measured counters
+        by :func:`repro.telemetry.derived_metrics` (achieved GPts/s, GFLOP/s,
+        arithmetic intensity)."""
+        from ..analysis.metrics import access_count, eq_flops
+
+        if self._static_costs is None:
+            # expression-tree walks; the sweeps are immutable, so pay once
+            self._static_costs = (
+                [float(sum(eq_flops(e) for e in s.eqs)) for s in self.sweeps],
+                [int(sum(access_count(e) for e in s.eqs)) for s in self.sweeps],
+            )
+        tel.meta["operator"] = self.name
+        tel.meta["schedule"] = schedule.describe()
+        tel.meta["engine"] = plan.sweeps[0].engine
+        tel.meta["grid_shape"] = list(self.grid.shape)
+        tel.meta["sweep_flops"] = list(self._static_costs[0])
+        tel.meta["sweep_accesses"] = list(self._static_costs[1])
+        tel.meta["dtype_bytes"] = int(
+            plan.sweeps[0].beqs[0].lhs.function.dtype.itemsize
+        )
 
     # -- code generation ------------------------------------------------------------
     def ccode(self, mode: str = "naive", schedule: Optional[Schedule] = None) -> str:

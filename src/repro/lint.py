@@ -30,7 +30,7 @@ from .verify import lint_operator, prove_schedule
 EXAMPLES = ("acoustic", "tti", "elastic")
 
 
-def build_example(kind: str):
+def build_example(kind: str, nt: int = 16):
     """A small (12^3, nbl=2, so=4) propagator with source + receivers."""
     import numpy as np
 
@@ -44,7 +44,7 @@ def build_example(kind: str):
         receiver_line,
     )
 
-    shape, nbl, so, nt = (12, 12, 12), 2, 4, 16
+    shape, nbl, so = (12, 12, 12), 2, 4
     vp = layered_velocity(shape, 1.5, 3.0, 3)
     kwargs = {}
     if kind == "tti":

@@ -71,6 +71,7 @@ class Propagator:
         faults=None,
         cfl: str = "warn",
         strict_engine: bool = False,
+        telemetry=None,
     ):
         """Run the forward model for *nt* steps (or *tn* ms) under *schedule*.
 
@@ -88,6 +89,8 @@ class Propagator:
         resilience layer (see :mod:`repro.runtime`); with
         ``checkpoint.resume`` set and a snapshot available the wavefields are
         *not* reset — the run continues from the restored state.
+        ``telemetry`` attaches a :class:`~repro.telemetry.Telemetry` buffer
+        (phase-level timing, counters, optional per-instance trace spans).
         """
         if dt is None:
             dt = self.critical_dt()
@@ -123,6 +126,7 @@ class Propagator:
             checkpoint=checkpoint,
             faults=faults,
             strict_engine=strict_engine,
+            telemetry=telemetry,
         )
         rec = self.receivers.data.copy() if self.receivers is not None else None
         return rec, plan

@@ -36,10 +36,15 @@ class RuntimeMonitor:
         health: Optional[HealthGuard] = None,
         checkpoint: Optional[CheckpointConfig] = None,
         faults: Optional[FaultInjector] = None,
+        telemetry=None,
     ):
         self.health = health
         self.checkpoint = checkpoint
         self.faults = faults
+        #: optional :class:`~repro.telemetry.Telemetry` buffer; checkpoint
+        #: saves and restores emit events/counters into it.  Assigned by
+        #: ``run_schedule`` when both layers are attached to the same run.
+        self.telemetry = telemetry
         self._last_saved: Optional[int] = None
 
     # -- lifecycle ---------------------------------------------------------------------
@@ -54,6 +59,11 @@ class RuntimeMonitor:
             return time_m
         start = restore_snapshot(plan, snapshot)
         self._last_saved = start
+        if self.telemetry is not None:
+            self.telemetry.counters.add("checkpoint_restores")
+            self.telemetry.event(
+                "checkpoint.restore", phase="checkpoint+guard", step=start
+            )
         return start
 
     # -- executor hooks ----------------------------------------------------------------
@@ -61,7 +71,20 @@ class RuntimeMonitor:
         if box is None:
             box = tuple((0, s) for s in plan.grid.shape)
         if self.faults is not None:
-            self.faults.fire(plan, j, t, box)
+            if self.telemetry is None:
+                self.faults.fire(plan, j, t, box)
+            else:
+                fired = len(self.faults.log)
+                try:
+                    self.faults.fire(plan, j, t, box)
+                finally:
+                    # a kind="raise" fault logs then raises: record it too
+                    for ft, fbox, kind, field in self.faults.log[fired:]:
+                        self.telemetry.counters.add("faults_fired")
+                        self.telemetry.event(
+                            "fault.fired", phase="checkpoint+guard",
+                            t=ft, kind=kind, field=field,
+                        )
         if self.health is not None:
             self.health.on_instance(plan.sweeps[j], t, box)
 
@@ -77,5 +100,14 @@ class RuntimeMonitor:
         if cfg is None:
             return
         if step - self._last_saved >= cfg.every:
-            cfg.store.save(capture_snapshot(plan, step))
+            snapshot = capture_snapshot(plan, step)
+            cfg.store.save(snapshot)
             self._last_saved = step
+            if self.telemetry is not None:
+                self.telemetry.counters.add("checkpoint_saves")
+                self.telemetry.event(
+                    "checkpoint.save",
+                    phase="checkpoint+guard",
+                    step=step,
+                    bytes=snapshot.nbytes(),
+                )

@@ -1,0 +1,126 @@
+"""Per-phase counters and the derived achieved-performance metrics.
+
+:class:`Counters` is a plain ``dict`` of integer tallies with an ``add``
+helper; the executors flush locally-accumulated tallies into it once per run
+so the hot loops pay Python-int additions only.
+
+Counter taxonomy (all optional — absent means the producer never ran):
+
+* ``instances`` / ``sweep{j}.instances`` — executed sweep instances.
+* ``points_updated`` — grid-point *updates* (box points × equations of the
+  sweep); ``sweep{j}.points`` — box points per sweep (once per instance,
+  not per equation) — the quantity flop/traffic models scale with.
+* ``src_points_injected`` / ``rec_points_gathered`` / ``rec_rows_finalized``
+  — sparse-operator work items (grid-aligned points for the precomputed
+  path, support corners for the raw off-the-grid path).
+* ``view_cache_hits`` / ``view_cache_misses`` — the fused engine's memoised
+  ``(t, box)`` view bindings (:class:`~repro.execution.evalbox.BoundSweep`).
+* ``checkpoint_saves``, ``guard_ticks``, ``guard_checks``, ``faults_fired``
+  — runtime-monitor activity (:mod:`repro.runtime`).
+* ``engine_fallbacks`` — fused→kernel→interp ladder transitions during
+  binding (:meth:`repro.ir.operator.Operator._build_sweeps`).
+
+The derived metrics join the measured counters and phase seconds with the
+*static* per-point costs of :mod:`repro.analysis.metrics` (flop and access
+counts stored into ``telemetry.meta`` by ``Operator.apply``): achieved
+GPts/s and GFLOP/s come from measured stencil seconds, and the achieved
+arithmetic intensity uses a minimum-traffic byte model (each static access
+moves its dtype width exactly once per point) — an optimistic bound, the
+same convention the roofline model uses.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+__all__ = [
+    "Counters",
+    "injected_points",
+    "gathered_points",
+    "derived_metrics",
+]
+
+
+class Counters(dict):
+    """Integer tallies; missing keys read as 0."""
+
+    def add(self, key: str, n: int = 1) -> None:
+        self[key] = self.get(key, 0) + int(n)
+
+    def __missing__(self, key):
+        return 0
+
+    def to_dict(self) -> Dict[str, int]:
+        return {k: int(v) for k, v in sorted(self.items())}
+
+
+def injected_points(inj, t: int, box) -> int:
+    """Grid points the injection executor touches at ``(t, box)``.
+
+    Duck-typed over both executor families: the grid-aligned
+    :class:`~repro.core.aligned.AlignedInjection` (its memoised
+    ``points_in_box`` makes the second lookup a cache hit, so counting costs
+    a dict probe) and the raw off-the-grid
+    :class:`~repro.execution.sparse.RawInjection` (``npoint × 2^d`` support
+    corners, whole-grid only).
+    """
+    masks = getattr(inj, "masks", None)
+    if masks is not None:  # grid-aligned path
+        if not 0 <= t < inj.nt or masks.npts == 0:
+            return 0
+        if box is None:
+            return int(masks.npts)
+        return int(masks.points_in_box(box).size)
+    indices = getattr(inj, "indices", None)
+    if indices is None or not 0 <= t < inj.data.shape[0]:
+        return 0
+    return int(indices.shape[0] * indices.shape[1])
+
+
+def gathered_points(rec, t: int, box) -> int:
+    """Grid points the receiver executor stages at ``(t, box)`` (0 for the
+    raw off-the-grid path, which measures only at ``finalize``)."""
+    masks = getattr(rec, "masks", None)
+    if masks is None or masks.npts == 0:
+        return 0
+    row = t + rec.time_offset
+    if not 0 <= row < rec.output.shape[0]:
+        return 0
+    if box is None:
+        return int(masks.npts)
+    return int(masks.points_in_box(box).size)
+
+
+def derived_metrics(telemetry) -> Dict[str, Optional[float]]:
+    """Join measured counters/seconds with the static per-point costs.
+
+    Returns ``gpoints_per_s`` (measured stencil seconds, see also
+    :func:`repro.analysis.metrics.achieved_gpoints_per_s`),
+    ``gflops_per_s`` and ``intensity_flops_per_byte`` (``None`` whenever the
+    inputs to a metric are missing — e.g. no static costs registered, or the
+    stencil phase never ran).
+    """
+    counters = telemetry.counters
+    stencil = telemetry.phase_seconds.get("stencil", 0.0)
+    points = counters.get("points_updated", 0)
+    out: Dict[str, Optional[float]] = {
+        "gpoints_per_s": points / stencil / 1e9 if stencil > 0 and points else None,
+        "gflops_per_s": None,
+        "intensity_flops_per_byte": None,
+    }
+    sweep_flops = telemetry.meta.get("sweep_flops")
+    sweep_accesses = telemetry.meta.get("sweep_accesses")
+    dtype_bytes = telemetry.meta.get("dtype_bytes", 4)
+    if sweep_flops:
+        flops = 0.0
+        bytes_moved = 0.0
+        for j, fl in enumerate(sweep_flops):
+            pts = counters.get(f"sweep{j}.points", 0)
+            flops += pts * fl
+            if sweep_accesses:
+                bytes_moved += pts * sweep_accesses[j] * dtype_bytes
+        if stencil > 0 and flops:
+            out["gflops_per_s"] = flops / stencil / 1e9
+        if bytes_moved > 0 and flops:
+            out["intensity_flops_per_byte"] = flops / bytes_moved
+    return out
