@@ -1,0 +1,172 @@
+"""Batch-execution service bench: pool throughput vs serial under chaos.
+
+Runs the same batch of small propagation jobs (the job service's seed-
+perturbed survey shots) through the serial executor (``workers=0``) and the
+multiprocess pool (``workers=4``) at injected-fault rates of 0%, 10% and
+20%, records throughput (completed jobs per second of batch wall-clock) and
+completion rate for each cell, and writes the machine-readable
+``BENCH_jobs.json`` at the repo root so later PRs can track the resilience
+trajectory.
+
+Both executors see the *same* chaos plan per fault rate (same batch seed ⇒
+same faulting jobs, same fault timesteps), so the comparison isolates the
+executor, not the luck of the draw.  Every completed cell is also checked
+for zero lost jobs — a resilience bench that quietly drops work would be
+measuring the wrong thing.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_jobs.py
+
+or through pytest (slow-marked)::
+
+    pytest benchmarks/bench_jobs.py -m slow
+
+The ≥2× pool-over-serial throughput gate only holds where the pool can
+actually run in parallel; the pytest gate skips on single-core containers
+(the JSON artefact still records the measured ratio).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.jobs import ChaosConfig, JobSpec, run_batch
+
+NJOBS = 16
+NT = 128
+POOL_WORKERS = 4
+BATCH_SEED = 1234
+FAULT_RATES = (0.0, 0.1, 0.2)
+RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_jobs.json"
+
+
+def usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def build_specs():
+    return [
+        JobSpec(f"shot-{i:02d}", nt=NT, seed=i, checkpoint_every=8, max_attempts=4)
+        for i in range(NJOBS)
+    ]
+
+
+def run_cell(workers: int, fault_rate: float) -> dict:
+    """One (executor, fault-rate) cell: run the batch, summarise it."""
+    chaos = ChaosConfig(fault_rate=fault_rate) if fault_rate > 0 else None
+    t0 = time.perf_counter()
+    report = run_batch(
+        build_specs(), workers=workers, chaos=chaos, batch_seed=BATCH_SEED
+    )
+    wall = time.perf_counter() - t0
+    assert report.ok, "resilience bench lost jobs — measuring the wrong thing"
+    return {
+        "wall_seconds": wall,
+        "throughput_jobs_per_s": report.completed / wall,
+        "completion_rate": report.completion_rate,
+        "completed": report.completed,
+        "retries": report.retries,
+    }
+
+
+def run_bench() -> dict:
+    cells = {}
+    for rate in FAULT_RATES:
+        key = f"{int(rate * 100)}pct"
+        serial = run_cell(0, rate)
+        pool = run_cell(POOL_WORKERS, rate)
+        cells[key] = {
+            "fault_rate": rate,
+            "serial": serial,
+            "pool": pool,
+            "pool_over_serial": (
+                pool["throughput_jobs_per_s"] / serial["throughput_jobs_per_s"]
+            ),
+        }
+    return {
+        "bench": "jobs",
+        "workload": {
+            "jobs": NJOBS,
+            "nt": NT,
+            "example": "acoustic",
+            "schedule": "wavefront",
+            "engine": "fused",
+            "checkpoint_every": 8,
+            "batch_seed": BATCH_SEED,
+            "pool_workers": POOL_WORKERS,
+        },
+        "usable_cores": usable_cores(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "fault_rates": cells,
+    }
+
+
+def write_report(report, path=RESULT_PATH):
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def print_report(report):
+    print(
+        f"# jobs bench — {NJOBS} acoustic shots, nt={NT}, "
+        f"pool={POOL_WORKERS} workers, {report['usable_cores']} usable core(s)"
+    )
+    print(
+        f"{'faults':<8} {'serial':>12} {'pool':>12} {'pool/serial':>12} "
+        f"{'retries':>8} {'complete':>9}"
+    )
+    for key, cell in report["fault_rates"].items():
+        print(
+            f"{key:<8} {cell['serial']['throughput_jobs_per_s']:>10.2f}/s "
+            f"{cell['pool']['throughput_jobs_per_s']:>10.2f}/s "
+            f"{cell['pool_over_serial']:>11.2f}x "
+            f"{cell['serial']['retries'] + cell['pool']['retries']:>8} "
+            f"{cell['pool']['completion_rate']:>8.0%}"
+        )
+
+
+@pytest.mark.slow
+def test_batch_bench_report_and_completion():
+    """Acceptance: every cell completes every job (completion rate 1.0 at
+    fault rates 0/10/20%) and the JSON trajectory artefact lands at the repo
+    root with both executors' throughput recorded."""
+    report = run_bench()
+    path = write_report(report)
+    assert path.exists()
+    for cell in report["fault_rates"].values():
+        assert cell["serial"]["completion_rate"] == 1.0
+        assert cell["pool"]["completion_rate"] == 1.0
+
+
+@pytest.mark.slow
+@pytest.mark.skipif(
+    usable_cores() < 2,
+    reason="pool-over-serial throughput gate needs >= 2 usable cores",
+)
+def test_pool_throughput_gate():
+    """Acceptance: the 4-worker pool sustains >= 2x serial throughput on the
+    fault-free batch (where cores allow parallelism at all)."""
+    serial = run_cell(0, 0.0)
+    pool = run_cell(POOL_WORKERS, 0.0)
+    assert (
+        pool["throughput_jobs_per_s"] >= 2.0 * serial["throughput_jobs_per_s"]
+    )
+
+
+if __name__ == "__main__":
+    report = run_bench()
+    print_report(report)
+    out = write_report(report)
+    print(f"\nwrote {out}")

@@ -27,11 +27,22 @@ __all__ = [
     "InvalidTimeRange",
     "PlanValidationError",
     "InjectedFault",
+    "CheckpointCorruptError",
+    "JobError",
+    "QueueSaturatedError",
+    "JobTimeoutError",
+    "WorkerCrashError",
+    "RetryExhaustedError",
     "StabilityWarning",
     "EngineFallbackWarning",
 ]
 
 Box = Tuple[Tuple[int, int], ...]
+
+
+def _rebuild_error(cls, message, t, tile, field, context):
+    """Unpickling trampoline: re-invokes the keyword-only constructor."""
+    return cls(message, t=t, tile=tile, field=field, **context)
 
 
 class ReproError(Exception):
@@ -41,6 +52,11 @@ class ReproError(Exception):
     timestep), ``tile`` (the box being executed) and ``field`` (the grid
     function involved).  Any further keyword argument is stored as an
     attribute and kept in ``context`` for structured logging.
+
+    Instances pickle with all structured context intact (``__reduce__``
+    replays the original constructor arguments, not the rendered message) —
+    the batch-execution workers rely on this to surface failures across the
+    process boundary.
     """
 
     def __init__(
@@ -52,6 +68,7 @@ class ReproError(Exception):
         field: Optional[str] = None,
         **context,
     ):
+        self._message = message
         self.t = t
         self.tile = tuple(tuple(b) for b in tile) if tile is not None else None
         self.field = field
@@ -59,6 +76,12 @@ class ReproError(Exception):
         for key, value in context.items():
             setattr(self, key, value)
         super().__init__(self._render(message))
+
+    def __reduce__(self):
+        return (
+            _rebuild_error,
+            (type(self), self._message, self.t, self.tile, self.field, self.context),
+        )
 
     def _render(self, message: str) -> str:
         parts = []
@@ -139,6 +162,59 @@ class PlanValidationError(ReproError, ValueError):
 
 class InjectedFault(ReproError):
     """Raised by the fault-injection harness at its programmed ``(t, tile)``."""
+
+
+class CheckpointCorruptError(ReproError, RuntimeError):
+    """A persisted checkpoint is truncated, unreadable or inconsistent.
+
+    Raised by :class:`repro.runtime.checkpoint.FileCheckpointStore` when the
+    newest snapshot on disk fails validation — instead of a raw ``zipfile``
+    or numpy exception escaping from deep inside ``np.load``.  Carries
+    ``path`` (the offending file) and ``reason``.  The batch-execution
+    workers catch this, discard the store and restart the job from scratch
+    rather than wedging a retry loop on a poisoned snapshot.
+    """
+
+
+class JobError(ReproError):
+    """Base class of batch-execution (``repro.jobs``) failures.
+
+    Carries ``job_id`` when the failure is attributable to one job.
+    """
+
+
+class QueueSaturatedError(JobError):
+    """The bounded admission queue refused a new job (backpressure).
+
+    Carries ``capacity`` and ``pending`` so callers can implement their own
+    shedding or wait-and-retry policy instead of growing memory unboundedly.
+    """
+
+
+class JobTimeoutError(JobError):
+    """A job exceeded its deadline and was terminated.
+
+    Carries ``job_id``, ``deadline`` (seconds) and ``elapsed`` (seconds the
+    job had consumed across all attempts when it was killed).
+    """
+
+
+class WorkerCrashError(JobError):
+    """A worker process died without reporting a result (SIGKILL, hard crash).
+
+    Carries ``job_id``, ``exitcode`` (negative = killed by that signal) and
+    ``attempt``.  Synthesised by the pool supervisor — the dead worker, by
+    definition, could not report anything itself.
+    """
+
+
+class RetryExhaustedError(JobError):
+    """A job failed on every attempt of its retry budget.
+
+    Carries ``job_id`` and ``attempts`` — the full attempt history as a list
+    of dicts (start/end times, outcome, error summary, engine, resume step)
+    so the caller can reconstruct exactly what the pool tried.
+    """
 
 
 class StabilityWarning(UserWarning):

@@ -182,17 +182,34 @@ class Operator:
     }
 
     def _build_sweeps(
-        self, dt: float, engine: str, strict: bool, telemetry=None
+        self, dt: float, engine: str, strict: bool, telemetry=None, breaker=None
     ) -> Tuple[str, List[BoundSweep]]:
         """Bind sweeps under *engine*, degrading down the ladder on
         :class:`EngineCompilationError` unless *strict*.  Returns the engine
-        that actually compiled plus its bound sweeps."""
+        that actually compiled plus its bound sweeps.
+
+        *breaker* is an optional circuit breaker (an object with
+        ``allow(engine)`` / ``record_success(engine)`` /
+        ``record_failure(engine, exc)``, e.g.
+        :class:`repro.jobs.CircuitBreaker`): a rung the breaker holds open is
+        skipped outright — the ladder degrades without paying the failure
+        cost again — and every attempted rung reports its outcome back so
+        the breaker can trip or recover.  The breaker must always allow the
+        terminal ``interp`` rung (:class:`repro.jobs.CircuitBreaker` only
+        ever tracks a compiled engine)."""
         subs = {Symbol("dt"): Number(float(dt))}
         for sym, val in self.grid.spacing_map().items():
             subs[sym] = Number(float(val))
         sweep_eqs = [[e.subs(subs) for e in s.eqs] for s in self.sweeps]
         rungs = self._ENGINE_LADDER[engine]
         for i, eng in enumerate(rungs):
+            if breaker is not None and not breaker.allow(eng):
+                if telemetry is not None:
+                    telemetry.counters.add("engine_breaker_skips")
+                    telemetry.event(
+                        "engine.breaker_skip", phase="precompute", skipped=eng
+                    )
+                continue
             try:
                 bound = [
                     BoundSweep(eqs, self.grid, engine=eng, pool=self._pool)
@@ -214,8 +231,12 @@ class Operator:
                             engine="fused",
                             diagnostics=report.diagnostics,
                         )
+                if breaker is not None:
+                    breaker.record_success(eng)
                 return eng, bound
             except EngineCompilationError as exc:
+                if breaker is not None:
+                    breaker.record_failure(eng, exc)
                 if strict or i == len(rungs) - 1:
                     raise
                 if telemetry is not None:
@@ -244,18 +265,21 @@ class Operator:
         engine: Optional[str] = None,
         strict_engine: bool = False,
         telemetry=None,
+        breaker=None,
     ) -> ExecutionPlan:
         if engine is None:
             engine = "fused" if compiled else "interp"
         if engine not in ENGINES:
             raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
+        # a cached fused bind is a known-good compile: reusing it costs (and
+        # risks) nothing, so it bypasses any open circuit breaker
         bound_sweeps = self._sweep_cache.get(float(dt)) if engine == "fused" else None
         if bound_sweeps is not None:
             for sw in bound_sweeps:
                 sw.invalidate_invariants()
         else:
             effective, bound_sweeps = self._build_sweeps(
-                dt, engine, strict_engine, telemetry=telemetry
+                dt, engine, strict_engine, telemetry=telemetry, breaker=breaker
             )
             # only a successful *fused* bind is reusable across applies; a
             # degraded bind must retry the full ladder next time
@@ -324,6 +348,7 @@ class Operator:
         preflight: bool = True,
         strict_engine: bool = False,
         telemetry=None,
+        breaker=None,
     ) -> ExecutionPlan:
         """Run iterations ``t in [time_m, time_M)`` under *schedule*.
 
@@ -343,7 +368,9 @@ class Operator:
         :class:`~repro.runtime.health.HealthGuard`, a
         :class:`~repro.runtime.checkpoint.CheckpointConfig` (periodic
         snapshots, bit-identical resume) and a
-        :class:`~repro.runtime.faults.FaultInjector`.
+        :class:`~repro.runtime.faults.FaultInjector`; ``breaker`` hooks a
+        :class:`~repro.jobs.CircuitBreaker` onto the engine ladder so
+        repeatedly failing rungs are skipped instead of re-attempted.
 
         ``telemetry`` attaches a :class:`~repro.telemetry.Telemetry` buffer:
         binding/preflight/prover time lands in the ``precompute`` phase, the
@@ -382,6 +409,7 @@ class Operator:
             engine=engine,
             strict_engine=strict_engine,
             telemetry=tel,
+            breaker=breaker,
         )
         if tel is not None:
             # prove + bind (mask/decompose precomputation included) so far

@@ -1,0 +1,58 @@
+"""Resilient batch execution of many propagation jobs.
+
+The ROADMAP's production-scale story needs surveys — batches of hundreds of
+independent source experiments — to survive the faults a single in-process
+``forward()`` cannot: a hung compile, a NaN seed, a killed process.  This
+package orchestrates such batches over a multiprocess worker pool and
+guarantees forward progress under faults, building directly on the runtime
+resilience layer (checkpoint/restart, fault injection, the engine
+degradation ladder) and telemetry::
+
+    from repro.jobs import JobSpec, run_batch
+
+    specs = [JobSpec(f"shot-{i:03d}", example="acoustic", nt=64, seed=i)
+             for i in range(16)]
+    report = run_batch(specs, workers=4)
+    assert report.ok            # zero lost jobs
+    report.results[0].receivers # bit-identical to a fault-free serial run
+
+Command line: ``python -m repro.jobs --help`` (chaos knobs included).
+"""
+
+from .breaker import CircuitBreaker
+from .chaos import ChaosConfig, ChaosEntry, ChaosPlan
+from .pool import DEFAULT_CAPACITY, JobPool, run_batch
+from .retry import RetryPolicy
+from .spec import (
+    EXAMPLES,
+    JOB_ENGINES,
+    SCHEDULES,
+    STATUSES,
+    AttemptRecord,
+    BatchReport,
+    JobResult,
+    JobSpec,
+)
+from .worker import build_problem, execute_attempt, run_job_inline
+
+__all__ = [
+    "JobSpec",
+    "AttemptRecord",
+    "JobResult",
+    "BatchReport",
+    "JobPool",
+    "run_batch",
+    "RetryPolicy",
+    "CircuitBreaker",
+    "ChaosConfig",
+    "ChaosEntry",
+    "ChaosPlan",
+    "build_problem",
+    "execute_attempt",
+    "run_job_inline",
+    "EXAMPLES",
+    "SCHEDULES",
+    "JOB_ENGINES",
+    "STATUSES",
+    "DEFAULT_CAPACITY",
+]

@@ -1,0 +1,193 @@
+"""Command-line front-end of the batch-execution service.
+
+Usage::
+
+    python -m repro.jobs --jobs 16 --workers 4                 # clean batch
+    python -m repro.jobs --jobs 16 --fault-rate 0.2 --kill-workers 1 --verify
+    python -m repro.jobs --jobs 8 --example mixed --schedule naive --json
+
+Each job is one shot of a miniature survey: the paper's small verification
+propagator with a seed-perturbed source position.  ``--fault-rate`` /
+``--break-rate`` / ``--kill-workers`` arm the chaos harness; ``--verify``
+re-runs every completed job's spec serially, fault-free, in-process and
+checks the pool's receivers are **bit-identical** — the chaos gate CI runs.
+
+Exit code 0 iff every submitted job completed (and, with ``--verify``,
+matched); 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List
+
+import numpy as np
+
+from .breaker import CircuitBreaker
+from .chaos import ChaosConfig
+from .pool import JobPool
+from .retry import RetryPolicy
+from .spec import EXAMPLES, JOB_ENGINES, SCHEDULES, JobSpec
+from .worker import run_job_inline
+
+
+def build_specs(args) -> List[JobSpec]:
+    examples = EXAMPLES if args.example == "mixed" else (args.example,)
+    return [
+        JobSpec(
+            job_id=f"job-{i:03d}",
+            example=examples[i % len(examples)],
+            nt=args.nt,
+            schedule=args.schedule,
+            engine=args.engine,
+            seed=args.seed + i,
+            deadline=args.deadline,
+            max_attempts=args.retries + 1,
+            checkpoint_every=args.checkpoint_every,
+        )
+        for i in range(args.jobs)
+    ]
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.jobs",
+        description="Run a resilient batch of propagation jobs over a worker pool.",
+    )
+    parser.add_argument("--jobs", type=int, default=8, help="batch size (default: 8)")
+    parser.add_argument(
+        "--example", choices=EXAMPLES + ("mixed",), default="acoustic",
+        help="propagator to run, or 'mixed' to cycle all three (default: acoustic)",
+    )
+    parser.add_argument(
+        "--schedule", choices=SCHEDULES, default="wavefront",
+        help="execution schedule (default: wavefront)",
+    )
+    parser.add_argument(
+        "--engine", choices=JOB_ENGINES, default="fused",
+        help="sweep engine requested per job (default: fused)",
+    )
+    parser.add_argument("--nt", type=int, default=64, help="timesteps per job (default: 64)")
+    parser.add_argument(
+        "--workers", type=int, default=4,
+        help="worker processes; 0 = serial in-process (default: 4)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="batch master seed")
+    parser.add_argument(
+        "--deadline", type=float, default=None,
+        help="per-job wall-clock budget in seconds (default: none)",
+    )
+    parser.add_argument("--retries", type=int, default=3, help="retry budget per job")
+    parser.add_argument(
+        "--checkpoint-every", type=int, default=4, help="snapshot cadence in timesteps"
+    )
+    parser.add_argument(
+        "--capacity", type=int, default=256, help="admission-queue bound"
+    )
+    parser.add_argument(
+        "--fault-rate", type=float, default=0.0,
+        help="fraction of jobs that get one injected in-run fault",
+    )
+    parser.add_argument(
+        "--break-rate", type=float, default=0.0,
+        help="fraction of jobs whose fused compiler is broken on attempt 0",
+    )
+    parser.add_argument(
+        "--kill-workers", type=int, default=0,
+        help="SIGKILL this many attempt-0 workers after their first checkpoint",
+    )
+    parser.add_argument(
+        "--breaker-threshold", type=int, default=0,
+        help="attach a fused-engine circuit breaker with this trip threshold (0 = off)",
+    )
+    parser.add_argument(
+        "--workdir", default=None,
+        help="directory for checkpoints/results (default: a temp dir)",
+    )
+    parser.add_argument(
+        "--verify", action="store_true",
+        help="re-run every spec serially fault-free and require bit-identical receivers",
+    )
+    parser.add_argument("--json", action="store_true", help="JSON report on stdout")
+    args = parser.parse_args(argv)
+
+    chaos = None
+    if args.fault_rate or args.break_rate or args.kill_workers:
+        chaos = ChaosConfig(
+            fault_rate=args.fault_rate,
+            break_rate=args.break_rate,
+            kill_workers=args.kill_workers,
+        )
+    breaker = (
+        CircuitBreaker(threshold=args.breaker_threshold)
+        if args.breaker_threshold > 0
+        else None
+    )
+    pool = JobPool(
+        workers=args.workers,
+        capacity=args.capacity,
+        retry=RetryPolicy(),
+        breaker=breaker,
+        chaos=chaos,
+        batch_seed=args.seed,
+        workdir=args.workdir,
+    )
+    specs = build_specs(args)
+    for spec in specs:
+        pool.submit(spec)
+    report = pool.run()
+
+    verified = None
+    if args.verify:
+        verified = {}
+        for result in report.results:
+            if not result.ok:
+                verified[result.spec.job_id] = False
+                continue
+            reference = run_job_inline(result.spec)
+            verified[result.spec.job_id] = bool(
+                np.array_equal(result.receivers, reference)
+            )
+
+    ok = report.ok and (verified is None or all(verified.values()))
+    if args.json:
+        payload = report.to_dict()
+        payload["verified"] = verified
+        payload["ok"] = ok
+        print(json.dumps(payload, indent=2))
+    else:
+        for result in report.results:
+            flags = []
+            if len(result.attempts) > 1:
+                flags.append(f"{len(result.attempts)} attempts")
+            if any(a.resumed_from is not None for a in result.attempts):
+                flags.append("resumed")
+            if any(a.degraded for a in result.attempts):
+                flags.append("degraded")
+            if verified is not None:
+                flags.append(
+                    "verified" if verified[result.spec.job_id] else "MISMATCH"
+                )
+            detail = f" ({', '.join(flags)})" if flags else ""
+            line = (
+                f"{result.spec.job_id}: {result.status:<10} "
+                f"{result.engine or '-':<7} {result.elapsed:7.3f}s{detail}"
+            )
+            if result.error is not None:
+                line += f"  [{type(result.error).__name__}: {result.error}]"
+            print(line)
+        print(
+            f"\n{report.completed}/{len(report.results)} completed "
+            f"({report.retries} retries, {report.kills} chaos kills) in "
+            f"{report.wall_seconds:.2f}s — {report.throughput:.2f} jobs/s "
+            f"on {report.workers} worker(s)"
+        )
+        if not ok:
+            print("BATCH FAILED: lost jobs or verification mismatches")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,139 @@
+"""Circuit breaker around a failing execution engine.
+
+Without it, every job that requests the fused engine pays the full
+compilation-failure cost (attempt compile, catch
+:class:`~repro.errors.EngineCompilationError` / ``KernelLintError``, warn,
+degrade) even when the last ten jobs already proved the fused compiler is
+broken.  The breaker remembers: after ``threshold`` consecutive failures it
+*opens* and subsequent work is routed straight down the existing
+fused→kernel→interp ladder; after ``cooldown`` seconds it goes *half-open*
+and lets exactly one probe through — success closes it again, failure
+re-opens it.
+
+Two attachment points, same object:
+
+* **in-process** — ``Operator.apply(..., breaker=br)`` /
+  ``Propagator.forward(..., breaker=br)``: the engine ladder consults
+  ``allow(rung)`` before attempting a rung and reports
+  ``record_success``/``record_failure`` per rung (see
+  :meth:`repro.ir.operator.Operator._build_sweeps`).
+* **cross-process** — the :class:`~repro.jobs.pool.JobPool` supervisor keeps
+  the breaker in the parent: ``allow("fused")`` decides the engine a job is
+  dispatched with, and the worker's reported fallbacks feed
+  ``record_failure``/``record_success`` when the result comes back.
+
+The clock is injectable so tests drive the cooldown deterministically.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, List, Optional
+
+__all__ = ["CircuitBreaker"]
+
+CLOSED, OPEN, HALF_OPEN = "closed", "open", "half_open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker for one tracked engine.
+
+    Parameters
+    ----------
+    threshold:
+        Consecutive failures of the tracked engine that trip the breaker.
+    cooldown:
+        Seconds an open breaker waits before allowing a half-open probe.
+    engine:
+        The rung being tracked (default ``"fused"``); every other engine is
+        always allowed, which guarantees the ladder's terminal ``interp``
+        rung can never be blocked.
+    clock:
+        Monotonic float-second clock, injectable for tests.
+    """
+
+    def __init__(
+        self,
+        threshold: int = 3,
+        cooldown: float = 30.0,
+        engine: str = "fused",
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        if cooldown < 0:
+            raise ValueError("cooldown must be non-negative")
+        self.threshold = int(threshold)
+        self.cooldown = float(cooldown)
+        self.engine = engine
+        self._clock = clock
+        self._state = CLOSED
+        self._failures = 0
+        self._opened_at: Optional[float] = None
+        self._probe_inflight = False
+        #: (clock, transition) log: ("open", ...), ("half_open", ...), ("closed", ...)
+        self.transitions: List[tuple] = []
+
+    # -- state -------------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        """Current state, advancing ``open`` → ``half_open`` when the
+        cooldown has elapsed (observation triggers the transition)."""
+        if self._state == OPEN and self._clock() - self._opened_at >= self.cooldown:
+            self._transition(HALF_OPEN)
+            self._probe_inflight = False
+        return self._state
+
+    def _transition(self, state: str) -> None:
+        self._state = state
+        self.transitions.append((self._clock(), state))
+
+    # -- ladder hooks ------------------------------------------------------------
+    def allow(self, engine: str) -> bool:
+        """May *engine* be attempted right now?
+
+        Untracked engines: always.  Tracked engine: yes while closed; no
+        while open (pre-cooldown); exactly one caller gets a yes per
+        half-open period (the probe) until its outcome is recorded.
+        """
+        if engine != self.engine:
+            return True
+        state = self.state
+        if state == CLOSED:
+            return True
+        if state == HALF_OPEN and not self._probe_inflight:
+            self._probe_inflight = True
+            return True
+        return False
+
+    def record_success(self, engine: str) -> None:
+        if engine != self.engine:
+            return
+        self._failures = 0
+        self._probe_inflight = False
+        if self._state != CLOSED:
+            self._transition(CLOSED)
+
+    def record_failure(self, engine: str, exc: Optional[BaseException] = None) -> None:
+        if engine != self.engine:
+            return
+        self._failures += 1
+        probe_failed = self._probe_inflight
+        self._probe_inflight = False
+        if probe_failed or self._failures >= self.threshold:
+            if self._state != OPEN:
+                self._transition(OPEN)
+            self._opened_at = self._clock()
+
+    def record_inconclusive(self, engine: str) -> None:
+        """The attempt died before the engine outcome was knowable (worker
+        crash/timeout): release a half-open probe slot without judging."""
+        if engine != self.engine:
+            return
+        self._probe_inflight = False
+
+    def __repr__(self) -> str:
+        return (
+            f"CircuitBreaker({self.engine!r}, state={self.state}, "
+            f"failures={self._failures}/{self.threshold})"
+        )

@@ -1,0 +1,120 @@
+"""Chaos harness: per-job fault plans plus worker-kill budget.
+
+Composes the deterministic :class:`~repro.runtime.faults.FaultInjector`
+with process-level violence.  A :class:`ChaosConfig` describes the *rates*;
+a :class:`ChaosPlan` resolves them into one :class:`ChaosEntry` per job,
+derived purely from ``split_seed(batch_seed, job_index, CHAOS_SALT)`` — so
+the set of faulting jobs, their fault timesteps and their corruption
+positions replay identically regardless of worker scheduling order.
+
+Three kinds of injected trouble:
+
+* **in-run faults** (``fault_rate``) — an armed
+  :class:`~repro.runtime.faults.Fault` fires inside the worker at a random
+  timestep: ``raise`` aborts the attempt with
+  :class:`~repro.errors.InjectedFault`; ``nan``/``inf`` corrupt the written
+  buffer and a cadence-1 :class:`~repro.runtime.health.HealthGuard`
+  (attached automatically) catches it at the same instance — *before* the
+  next checkpoint, so a snapshot can never capture injected corruption and
+  retry-from-checkpoint stays bit-identical.
+* **engine breakage** (``break_rate``) — the worker runs under
+  :func:`~repro.runtime.faults.break_engine`, making the fused compiler
+  raise; exercises the engine ladder and feeds the pool's circuit breaker.
+* **worker kills** (``kill_workers``) — the pool supervisor SIGKILLs up to
+  that many attempt-0 workers, each as soon as its job has persisted its
+  first checkpoint (guaranteeing the kill lands mid-run *and* that the
+  retry is a genuine resume, not a restart).
+
+Faults and breakage arm on attempt 0 only: a retry must make forward
+progress, and the chaos gate's contract — every job completes with
+receivers bit-identical to a fault-free serial run — depends on retries
+running clean from the recovered checkpoint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dc_field
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..runtime.faults import split_seed
+
+__all__ = ["ChaosConfig", "ChaosEntry", "ChaosPlan", "CHAOS_SALT"]
+
+#: spawn-key salt separating the chaos substream from retry/fault streams
+CHAOS_SALT = 0xC405
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Rates and budgets; resolved per job by :class:`ChaosPlan`."""
+
+    #: fraction of jobs that get one injected in-run fault on attempt 0
+    fault_rate: float = 0.0
+    #: fault kinds drawn from (uniformly, per faulting job)
+    kinds: Tuple[str, ...] = ("raise", "nan")
+    #: fraction of jobs whose attempt 0 runs with a broken fused compiler
+    break_rate: float = 0.0
+    #: number of attempt-0 workers the supervisor SIGKILLs (after their
+    #: first checkpoint lands on disk)
+    kill_workers: int = 0
+
+    def __post_init__(self):
+        if not 0.0 <= self.fault_rate <= 1.0:
+            raise ValueError("fault_rate must be in [0, 1]")
+        if not 0.0 <= self.break_rate <= 1.0:
+            raise ValueError("break_rate must be in [0, 1]")
+        if self.kill_workers < 0:
+            raise ValueError("kill_workers must be >= 0")
+        for kind in self.kinds:
+            if kind not in ("raise", "nan", "inf"):
+                raise ValueError(f"unknown fault kind {kind!r}")
+
+    @property
+    def active(self) -> bool:
+        return self.fault_rate > 0 or self.break_rate > 0 or self.kill_workers > 0
+
+
+@dataclass
+class ChaosEntry:
+    """Resolved chaos decisions for one job (picklable; crosses into the
+    worker process)."""
+
+    #: Fault constructor kwargs, or None
+    fault: Optional[dict] = None
+    #: seed of the injector's corruption stream
+    fault_seed: int = 0
+    break_fused: bool = False
+
+    @property
+    def needs_guard(self) -> bool:
+        """Corruption faults need a cadence-1 health guard to be caught."""
+        return self.fault is not None and self.fault.get("kind") in ("nan", "inf")
+
+
+@dataclass
+class ChaosPlan:
+    """Deterministic per-job resolution of a :class:`ChaosConfig`."""
+
+    config: ChaosConfig
+    batch_seed: int = 0
+    _entries: dict = dc_field(default_factory=dict)
+
+    def entry(self, job_index: int, nt: int) -> ChaosEntry:
+        """The chaos entry of job *job_index* (cached; depends only on
+        ``(batch_seed, job_index, nt)``)."""
+        key = (job_index, nt)
+        if key in self._entries:
+            return self._entries[key]
+        rng = np.random.default_rng(split_seed(self.batch_seed, job_index, CHAOS_SALT))
+        entry = ChaosEntry(fault_seed=split_seed(self.batch_seed, job_index))
+        if rng.random() < self.config.fault_rate:
+            kind = self.config.kinds[int(rng.integers(0, len(self.config.kinds)))]
+            # fire somewhere in the middle 80% of the run: late enough that
+            # checkpoints usually exist, early enough that work remains
+            t = int(rng.integers(max(1, nt // 10), max(2, nt)))
+            entry.fault = {"t": t, "kind": kind, "message": "chaos fault"}
+        entry.break_fused = bool(rng.random() < self.config.break_rate)
+        self._entries[key] = entry
+        return entry

@@ -1,0 +1,570 @@
+"""The resilient batch executor: bounded admission, worker supervision,
+retry-from-checkpoint, deadlines, circuit breaking and chaos kills.
+
+One :class:`JobPool` drives one batch.  Jobs are admitted through a bounded
+queue (:meth:`submit` raises :class:`~repro.errors.QueueSaturatedError`
+instead of growing memory without limit), then :meth:`run` supervises up to
+``workers`` concurrent worker *processes* — one process per attempt, so a
+SIGKILLed or hung worker takes down nothing but its own attempt:
+
+* **crash recovery** — a worker that dies without reporting (kill signal,
+  hard crash) becomes a :class:`~repro.errors.WorkerCrashError`; the job is
+  retried on a fresh process, resuming from the newest snapshot its
+  :class:`~repro.runtime.checkpoint.FileCheckpointStore` persisted (atomic
+  writes guarantee the supervisor never sees a partial snapshot).  Restart
+  is bit-identical, so a killed-and-resumed job produces exactly the
+  receivers of an uninterrupted run.
+* **retries** — worker-reported faults (injected faults, blowups, ...) are
+  retried with exponential backoff and per-job seeded jitter
+  (:class:`~repro.jobs.retry.RetryPolicy`) up to ``max_attempts``; the
+  terminal :class:`~repro.errors.RetryExhaustedError` carries the full
+  attempt history.
+* **deadlines** — a job that exceeds its total wall-clock budget is
+  SIGKILLed and reported as :class:`~repro.errors.JobTimeoutError` without
+  disturbing the rest of the pool; a retry dispatched after most of the
+  budget is burned is *degraded* (schedule downgraded to ``naive``, whose
+  every-timestep checkpoints also minimise lost work on any further retry).
+* **circuit breaking** — an optional
+  :class:`~repro.jobs.breaker.CircuitBreaker` watches worker-reported fused
+  compile failures; once open, jobs are dispatched straight at the next
+  ladder rung instead of paying the failure cost per job.
+* **chaos** — a :class:`~repro.jobs.chaos.ChaosConfig` arms per-job fault
+  injection inside workers and lets the supervisor SIGKILL attempt-0
+  workers right after their first checkpoint lands.
+
+``workers=0`` runs the same job/retry/chaos state machine serially in the
+current process (no kills, post-hoc deadlines) — the baseline the benchmark
+compares pool throughput against.
+"""
+
+from __future__ import annotations
+
+import heapq
+import multiprocessing
+import time
+from collections import deque
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import (
+    JobTimeoutError,
+    QueueSaturatedError,
+    RetryExhaustedError,
+    WorkerCrashError,
+)
+from .breaker import CircuitBreaker
+from .chaos import ChaosConfig, ChaosPlan
+from .retry import RetryPolicy
+from .spec import AttemptRecord, BatchReport, JobResult, JobSpec
+from . import worker as worker_mod
+
+__all__ = ["JobPool", "run_batch", "DEFAULT_CAPACITY"]
+
+DEFAULT_CAPACITY = 256
+
+
+class _Job:
+    """Supervisor-side state of one submitted job."""
+
+    def __init__(self, index: int, spec: JobSpec, job_dir: Path, jitter_rng):
+        self.index = index
+        self.spec = spec
+        self.dir = job_dir
+        self.jitter_rng = jitter_rng
+        self.attempt_no = 0
+        self.attempts: List[AttemptRecord] = []
+        self.first_started: Optional[float] = None
+        self.proc = None
+        self.dispatched_engine = ""
+        self.result: Optional[JobResult] = None
+        self.chaos_killed = False
+
+    @property
+    def terminal(self) -> bool:
+        return self.result is not None
+
+    def elapsed(self, now: float) -> float:
+        return 0.0 if self.first_started is None else now - self.first_started
+
+    def over_deadline(self, now: float) -> bool:
+        return (
+            self.spec.deadline is not None
+            and self.first_started is not None
+            and self.elapsed(now) > self.spec.deadline
+        )
+
+
+def _degrade(spec: JobSpec) -> JobSpec:
+    """Deadline-pressure downgrade: run the rest of the budget on the naive
+    schedule — minimal precompute, and per-timestep (not per-tile)
+    checkpoint granularity, so any further retry loses the least work.
+    Numerics are unchanged: all schedules are bit-identical."""
+    from dataclasses import replace
+
+    return spec if spec.schedule == "naive" else replace(spec, schedule="naive")
+
+
+def _resume_step(job_dir: Path) -> Optional[int]:
+    """Newest persisted snapshot step, parsed from the filename (the store's
+    atomic writes mean a visible file is a complete file)."""
+    paths = sorted(Path(job_dir).glob("ckpt/ckpt_*.npz"))
+    return int(paths[-1].stem[len("ckpt_"):]) if paths else None
+
+
+class JobPool:
+    """Resilient multiprocess batch executor (see module docstring).
+
+    Parameters
+    ----------
+    workers:
+        Concurrent worker processes; ``0`` executes serially in-process.
+    capacity:
+        Bound on admitted-but-unfinished jobs; :meth:`submit` raises
+        :class:`~repro.errors.QueueSaturatedError` beyond it.
+    retry:
+        Backoff policy (default :class:`~repro.jobs.retry.RetryPolicy`).
+    breaker:
+        Optional :class:`~repro.jobs.breaker.CircuitBreaker` guarding the
+        fused engine across the batch.
+    chaos:
+        Optional :class:`~repro.jobs.chaos.ChaosConfig`; resolved per job
+        from *batch_seed* (scheduling-order independent).
+    batch_seed:
+        Master seed of every derived substream (faults, jitter, chaos).
+    workdir:
+        Directory for per-job checkpoint/result files; a temporary
+        directory (cleaned up after :meth:`run`) when omitted.
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry` buffer; job lifecycle
+        events land in it as ``job.*`` marks.
+    pressure_fraction:
+        Fraction of the deadline a job may burn before retries dispatch
+        degraded.
+    """
+
+    def __init__(
+        self,
+        workers: int = 4,
+        capacity: int = DEFAULT_CAPACITY,
+        retry: Optional[RetryPolicy] = None,
+        breaker: Optional[CircuitBreaker] = None,
+        chaos: Optional[ChaosConfig] = None,
+        batch_seed: int = 0,
+        workdir=None,
+        telemetry=None,
+        poll_interval: float = 0.02,
+        pressure_fraction: float = 0.5,
+        start_method: Optional[str] = None,
+    ):
+        if workers < 0:
+            raise ValueError("workers must be >= 0 (0 = serial in-process)")
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.workers = int(workers)
+        self.capacity = int(capacity)
+        self.retry = retry or RetryPolicy()
+        self.breaker = breaker
+        self.chaos_plan = (
+            ChaosPlan(chaos, batch_seed) if chaos is not None and chaos.active else None
+        )
+        self.batch_seed = int(batch_seed)
+        self.telemetry = telemetry
+        self.poll_interval = float(poll_interval)
+        self.pressure_fraction = float(pressure_fraction)
+        self._tmp = None
+        if workdir is None:
+            import tempfile
+
+            self._tmp = tempfile.TemporaryDirectory(prefix="repro-jobs-")
+            workdir = self._tmp.name
+        self.workdir = Path(workdir)
+        self.workdir.mkdir(parents=True, exist_ok=True)
+        if start_method is None:
+            start_method = (
+                "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+            )
+        self._ctx = multiprocessing.get_context(start_method)
+        self._jobs: List[_Job] = []
+        self._by_id: Dict[str, _Job] = {}
+        self._ready: deque = deque()
+        self._delayed: list = []  # heap of (ready_time, tiebreak, job)
+        self._running: List[_Job] = []
+        self._seq = 0
+        self._kills_remaining = (
+            self.chaos_plan.config.kill_workers if self.chaos_plan else 0
+        )
+        self.kills_done = 0
+        #: chronological lifecycle events: {"ts", "kind", "job", ...}
+        self.events: List[dict] = []
+        self._epoch = time.perf_counter()
+
+    # -- admission ---------------------------------------------------------------------
+    def _active(self) -> int:
+        return sum(1 for j in self._jobs if not j.terminal)
+
+    def submit(self, spec: JobSpec) -> None:
+        """Admit *spec*; raises :class:`QueueSaturatedError` at capacity."""
+        if spec.job_id in self._by_id:
+            raise ValueError(f"duplicate job_id {spec.job_id!r}")
+        pending = self._active()
+        if pending >= self.capacity:
+            raise QueueSaturatedError(
+                f"admission queue is full ({pending}/{self.capacity}); "
+                "drain the pool or shed load",
+                capacity=self.capacity,
+                pending=pending,
+            )
+        job_dir = self.workdir / spec.job_id
+        job_dir.mkdir(parents=True, exist_ok=True)
+        job = _Job(
+            index=len(self._jobs),
+            spec=spec,
+            job_dir=job_dir,
+            jitter_rng=self.retry.rng_for(self.batch_seed, len(self._jobs)),
+        )
+        self._jobs.append(job)
+        self._by_id[spec.job_id] = job
+        self._ready.append(job)
+        self._emit("queued", job)
+        return None
+
+    # -- events ------------------------------------------------------------------------
+    def _emit(self, kind: str, job: _Job, **info) -> None:
+        self.events.append(
+            {
+                "ts": time.perf_counter() - self._epoch,
+                "kind": kind,
+                "job": job.spec.job_id,
+                **info,
+            }
+        )
+        if self.telemetry is not None:
+            self.telemetry.counters.add(f"jobs_{kind}")
+            self.telemetry.event(f"job.{kind}", phase="other", job=job.spec.job_id, **info)
+
+    # -- terminal transitions ----------------------------------------------------------
+    def _finish(self, job: _Job, result: JobResult, kind: str, **info) -> None:
+        result.attempts = job.attempts
+        result.elapsed = job.elapsed(time.perf_counter())
+        job.result = result
+        job.proc = None
+        self._emit(kind, job, **info)
+
+    def _complete(self, job: _Job, rec, meta: dict, now: float) -> None:
+        record = job.attempts[-1]
+        record.ended = now
+        record.outcome = "completed"
+        record.engine = meta.get("engine", "")
+        record.resumed_from = meta.get("resumed_from")
+        self._breaker_feedback(job, meta)
+        self._finish(
+            job,
+            JobResult(
+                spec=job.spec,
+                status="completed",
+                receivers=rec,
+                engine=meta.get("engine", ""),
+                fallbacks=meta.get("fallbacks", []),
+            ),
+            "completed",
+            attempts=len(job.attempts),
+        )
+
+    def _timeout(self, job: _Job, now: float) -> None:
+        if job.attempts and not job.attempts[-1].outcome:
+            job.attempts[-1].ended = now
+            job.attempts[-1].outcome = "timeout"
+        if self.breaker is not None and job.dispatched_engine == self.breaker.engine:
+            self.breaker.record_inconclusive(job.dispatched_engine)
+        err = JobTimeoutError(
+            f"job {job.spec.job_id} exceeded its {job.spec.deadline:.3f}s deadline",
+            job_id=job.spec.job_id,
+            deadline=job.spec.deadline,
+            elapsed=job.elapsed(now),
+        )
+        self._finish(
+            job,
+            JobResult(spec=job.spec, status="timeout", error=err),
+            "timeout",
+            elapsed=job.elapsed(now),
+        )
+
+    def _fail_attempt(self, job: _Job, error: BaseException, outcome: str, now: float) -> None:
+        record = job.attempts[-1]
+        record.ended = now
+        record.outcome = outcome
+        record.error = f"{type(error).__name__}: {error}"
+        if (
+            outcome == "crash"
+            and self.breaker is not None
+            and job.dispatched_engine == self.breaker.engine
+        ):
+            self.breaker.record_inconclusive(job.dispatched_engine)
+        if job.attempt_no + 1 >= job.spec.max_attempts:
+            err = RetryExhaustedError(
+                f"job {job.spec.job_id} failed all {job.spec.max_attempts} attempt(s); "
+                f"last error: {record.error}",
+                job_id=job.spec.job_id,
+                attempts=[a.to_dict() for a in job.attempts],
+            )
+            err.__cause__ = error
+            self._finish(job, JobResult(spec=job.spec, status="exhausted", error=err),
+                         "exhausted", attempts=len(job.attempts))
+            return
+        job.attempt_no += 1
+        delay = self.retry.delay(job.attempt_no, job.jitter_rng)
+        self._seq += 1
+        heapq.heappush(self._delayed, (now + delay, self._seq, job))
+        self._emit("retried", job, attempt=job.attempt_no, delay=delay, error=record.error)
+
+    def _breaker_feedback(self, job: _Job, meta: dict) -> None:
+        """Feed worker-reported engine outcomes into the parent's breaker.
+
+        Multiprocess mode only: in serial mode the breaker rides the engine
+        ladder in-process and has already recorded the outcome itself.
+        """
+        br = self.breaker
+        if br is None or self.workers == 0 or job.dispatched_engine != br.engine:
+            return
+        failed = any(f.get("failed") == br.engine for f in meta.get("fallbacks", ()))
+        if failed:
+            br.record_failure(br.engine)
+        else:
+            br.record_success(br.engine)
+
+    # -- dispatch ----------------------------------------------------------------------
+    def _effective_spec(self, job: _Job, now: float, reroute: bool = True) -> JobSpec:
+        spec = job.spec
+        degraded = False
+        if (
+            job.attempt_no > 0
+            and spec.deadline is not None
+            and job.elapsed(now) > self.pressure_fraction * spec.deadline
+        ):
+            downgraded = _degrade(spec)
+            if downgraded is not spec:
+                spec, degraded = downgraded, True
+                self._emit("degraded", job, schedule=spec.schedule)
+        if (
+            reroute
+            and self.breaker is not None
+            and spec.engine == self.breaker.engine == "fused"
+            and not self.breaker.allow("fused")
+        ):
+            from dataclasses import replace
+
+            spec = replace(spec, engine="kernel")
+            degraded = True
+            self._emit("rerouted", job, engine="kernel")
+        job._degraded = degraded
+        return spec
+
+    def _dispatch(self, job: _Job, now: float) -> None:
+        if job.first_started is None:
+            job.first_started = now
+        spec = self._effective_spec(job, now)
+        job.dispatched_engine = spec.engine
+        resume = job.attempt_no > 0
+        entry = (
+            self.chaos_plan.entry(job.index, spec.nt) if self.chaos_plan else None
+        )
+        job.attempts.append(
+            AttemptRecord(
+                attempt=job.attempt_no,
+                started=now,
+                degraded=getattr(job, "_degraded", False),
+            )
+        )
+        step = _resume_step(job.dir) if resume else None
+        if step is not None:
+            self._emit("resumed", job, step=step, attempt=job.attempt_no)
+        job.proc = self._ctx.Process(
+            target=worker_mod.child_main,
+            args=(spec, str(job.dir), job.attempt_no, resume, entry),
+            daemon=True,
+        )
+        job.proc.start()
+        self._running.append(job)
+        self._emit("started", job, attempt=job.attempt_no, engine=spec.engine)
+
+    # -- supervision -------------------------------------------------------------------
+    def _reap(self, job: _Job, now: float) -> None:
+        """The worker exited: read its report (result file is authoritative
+        even on a nonzero exit — it is written atomically before exit)."""
+        exitcode = job.proc.exitcode
+        job.proc.join()
+        res = worker_mod.read_result(job.dir)
+        if res is not None:
+            rec, meta = res
+            self._complete(job, rec, meta, now)
+            return
+        error = worker_mod.read_error(job.dir, job.attempts[-1].attempt)
+        if error is not None:
+            self._fail_attempt(job, error, "fault", now)
+            return
+        crash = WorkerCrashError(
+            f"worker for job {job.spec.job_id} died without reporting "
+            f"(exitcode {exitcode})",
+            job_id=job.spec.job_id,
+            exitcode=exitcode,
+            attempt=job.attempts[-1].attempt,
+        )
+        self._fail_attempt(job, crash, "crash", now)
+
+    def _chaos_kill(self, now: float) -> None:
+        """Deal out pending chaos kills: SIGKILL an attempt-0 worker as soon
+        as its first checkpoint is on disk (guaranteeing a mid-run kill and
+        a genuine resume on retry)."""
+        if self._kills_remaining <= 0:
+            return
+        for job in sorted(self._running, key=lambda j: j.index):
+            if self._kills_remaining <= 0:
+                break
+            if job.chaos_killed or job.attempts[-1].attempt != 0:
+                continue
+            if _resume_step(job.dir) is None:
+                continue
+            job.chaos_killed = True
+            job.proc.kill()
+            self._kills_remaining -= 1
+            self.kills_done += 1
+            self._emit("killed", job, signal="SIGKILL")
+
+    def _poll(self, now: float) -> bool:
+        """One supervision sweep; True if any state changed."""
+        changed = False
+        still_running: List[_Job] = []
+        self._chaos_kill(now)
+        for job in self._running:
+            if job.proc.exitcode is not None or not job.proc.is_alive():
+                self._reap(job, now)
+                changed = True
+            elif job.over_deadline(now):
+                job.proc.kill()
+                job.proc.join()
+                # the worker may have completed in the kill window
+                res = worker_mod.read_result(job.dir)
+                if res is not None:
+                    self._complete(job, res[0], res[1], now)
+                else:
+                    self._timeout(job, now)
+                changed = True
+            else:
+                still_running.append(job)
+        self._running = still_running
+        # promote delayed jobs whose backoff expired (or deadline died waiting)
+        while self._delayed and self._delayed[0][0] <= now:
+            _, _, job = heapq.heappop(self._delayed)
+            if job.over_deadline(now):
+                self._timeout(job, now)
+            else:
+                self._ready.append(job)
+            changed = True
+        # deadline can also expire while a job waits in backoff
+        for _, _, job in list(self._delayed):
+            if job.over_deadline(now):
+                self._delayed = [(t, s, j) for t, s, j in self._delayed if j is not job]
+                heapq.heapify(self._delayed)
+                self._timeout(job, now)
+                changed = True
+        while self._ready and len(self._running) < self.workers:
+            self._dispatch(self._ready.popleft(), now)
+            changed = True
+        return changed
+
+    # -- the drive loop ----------------------------------------------------------------
+    def run(self) -> BatchReport:
+        """Drive every admitted job to a terminal state; returns the report."""
+        t0 = time.perf_counter()
+        try:
+            if self.workers == 0:
+                self._run_serial()
+            else:
+                while self._ready or self._delayed or self._running:
+                    if not self._poll(time.perf_counter()):
+                        time.sleep(self.poll_interval)
+        finally:
+            for job in self._running:  # never leak workers
+                if job.proc is not None and job.proc.is_alive():
+                    job.proc.kill()
+                    job.proc.join()
+            if self._tmp is not None:
+                self._tmp.cleanup()
+                self._tmp = None
+        wall = time.perf_counter() - t0
+        return BatchReport(
+            results=[j.result for j in self._jobs],
+            wall_seconds=wall,
+            events=self.events,
+            workers=self.workers,
+            kills=self.kills_done,
+        )
+
+    # -- serial (workers=0) ------------------------------------------------------------
+    def _run_serial(self) -> None:
+        """Same state machine, one job at a time in this process: no kills,
+        deadlines enforced post-hoc (an in-process attempt cannot be
+        preempted), and the breaker rides the engine ladder directly."""
+        while self._ready:
+            job = self._ready.popleft()
+            while not job.terminal:
+                now = time.perf_counter()
+                if job.first_started is None:
+                    job.first_started = now
+                if job.over_deadline(now):
+                    self._timeout(job, now)
+                    break
+                # no breaker reroute here: the in-process engine ladder
+                # consults the breaker itself (Operator._build_sweeps)
+                spec = self._effective_spec(job, now, reroute=False)
+                job.dispatched_engine = spec.engine
+                resume = job.attempt_no > 0
+                entry = (
+                    self.chaos_plan.entry(job.index, spec.nt)
+                    if self.chaos_plan
+                    else None
+                )
+                job.attempts.append(
+                    AttemptRecord(
+                        attempt=job.attempt_no,
+                        started=now,
+                        degraded=getattr(job, "_degraded", False),
+                    )
+                )
+                step = _resume_step(job.dir) if resume else None
+                if step is not None:
+                    self._emit("resumed", job, step=step, attempt=job.attempt_no)
+                self._emit("started", job, attempt=job.attempt_no, engine=spec.engine)
+                try:
+                    rec, meta = worker_mod.execute_attempt(
+                        spec,
+                        job.dir,
+                        attempt=job.attempt_no,
+                        resume=resume,
+                        chaos=entry,
+                        breaker=self.breaker,
+                    )
+                except Exception as exc:
+                    now = time.perf_counter()
+                    if job.over_deadline(now):
+                        self._timeout(job, now)
+                        break
+                    self._fail_attempt(job, exc, "fault", now)
+                    if not job.terminal and self._delayed:
+                        ready_time, _, delayed_job = heapq.heappop(self._delayed)
+                        assert delayed_job is job
+                        time.sleep(max(0.0, ready_time - time.perf_counter()))
+                    continue
+                now = time.perf_counter()
+                if job.over_deadline(now):
+                    self._timeout(job, now)
+                else:
+                    self._complete(job, rec, meta, now)
+
+
+def run_batch(specs: Sequence[JobSpec], workers: int = 4, **kwargs) -> BatchReport:
+    """Submit *specs* to a fresh :class:`JobPool` and drive it to completion."""
+    pool = JobPool(workers=workers, **kwargs)
+    for spec in specs:
+        pool.submit(spec)
+    return pool.run()

@@ -1,0 +1,230 @@
+"""Job model of the batch-execution service.
+
+A :class:`JobSpec` is the *complete, picklable* description of one
+propagation experiment — example physics, schedule, engine, timestep count
+and a seed that deterministically perturbs the source position (a batch of
+specs with distinct seeds is a miniature seismic survey: many independent
+shots over one model).  Everything a worker process needs to run the job is
+derivable from the spec alone, which is what makes retry-on-a-fresh-process
+and the fault-free serial re-run of the chaos gate possible.
+
+:class:`AttemptRecord`, :class:`JobResult` and :class:`BatchReport` are the
+result-side mirror: per-attempt history (what ran, what failed, where it
+resumed from), the terminal per-job outcome, and the whole-batch summary the
+CLI and benchmark serialise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dc_field
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = [
+    "EXAMPLES",
+    "SCHEDULES",
+    "JOB_ENGINES",
+    "STATUSES",
+    "JobSpec",
+    "AttemptRecord",
+    "JobResult",
+    "BatchReport",
+]
+
+EXAMPLES = ("acoustic", "tti", "elastic")
+SCHEDULES = ("naive", "spatial", "wavefront")
+JOB_ENGINES = ("fused", "kernel", "interp")
+
+#: terminal job states: ``completed`` (receivers produced), ``timeout``
+#: (deadline exceeded, killed), ``exhausted`` (retry budget spent)
+STATUSES = ("completed", "timeout", "exhausted")
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One propagation job: example + schedule + engine + nt + seed.
+
+    Parameters
+    ----------
+    job_id:
+        Unique name within the batch (used for the job's working directory).
+    example:
+        Which paper propagator to run (``acoustic``/``tti``/``elastic``) on
+        the small verification grid.
+    nt:
+        Number of timesteps.
+    schedule:
+        Traversal: ``naive``, ``spatial`` or ``wavefront``.
+    engine:
+        Sweep engine requested (the ladder may degrade it, and the pool's
+        circuit breaker may reroute it before dispatch).
+    seed:
+        Deterministically perturbs the source position inside the model, so
+        distinct seeds are distinct shots of a survey.
+    deadline:
+        Optional total wall-clock budget in seconds, measured from the
+        job's first dispatch across all attempts; exceeded ⇒ the running
+        worker is killed and the job reports ``timeout``.
+    max_attempts:
+        Retry budget (total attempts, first one included).
+    checkpoint_every:
+        Snapshot cadence in timesteps (wavefront runs round up to the next
+        time-tile boundary).
+    """
+
+    job_id: str
+    example: str = "acoustic"
+    nt: int = 16
+    schedule: str = "wavefront"
+    engine: str = "fused"
+    seed: int = 0
+    deadline: Optional[float] = None
+    max_attempts: int = 3
+    checkpoint_every: int = 4
+
+    def __post_init__(self):
+        if self.example not in EXAMPLES:
+            raise ValueError(
+                f"unknown example {self.example!r}; expected one of {EXAMPLES}"
+            )
+        if self.schedule not in SCHEDULES:
+            raise ValueError(
+                f"unknown schedule {self.schedule!r}; expected one of {SCHEDULES}"
+            )
+        if self.engine not in JOB_ENGINES:
+            raise ValueError(
+                f"unknown engine {self.engine!r}; expected one of {JOB_ENGINES}"
+            )
+        if self.nt < 1:
+            raise ValueError("nt must be >= 1")
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError("deadline must be positive (or None)")
+
+
+@dataclass
+class AttemptRecord:
+    """What one attempt of one job did."""
+
+    attempt: int
+    started: float
+    ended: float = 0.0
+    #: "completed" | "fault" (worker reported a structured failure) |
+    #: "crash" (worker died without reporting) | "timeout"
+    outcome: str = ""
+    #: one-line summary of the failure (type + message), "" on success
+    error: str = ""
+    #: engine the attempt actually executed with ("" when it never reported)
+    engine: str = ""
+    #: timestep the attempt resumed from (None = started from scratch)
+    resumed_from: Optional[int] = None
+    #: True when the dispatcher downgraded schedule/engine under deadline
+    #: pressure or a tripped circuit breaker
+    degraded: bool = False
+
+    def to_dict(self) -> dict:
+        return {
+            "attempt": self.attempt,
+            "started": self.started,
+            "ended": self.ended,
+            "outcome": self.outcome,
+            "error": self.error,
+            "engine": self.engine,
+            "resumed_from": self.resumed_from,
+            "degraded": self.degraded,
+        }
+
+
+@dataclass
+class JobResult:
+    """Terminal outcome of one job."""
+
+    spec: JobSpec
+    status: str
+    #: receiver traces (``None`` unless status == "completed")
+    receivers: Optional[np.ndarray] = None
+    #: the terminal error (JobTimeoutError / RetryExhaustedError), if any
+    error: Optional[BaseException] = None
+    attempts: List[AttemptRecord] = dc_field(default_factory=list)
+    #: engine the successful attempt ran with
+    engine: str = ""
+    #: wall-clock seconds from first dispatch to terminal state
+    elapsed: float = 0.0
+    #: fused→kernel→interp fallbacks the successful attempt reported
+    fallbacks: List[dict] = dc_field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "completed"
+
+    def to_dict(self) -> dict:
+        return {
+            "job_id": self.spec.job_id,
+            "example": self.spec.example,
+            "schedule": self.spec.schedule,
+            "nt": self.spec.nt,
+            "seed": self.spec.seed,
+            "status": self.status,
+            "engine": self.engine,
+            "elapsed": self.elapsed,
+            "error": f"{type(self.error).__name__}: {self.error}" if self.error else "",
+            "attempts": [a.to_dict() for a in self.attempts],
+            "fallbacks": list(self.fallbacks),
+        }
+
+
+@dataclass
+class BatchReport:
+    """Whole-batch summary: per-job results in submission order + totals."""
+
+    results: List[JobResult]
+    wall_seconds: float
+    #: chronological pool events: {"ts", "kind", "job", ...}
+    events: List[dict] = dc_field(default_factory=list)
+    workers: int = 0
+    kills: int = 0
+
+    @property
+    def completed(self) -> int:
+        return sum(r.ok for r in self.results)
+
+    @property
+    def retries(self) -> int:
+        return sum(max(0, len(r.attempts) - 1) for r in self.results)
+
+    @property
+    def completion_rate(self) -> float:
+        return self.completed / len(self.results) if self.results else 0.0
+
+    @property
+    def throughput(self) -> float:
+        """Completed jobs per second of batch wall-time."""
+        return self.completed / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    @property
+    def ok(self) -> bool:
+        """Every submitted job reached ``completed`` (the zero-lost-jobs gate)."""
+        return bool(self.results) and all(r.ok for r in self.results)
+
+    def result_for(self, job_id: str) -> JobResult:
+        for r in self.results:
+            if r.spec.job_id == job_id:
+                return r
+        raise KeyError(job_id)
+
+    def to_dict(self) -> dict:
+        return {
+            "jobs": [r.to_dict() for r in self.results],
+            "workers": self.workers,
+            "wall_seconds": self.wall_seconds,
+            "completed": self.completed,
+            "retries": self.retries,
+            "kills": self.kills,
+            "completion_rate": self.completion_rate,
+            "throughput_jobs_per_s": self.throughput,
+            "ok": self.ok,
+        }

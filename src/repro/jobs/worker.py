@@ -1,0 +1,258 @@
+"""Worker side of the batch-execution service.
+
+:func:`build_problem` turns a :class:`~repro.jobs.spec.JobSpec` into a live
+propagator — the paper's small verification grid with the spec's seed
+perturbing the source position, so a batch is a survey of distinct shots
+and every attempt (or fault-free re-run) of the same spec rebuilds the
+identical problem.
+
+:func:`execute_attempt` is the in-process core shared by pool workers and
+the serial (``workers=0``) executor: it wires the job's private
+:class:`~repro.runtime.checkpoint.FileCheckpointStore` under the job
+directory (resuming from the newest snapshot on retries), arms the chaos
+entry's fault injector / broken compiler on attempt 0, and runs
+``Propagator.forward`` under telemetry so the attempt can report which
+engine actually executed and what fell back.
+
+:func:`child_main` wraps that core for a worker *process*: the result is
+written as ``result.npz`` and failures as pickled exceptions — both via
+atomic temp-file + ``os.replace`` so a SIGKILL can never leave a partial
+file for the supervisor to misread.  A dead-silent worker (no result, no
+error file) is the supervisor's cue to synthesise
+:class:`~repro.errors.WorkerCrashError`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import sys
+from contextlib import nullcontext
+from pathlib import Path
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..errors import CheckpointCorruptError
+from ..runtime.checkpoint import CheckpointConfig, FileCheckpointStore
+from ..runtime.faults import Fault, FaultInjector, break_engine
+from ..runtime.health import HealthGuard
+from .chaos import ChaosEntry
+from .spec import JobSpec
+
+__all__ = [
+    "build_problem",
+    "make_schedule",
+    "execute_attempt",
+    "run_job_inline",
+    "child_main",
+    "read_result",
+    "read_error",
+]
+
+#: the small verification grid every job runs on (mirrors repro.lint)
+SHAPE, NBL, SPACE_ORDER = (12, 12, 12), 2, 4
+NRECEIVERS = 4
+
+
+def make_schedule(kind: str):
+    from ..core.scheduler import NaiveSchedule, SpatialBlockSchedule, WavefrontSchedule
+
+    if kind == "naive":
+        return NaiveSchedule()
+    if kind == "spatial":
+        return SpatialBlockSchedule(block=(6, 6))
+    return WavefrontSchedule(tile=(8, 8), block=(4, 4), height=2)
+
+
+def build_problem(spec: JobSpec):
+    """(propagator, dt) for *spec* — deterministic in the spec alone."""
+    from ..propagators import (
+        AcousticPropagator,
+        ElasticPropagator,
+        SeismicModel,
+        TTIPropagator,
+        layered_velocity,
+        point_source,
+        receiver_line,
+    )
+
+    vp = layered_velocity(SHAPE, 1.5, 3.0, 3)
+    kwargs = {}
+    if spec.example == "tti":
+        kwargs = dict(epsilon=0.12, delta=0.05, theta=0.35, phi=0.4)
+    elif spec.example == "elastic":
+        kwargs = dict(rho=1.8, vs=vp / 1.8)
+    spacing = 20.0 if spec.example == "tti" else 10.0
+    model = SeismicModel(
+        SHAPE, (spacing,) * 3, vp, nbl=NBL, space_order=SPACE_ORDER, **kwargs
+    )
+    cls = {
+        "acoustic": AcousticPropagator,
+        "tti": TTIPropagator,
+        "elastic": ElasticPropagator,
+    }[spec.example]
+    dt = model.critical_dt(spec.example)
+    center = np.asarray(model.domain_center, dtype=float)
+    extent = np.asarray(model.grid.extent, dtype=float)
+    # the seed shifts the shot within the middle [0.3, 0.7] of the domain
+    rng = np.random.default_rng(spec.seed)
+    coords = center + rng.uniform(-0.2, 0.2, size=len(extent)) * extent
+    src = point_source("src", model.grid, spec.nt, coords, f0=0.015, dt=dt)
+    rec = receiver_line("rec", model.grid, spec.nt, npoint=NRECEIVERS, depth=center[-1])
+    prop = cls(model, space_order=SPACE_ORDER, source=src, receivers=rec)
+    return prop, dt
+
+
+def _checkpoint_dir(job_dir: Path) -> Path:
+    return Path(job_dir) / "ckpt"
+
+
+def execute_attempt(
+    spec: JobSpec,
+    job_dir,
+    attempt: int = 0,
+    resume: bool = False,
+    chaos: Optional[ChaosEntry] = None,
+    breaker=None,
+) -> Tuple[Optional[np.ndarray], dict]:
+    """Run one attempt of *spec* in the current process.
+
+    Returns ``(receivers, meta)``; raises whatever the run raises
+    (InjectedFault, NumericalBlowup, ...) — classification is the caller's
+    business.  A corrupt checkpoint is *not* fatal: the store is discarded
+    and the attempt restarts from scratch, preserving forward progress.
+    """
+    job_dir = Path(job_dir)
+    prop, dt = build_problem(spec)
+    store = FileCheckpointStore(_checkpoint_dir(job_dir), keep=2)
+    resumed_from = None
+    if resume:
+        try:
+            snapshot = store.latest()
+            resumed_from = snapshot.step if snapshot is not None else None
+        except CheckpointCorruptError:
+            store.clear()
+    checkpoint = CheckpointConfig(
+        every=spec.checkpoint_every, store=store, resume=resumed_from is not None
+    )
+    faults = health = None
+    engine_ctx = nullcontext()
+    if chaos is not None and attempt == 0:
+        if chaos.fault is not None:
+            faults = FaultInjector([Fault(**chaos.fault)], seed=chaos.fault_seed)
+            if chaos.needs_guard:
+                health = HealthGuard(check_every=1)
+        if chaos.break_fused and spec.engine == "fused":
+            engine_ctx = break_engine("fused")
+    from ..telemetry import Telemetry
+
+    telemetry = Telemetry()
+    with engine_ctx:
+        rec, plan = prop.forward(
+            nt=spec.nt,
+            dt=dt,
+            schedule=make_schedule(spec.schedule),
+            engine=spec.engine,
+            checkpoint=checkpoint,
+            faults=faults,
+            health=health,
+            telemetry=telemetry,
+            breaker=breaker,
+        )
+    fallbacks = [
+        {"failed": ev.attrs.get("failed"), "degraded_to": ev.attrs.get("degraded_to")}
+        for ev in telemetry.events
+        if ev.name == "engine.fallback"
+    ]
+    meta = {
+        "engine": plan.sweeps[0].engine,
+        "fallbacks": fallbacks,
+        "resumed_from": resumed_from,
+        "attempt": attempt,
+        "checkpoint_saves": int(telemetry.counters["checkpoint_saves"]),
+    }
+    return rec, meta
+
+
+def run_job_inline(spec: JobSpec):
+    """Fault-free, checkpoint-free reference run of *spec* in this process.
+
+    This is the oracle of the chaos gate: whatever the pool survives —
+    kills, faults, retries, engine reroutes — each job's receivers must be
+    bit-identical to this run of the same spec.
+    """
+    prop, dt = build_problem(spec)
+    rec, _plan = prop.forward(
+        nt=spec.nt, dt=dt, schedule=make_schedule(spec.schedule), engine=spec.engine
+    )
+    return rec
+
+
+# -- crash-safe result/error files ----------------------------------------------------
+
+def _atomic_write(path: Path, writer) -> None:
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as fh:
+        writer(fh)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+
+
+def _result_path(job_dir) -> Path:
+    return Path(job_dir) / "result.npz"
+
+
+def _error_path(job_dir, attempt: int) -> Path:
+    return Path(job_dir) / f"error-{attempt:02d}.pkl"
+
+
+def write_result(job_dir, rec: Optional[np.ndarray], meta: dict) -> None:
+    arrays = {"meta": np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8)}
+    if rec is not None:
+        arrays["rec"] = rec
+
+    def writer(fh):
+        np.savez(fh, **arrays)
+
+    _atomic_write(_result_path(job_dir), writer)
+
+
+def read_result(job_dir) -> Optional[Tuple[Optional[np.ndarray], dict]]:
+    """The worker's reported result, or None if it never reported one."""
+    path = _result_path(job_dir)
+    if not path.exists():
+        return None
+    with np.load(path) as data:
+        meta = json.loads(bytes(data["meta"]).decode())
+        rec = data["rec"].copy() if "rec" in data.files else None
+    return rec, meta
+
+
+def read_error(job_dir, attempt: int) -> Optional[BaseException]:
+    """The worker's pickled exception for *attempt*, or None."""
+    path = _error_path(job_dir, attempt)
+    if not path.exists():
+        return None
+    try:
+        return pickle.loads(path.read_bytes())
+    except Exception as exc:  # undecodable error file: keep the evidence
+        return RuntimeError(f"worker error report unreadable: {exc}")
+
+
+def child_main(spec: JobSpec, job_dir, attempt: int, resume: bool, chaos) -> None:
+    """Worker-process entry point: run the attempt, report via files."""
+    try:
+        rec, meta = execute_attempt(
+            spec, job_dir, attempt=attempt, resume=resume, chaos=chaos
+        )
+        write_result(job_dir, rec, meta)
+    except BaseException as exc:  # noqa: BLE001 — everything crosses as a pickle
+        try:
+            payload = pickle.dumps(exc)
+        except Exception:
+            payload = pickle.dumps(RuntimeError(f"{type(exc).__name__}: {exc}"))
+        _atomic_write(_error_path(job_dir, attempt), lambda fh: fh.write(payload))
+        sys.exit(1)

@@ -72,6 +72,7 @@ class Propagator:
         cfl: str = "warn",
         strict_engine: bool = False,
         telemetry=None,
+        breaker=None,
     ):
         """Run the forward model for *nt* steps (or *tn* ms) under *schedule*.
 
@@ -86,7 +87,8 @@ class Propagator:
         the blow-up demonstration depends on them — ``"raise"`` turns it into
         a :class:`~repro.errors.StabilityViolation`, ``"ignore"`` skips the
         check.  ``health``/``checkpoint``/``faults`` attach the runtime
-        resilience layer (see :mod:`repro.runtime`); with
+        resilience layer (see :mod:`repro.runtime`) and ``breaker`` hooks a
+        :class:`~repro.jobs.CircuitBreaker` onto the engine ladder; with
         ``checkpoint.resume`` set and a snapshot available the wavefields are
         *not* reset — the run continues from the restored state.
         ``telemetry`` attaches a :class:`~repro.telemetry.Telemetry` buffer
@@ -127,6 +129,7 @@ class Propagator:
             faults=faults,
             strict_engine=strict_engine,
             telemetry=telemetry,
+            breaker=breaker,
         )
         rec = self.receivers.data.copy() if self.receivers is not None else None
         return rec, plan

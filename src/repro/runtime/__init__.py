@@ -25,7 +25,7 @@ from .checkpoint import (
     capture_snapshot,
     restore_snapshot,
 )
-from .faults import Fault, FaultInjector, break_engine
+from .faults import Fault, FaultInjector, break_engine, split_seed
 from .health import DEFAULT_CHECK_EVERY, HealthGuard
 from .monitor import RuntimeMonitor
 from .preflight import (
@@ -50,6 +50,7 @@ __all__ = [
     "Fault",
     "FaultInjector",
     "break_engine",
+    "split_seed",
     "RuntimeMonitor",
     "check_cfl",
     "check_coordinates",

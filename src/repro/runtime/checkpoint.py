@@ -21,6 +21,8 @@ and :class:`FileCheckpointStore` (``.npz`` files, survives the process).
 
 from __future__ import annotations
 
+import os
+import zipfile
 from dataclasses import dataclass, field as dc_field
 from pathlib import Path
 from typing import Dict, List, Optional
@@ -28,6 +30,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from ..dsl.functions import TimeFunction
+from ..errors import CheckpointCorruptError
 
 __all__ = [
     "Snapshot",
@@ -99,6 +102,17 @@ class FileCheckpointStore(CheckpointStore):
 
     Array keys are flattened as ``field.<name>``, ``rec<i>.output`` and
     ``rec<i>.staging.<row>``; ``step`` rides along as a 0-d array.
+
+    Writes are crash-safe: the archive is written to a ``.tmp`` sibling,
+    fsynced and :func:`os.replace`-d into place, so a snapshot file either
+    exists complete or not at all — a worker SIGKILLed mid-save can never
+    leave a truncated ``ckpt_*.npz`` behind (external observers, like the
+    batch-pool supervisor polling for the first checkpoint, see only
+    complete files).  :meth:`latest` still validates the newest snapshot on
+    load — checkpoints written by older code, copied around or damaged on
+    disk are refused with a structured
+    :class:`~repro.errors.CheckpointCorruptError` instead of a raw
+    ``zipfile``/numpy exception.
     """
 
     def __init__(self, directory, keep: int = 2):
@@ -120,31 +134,51 @@ class FileCheckpointStore(CheckpointStore):
             for row, stage in rec["staging"].items():
                 arrays[f"rec{i}.staging.{row}"] = stage
         path = self.directory / f"ckpt_{snapshot.step:010d}.npz"
-        np.savez(path, **arrays)
+        tmp = path.with_name(path.name + ".tmp")
+        with open(tmp, "wb") as fh:
+            np.savez(fh, **arrays)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
         for old in self._paths()[: -self.keep]:
             old.unlink()
+        for stale in self.directory.glob("ckpt_*.npz.tmp"):
+            stale.unlink(missing_ok=True)
 
     def latest(self) -> Optional[Snapshot]:
         paths = self._paths()
         if not paths:
             return None
-        with np.load(paths[-1]) as data:
-            fields: Dict[str, np.ndarray] = {}
-            receivers: Dict[int, dict] = {}
-            for key in data.files:
-                if key == "step":
-                    continue
-                if key.startswith("field."):
-                    fields[key[len("field."):]] = data[key]
-                    continue
-                head, _, tail = key.partition(".")
-                idx = int(head[len("rec"):])
-                entry = receivers.setdefault(idx, {"output": None, "staging": {}})
-                if tail == "output":
-                    entry["output"] = data[key]
-                else:
-                    entry["staging"][int(tail.split(".")[-1])] = data[key]
-            step = int(data["step"])
+        path = paths[-1]
+        try:
+            with np.load(path) as data:
+                if "step" not in data.files:
+                    raise KeyError("snapshot lacks the 'step' entry")
+                fields: Dict[str, np.ndarray] = {}
+                receivers: Dict[int, dict] = {}
+                for key in data.files:
+                    if key == "step":
+                        continue
+                    if key.startswith("field."):
+                        fields[key[len("field."):]] = data[key]
+                        continue
+                    head, _, tail = key.partition(".")
+                    idx = int(head[len("rec"):])
+                    entry = receivers.setdefault(idx, {"output": None, "staging": {}})
+                    if tail == "output":
+                        entry["output"] = data[key]
+                    else:
+                        entry["staging"][int(tail.split(".")[-1])] = data[key]
+                step = int(data["step"])
+            for idx, entry in receivers.items():
+                if entry["output"] is None:
+                    raise KeyError(f"receiver {idx} snapshot lacks its output array")
+        except (zipfile.BadZipFile, OSError, EOFError, KeyError, ValueError) as exc:
+            raise CheckpointCorruptError(
+                f"checkpoint {path.name} is corrupt or truncated",
+                path=str(path),
+                reason=f"{type(exc).__name__}: {exc}",
+            ) from exc
         return Snapshot(
             step=step,
             fields=fields,
@@ -154,6 +188,8 @@ class FileCheckpointStore(CheckpointStore):
     def clear(self) -> None:
         for path in self._paths():
             path.unlink()
+        for stale in self.directory.glob("ckpt_*.npz.tmp"):
+            stale.unlink(missing_ok=True)
 
 
 @dataclass

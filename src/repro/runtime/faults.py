@@ -29,9 +29,24 @@ import numpy as np
 from ..errors import InjectedFault
 from ..execution.evalbox import Box, box_view
 
-__all__ = ["Fault", "FaultInjector", "break_engine"]
+__all__ = ["Fault", "FaultInjector", "break_engine", "split_seed"]
 
 KINDS = ("raise", "nan", "inf")
+
+
+def split_seed(batch_seed: int, *key: int) -> int:
+    """Derive an independent substream seed from one batch seed and a key.
+
+    Built on :class:`numpy.random.SeedSequence` with the key as
+    ``spawn_key``, so the derived seed depends only on ``(batch_seed,
+    key)`` — never on how many substreams were derived before or in what
+    order.  That is what makes chaos runs reproducible regardless of worker
+    scheduling: job *i* of a batch draws its faults from
+    ``split_seed(batch_seed, i)`` whether it runs first, last or is retried
+    on a different worker.
+    """
+    seq = np.random.SeedSequence(int(batch_seed), spawn_key=tuple(int(k) for k in key))
+    return int(seq.generate_state(1, dtype=np.uint64)[0])
 
 
 @dataclass
@@ -80,6 +95,16 @@ class FaultInjector:
         self.rng = np.random.default_rng(self.seed)
         #: (t, tile, kind, field) of every fault fired, in order
         self.log: List[Tuple] = []
+
+    @classmethod
+    def substream(
+        cls, faults: Sequence[Fault], batch_seed: int, job_index: int
+    ) -> "FaultInjector":
+        """An injector seeded from the *job_index*-th substream of
+        *batch_seed* (see :func:`split_seed`): corruption positions replay
+        identically for a given ``(batch_seed, job_index)`` no matter when
+        or where the job runs."""
+        return cls(faults, seed=split_seed(batch_seed, job_index))
 
     def reset(self) -> None:
         """Re-arm every fault and reset the RNG (exact replay)."""

@@ -1,0 +1,68 @@
+"""Deterministic exponential backoff with seeded jitter — replayable from
+``(batch_seed, job_index)`` alone, independent of worker scheduling order."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.jobs import RetryPolicy
+from repro.runtime import split_seed
+
+
+def test_schedule_is_deterministic_per_job():
+    policy = RetryPolicy()
+    a = policy.schedule(batch_seed=42, job_index=3, retries=5)
+    b = policy.schedule(batch_seed=42, job_index=3, retries=5)
+    assert a == b
+
+
+def test_schedule_differs_across_jobs_and_batches():
+    policy = RetryPolicy()
+    base = policy.schedule(42, 3, 5)
+    assert policy.schedule(42, 4, 5) != base  # different job, same batch
+    assert policy.schedule(43, 3, 5) != base  # same job, different batch
+
+
+def test_delays_grow_exponentially_within_jitter_bounds():
+    policy = RetryPolicy(base=0.05, factor=2.0, max_delay=10.0, jitter=0.5)
+    delays = policy.schedule(0, 0, 6)
+    for n, delay in enumerate(delays, start=1):
+        raw = 0.05 * 2.0 ** (n - 1)
+        assert raw <= delay <= raw * 1.5  # jitter only ever adds, bounded
+
+
+def test_max_delay_caps_the_raw_backoff():
+    policy = RetryPolicy(base=1.0, factor=10.0, max_delay=2.0, jitter=0.0)
+    rng = policy.rng_for(0, 0)
+    assert policy.delay(1, rng) == 1.0
+    assert policy.delay(2, rng) == 2.0  # would be 10.0 uncapped
+    assert policy.delay(5, rng) == 2.0
+
+
+def test_zero_jitter_is_exactly_exponential():
+    policy = RetryPolicy(base=0.5, factor=3.0, max_delay=100.0, jitter=0.0)
+    assert policy.schedule(1, 1, 3) == [0.5, 1.5, 4.5]
+
+
+def test_first_retry_is_attempt_one():
+    policy = RetryPolicy()
+    with pytest.raises(ValueError, match="attempt"):
+        policy.delay(0, policy.rng_for(0, 0))
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [dict(base=-0.1), dict(max_delay=-1.0), dict(factor=0.5), dict(jitter=-0.2)],
+)
+def test_policy_rejects_bad_parameters(kwargs):
+    with pytest.raises(ValueError):
+        RetryPolicy(**kwargs)
+
+
+def test_split_seed_substreams_are_order_independent():
+    # the foundation of every per-job stream: pure function of the key
+    seeds = [split_seed(7, i) for i in range(8)]
+    assert seeds == [split_seed(7, i) for i in range(8)]
+    assert len(set(seeds)) == len(seeds)
+    # salted streams never collide with unsalted ones for the same job
+    assert split_seed(7, 3) != split_seed(7, 3, 0x5E77)

@@ -1,0 +1,131 @@
+"""FileCheckpointStore crash-safety: atomic writes, structured corruption
+errors, pruning.  The batch-execution supervisor polls this directory for
+the first checkpoint before SIGKILLing a worker, so "a visible file is a
+complete file" is a load-bearing invariant, not a nicety."""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.errors import CheckpointCorruptError
+from repro.runtime.checkpoint import FileCheckpointStore, Snapshot
+
+
+def make_snapshot(step: int) -> Snapshot:
+    rng = np.random.default_rng(step)
+    return Snapshot(
+        step=step,
+        fields={"u": rng.normal(size=(3, 6, 6)), "v": rng.normal(size=(2, 6, 6))},
+        receivers=[
+            {
+                "output": rng.normal(size=(8, 4)),
+                "staging": {2: rng.normal(size=4), 5: rng.normal(size=4)},
+            }
+        ],
+    )
+
+
+def assert_snapshots_equal(a: Snapshot, b: Snapshot) -> None:
+    assert a.step == b.step
+    assert set(a.fields) == set(b.fields)
+    for name in a.fields:
+        np.testing.assert_array_equal(a.fields[name], b.fields[name])
+    assert len(a.receivers) == len(b.receivers)
+    for ra, rb in zip(a.receivers, b.receivers):
+        np.testing.assert_array_equal(ra["output"], rb["output"])
+        assert set(ra["staging"]) == set(rb["staging"])
+        for row in ra["staging"]:
+            np.testing.assert_array_equal(ra["staging"][row], rb["staging"][row])
+
+
+def test_round_trip_preserves_everything(tmp_path):
+    store = FileCheckpointStore(tmp_path, keep=2)
+    snap = make_snapshot(8)
+    store.save(snap)
+    assert_snapshots_equal(store.latest(), snap)
+
+
+def test_empty_store_returns_none(tmp_path):
+    assert FileCheckpointStore(tmp_path).latest() is None
+
+
+def test_save_leaves_no_tmp_files(tmp_path):
+    store = FileCheckpointStore(tmp_path, keep=2)
+    for step in (4, 8, 12):
+        store.save(make_snapshot(step))
+    assert list(tmp_path.glob("*.tmp")) == []
+
+
+def test_prunes_to_keep_newest(tmp_path):
+    store = FileCheckpointStore(tmp_path, keep=2)
+    for step in (4, 8, 12, 16):
+        store.save(make_snapshot(step))
+    names = sorted(p.name for p in tmp_path.glob("ckpt_*.npz"))
+    assert names == ["ckpt_0000000012.npz", "ckpt_0000000016.npz"]
+    assert store.latest().step == 16
+
+
+def test_stale_tmp_from_a_killed_writer_is_invisible_and_cleaned(tmp_path):
+    store = FileCheckpointStore(tmp_path, keep=2)
+    store.save(make_snapshot(4))
+    # simulate a writer SIGKILLed mid-save: a half-written temp sibling
+    (tmp_path / "ckpt_0000000008.npz.tmp").write_bytes(b"\x00" * 37)
+    assert store.latest().step == 4  # tmp never shadows a real snapshot
+    store.save(make_snapshot(8))
+    assert list(tmp_path.glob("*.tmp")) == []  # and the next save sweeps it
+
+
+def test_truncated_snapshot_raises_structured_error(tmp_path):
+    store = FileCheckpointStore(tmp_path, keep=2)
+    store.save(make_snapshot(8))
+    path = tmp_path / "ckpt_0000000008.npz"
+    path.write_bytes(path.read_bytes()[: path.stat().st_size // 2])
+    with pytest.raises(CheckpointCorruptError) as excinfo:
+        store.latest()
+    err = excinfo.value
+    assert err.path == str(path)
+    assert err.reason  # carries the underlying decode failure
+    # errors cross process boundaries in the job service
+    clone = pickle.loads(pickle.dumps(err))
+    assert clone.path == err.path and clone.reason == err.reason
+
+
+def test_garbage_snapshot_raises_structured_error(tmp_path):
+    store = FileCheckpointStore(tmp_path)
+    (tmp_path / "ckpt_0000000004.npz").write_bytes(b"not a zip archive")
+    with pytest.raises(CheckpointCorruptError, match="corrupt or truncated"):
+        store.latest()
+
+
+def test_snapshot_missing_step_key_is_corrupt(tmp_path):
+    store = FileCheckpointStore(tmp_path)
+    with open(tmp_path / "ckpt_0000000004.npz", "wb") as fh:
+        np.savez(fh, **{"field.u": np.zeros(3)})
+    with pytest.raises(CheckpointCorruptError) as excinfo:
+        store.latest()
+    assert "step" in excinfo.value.reason
+
+
+def test_snapshot_missing_receiver_output_is_corrupt(tmp_path):
+    store = FileCheckpointStore(tmp_path)
+    with open(tmp_path / "ckpt_0000000004.npz", "wb") as fh:
+        np.savez(
+            fh,
+            step=np.int64(4),
+            **{"field.u": np.zeros(3), "rec0.staging.2": np.zeros(4)},
+        )
+    with pytest.raises(CheckpointCorruptError) as excinfo:
+        store.latest()
+    assert "receiver 0" in excinfo.value.reason
+
+
+def test_clear_removes_snapshots_and_stale_tmps(tmp_path):
+    store = FileCheckpointStore(tmp_path)
+    store.save(make_snapshot(4))
+    (tmp_path / "ckpt_0000000008.npz.tmp").write_bytes(b"junk")
+    store.clear()
+    assert list(tmp_path.iterdir()) == []
+    assert store.latest() is None
