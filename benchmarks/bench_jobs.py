@@ -14,9 +14,16 @@ executor, not the luck of the draw.  Every completed cell is also checked
 for zero lost jobs — a resilience bench that quietly drops work would be
 measuring the wrong thing.
 
+Each pool cell also records the warm-worker attribution: per-job phase
+seconds (``spawn``/``compile``/``compute``/``io``) summed over completed
+attempts, and the ``warm_over_cold`` throughput ratio (mean cold-attempt
+seconds over mean warm-attempt seconds — how much a daemon's second job
+gains from hot kernel/step caches) alongside ``pool_over_serial``.
+
 Run directly::
 
     PYTHONPATH=src python benchmarks/bench_jobs.py
+    PYTHONPATH=src python benchmarks/bench_jobs.py --smoke   # CI perf gate
 
 or through pytest (slow-marked)::
 
@@ -39,6 +46,7 @@ import numpy as np
 import pytest
 
 from repro.jobs import ChaosConfig, JobSpec, run_batch
+from repro.jobs.spec import PHASE_KEYS
 
 NJOBS = 16
 NT = 128
@@ -62,12 +70,12 @@ def build_specs():
     ]
 
 
-def run_cell(workers: int, fault_rate: float) -> dict:
+def run_cell(workers: int, fault_rate: float, specs=None) -> dict:
     """One (executor, fault-rate) cell: run the batch, summarise it."""
     chaos = ChaosConfig(fault_rate=fault_rate) if fault_rate > 0 else None
     t0 = time.perf_counter()
     report = run_batch(
-        build_specs(), workers=workers, chaos=chaos, batch_seed=BATCH_SEED
+        specs or build_specs(), workers=workers, chaos=chaos, batch_seed=BATCH_SEED
     )
     wall = time.perf_counter() - t0
     assert report.ok, "resilience bench lost jobs — measuring the wrong thing"
@@ -77,6 +85,15 @@ def run_cell(workers: int, fault_rate: float) -> dict:
         "completion_rate": report.completion_rate,
         "completed": report.completed,
         "retries": report.retries,
+        # warm-pool attribution: where each attempt's time went
+        # (spawn = dispatch→daemon latency, compile = operator precompute,
+        # compute = sweeps+sparse, io = checkpoint+guard) and how warm
+        # attempts compare to the cold first job of each daemon
+        "phases": report.phase_totals(),
+        "warm_attempts": report.warm_attempts,
+        "cold_attempts": report.cold_attempts,
+        "warm_over_cold": report.warm_over_cold(),
+        "workers_spawned": report.workers_spawned,
     }
 
 
@@ -93,6 +110,7 @@ def run_bench() -> dict:
             "pool_over_serial": (
                 pool["throughput_jobs_per_s"] / serial["throughput_jobs_per_s"]
             ),
+            "warm_over_cold": pool["warm_over_cold"],
         }
     return {
         "bench": "jobs",
@@ -125,15 +143,22 @@ def print_report(report):
     )
     print(
         f"{'faults':<8} {'serial':>12} {'pool':>12} {'pool/serial':>12} "
-        f"{'retries':>8} {'complete':>9}"
+        f"{'warm/cold':>10} {'retries':>8} {'complete':>9}"
     )
     for key, cell in report["fault_rates"].items():
+        ratio = cell["warm_over_cold"]
         print(
             f"{key:<8} {cell['serial']['throughput_jobs_per_s']:>10.2f}/s "
             f"{cell['pool']['throughput_jobs_per_s']:>10.2f}/s "
             f"{cell['pool_over_serial']:>11.2f}x "
+            f"{(f'{ratio:.2f}x' if ratio is not None else '-'):>10} "
             f"{cell['serial']['retries'] + cell['pool']['retries']:>8} "
             f"{cell['pool']['completion_rate']:>8.0%}"
+        )
+        ph = cell["pool"]["phases"]
+        print(
+            "         pool phases: "
+            + "  ".join(f"{k}={ph.get(k, 0.0):.3f}s" for k in PHASE_KEYS)
         )
 
 
@@ -165,7 +190,40 @@ def test_pool_throughput_gate():
     )
 
 
+def run_smoke() -> int:
+    """CI perf-sanity gate: on a smoke-sized fault-free batch the warm pool
+    must at least match serial throughput (the old process-per-attempt pool
+    *lost* to serial at 0% faults — this is the regression tripwire).  Skips
+    (exit 0) on single-core containers where parallelism cannot exist."""
+    cores = usable_cores()
+    if cores < 2:
+        print(f"perf-sanity: SKIP — {cores} usable core(s), no parallelism")
+        return 0
+    specs = [
+        JobSpec(f"smoke-{i:02d}", nt=64, seed=i, checkpoint_every=8, max_attempts=4)
+        for i in range(8)
+    ]
+    serial = run_cell(0, 0.0, specs=specs)
+    pool = run_cell(POOL_WORKERS, 0.0, specs=specs)
+    ratio = pool["throughput_jobs_per_s"] / serial["throughput_jobs_per_s"]
+    print(
+        f"perf-sanity: serial {serial['throughput_jobs_per_s']:.2f}/s, "
+        f"warm pool {pool['throughput_jobs_per_s']:.2f}/s "
+        f"({ratio:.2f}x, {pool['warm_attempts']} warm / "
+        f"{pool['cold_attempts']} cold attempts, {cores} cores)"
+    )
+    if ratio < 1.0:
+        print("perf-sanity: FAIL — warm pool slower than serial at 0% faults")
+        return 1
+    print("perf-sanity: OK")
+    return 0
+
+
 if __name__ == "__main__":
+    import sys
+
+    if "--smoke" in sys.argv[1:]:
+        sys.exit(run_smoke())
     report = run_bench()
     print_report(report)
     out = write_report(report)

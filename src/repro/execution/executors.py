@@ -667,6 +667,11 @@ def _instr_wavefront(
             steps = step_plans.get(key)
             if steps is None:
                 steps = step_plans[key] = _wavefront_steps(plan, schedule, height)
+                tel.counters.add("step_cache_misses")
+            else:
+                # replayed geometry — a warm worker's persistent family
+                # cache makes even the run's first tile a hit
+                tel.counters.add("step_cache_hits")
         else:
             steps = _wavefront_steps(plan, schedule, height)
         now = clock()

@@ -349,6 +349,7 @@ class Operator:
         strict_engine: bool = False,
         telemetry=None,
         breaker=None,
+        step_cache=None,
     ) -> ExecutionPlan:
         """Run iterations ``t in [time_m, time_M)`` under *schedule*.
 
@@ -380,6 +381,13 @@ class Operator:
         arithmetic intensity can be derived from measured sweep time.
         Telemetry never changes numerics — a telemetry-on run is
         bit-identical to a telemetry-off run.
+
+        ``step_cache`` substitutes a caller-owned dict for the operator's
+        private step-plan cache, letting wavefront tile geometry persist
+        beyond this operator's lifetime (the warm-worker pool shares one
+        per problem family).  Step plans depend only on grid, sweep radii
+        and schedule, so sharing across identically-shaped operators is
+        sound — numerics are untouched either way.
         """
         if time_M <= time_m:
             raise InvalidTimeRange(
@@ -401,6 +409,10 @@ class Operator:
             # sparse-mode) pair, or a ScheduleLegalityError naming two
             # conflicting statement instances
             self.certificate_for(schedule, sparse_mode)
+        if tel is not None:
+            from .pycodegen import kernel_cache_stats
+
+            kc_base = kernel_cache_stats()
         plan = self._bind(
             dt,
             schedule,
@@ -418,6 +430,20 @@ class Operator:
             last = now
             self._register_static_costs(tel, schedule, plan)
             view_base = _view_cache_totals(plan)
+            # process-wide kernel-cache activity of this bind: a warm
+            # process binds by hit, a cold one by miss — the observable
+            # the warm-worker pool's per-worker counters aggregate
+            kc = kernel_cache_stats()
+            tel.counters.add(
+                "kernel_cache_hits",
+                (kc["rhs_hits"] - kc_base["rhs_hits"])
+                + (kc["sweep_hits"] - kc_base["sweep_hits"]),
+            )
+            tel.counters.add(
+                "kernel_cache_misses",
+                (kc["rhs_misses"] - kc_base["rhs_misses"])
+                + (kc["sweep_misses"] - kc_base["sweep_misses"]),
+            )
         if preflight:
             plan.validate()
             if tel is not None:
@@ -429,7 +455,7 @@ class Operator:
             time_m,
             time_M,
             schedule,
-            step_cache=self._step_cache,
+            step_cache=step_cache if step_cache is not None else self._step_cache,
             health=health,
             checkpoint=checkpoint,
             faults=faults,

@@ -3,10 +3,13 @@
 The ROADMAP's production-scale story needs surveys — batches of hundreds of
 independent source experiments — to survive the faults a single in-process
 ``forward()`` cannot: a hung compile, a NaN seed, a killed process.  This
-package orchestrates such batches over a multiprocess worker pool and
-guarantees forward progress under faults, building directly on the runtime
-resilience layer (checkpoint/restart, fault injection, the engine
-degradation ladder) and telemetry::
+package orchestrates such batches over a pool of long-lived **warm worker
+daemons** — preforked once per batch, dispatched over private pipes,
+keeping kernel and step-plan caches hot across jobs and attaching the
+read-only model arrays zero-copy from shared memory — and guarantees
+forward progress under faults, building directly on the runtime resilience
+layer (checkpoint/restart, fault injection, the engine degradation ladder)
+and telemetry::
 
     from repro.jobs import JobSpec, run_batch
 
@@ -16,6 +19,14 @@ degradation ladder) and telemetry::
     assert report.ok            # zero lost jobs
     report.results[0].receivers # bit-identical to a fault-free serial run
 
+Streaming admission takes a lazy iterator of specs (pulled only as capacity
+frees, per-tenant quotas, ``interactive``/``batch``/``bulk`` priority
+lanes)::
+
+    pool = JobPool(workers=4, tenant_quota=8)
+    pool.submit(spec_generator())   # any non-JobSpec iterable is a stream
+    report = pool.run()
+
 Command line: ``python -m repro.jobs --help`` (chaos knobs included).
 """
 
@@ -23,9 +34,12 @@ from .breaker import CircuitBreaker
 from .chaos import ChaosConfig, ChaosEntry, ChaosPlan
 from .pool import DEFAULT_CAPACITY, JobPool, run_batch
 from .retry import RetryPolicy
+from .shm import SharedArrayHandle, SharedArrayRegistry, attach_array
 from .spec import (
     EXAMPLES,
     JOB_ENGINES,
+    LANES,
+    PHASE_KEYS,
     SCHEDULES,
     STATUSES,
     AttemptRecord,
@@ -33,7 +47,8 @@ from .spec import (
     JobResult,
     JobSpec,
 )
-from .worker import build_problem, execute_attempt, run_job_inline
+from .warm import WarmState, WarmWorker
+from .worker import build_problem, execute_attempt, model_arrays, run_job_inline
 
 __all__ = [
     "JobSpec",
@@ -47,12 +62,20 @@ __all__ = [
     "ChaosConfig",
     "ChaosEntry",
     "ChaosPlan",
+    "SharedArrayHandle",
+    "SharedArrayRegistry",
+    "attach_array",
+    "WarmState",
+    "WarmWorker",
     "build_problem",
     "execute_attempt",
+    "model_arrays",
     "run_job_inline",
     "EXAMPLES",
     "SCHEDULES",
     "JOB_ENGINES",
     "STATUSES",
+    "LANES",
+    "PHASE_KEYS",
     "DEFAULT_CAPACITY",
 ]

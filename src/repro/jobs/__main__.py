@@ -5,6 +5,7 @@ Usage::
     python -m repro.jobs --jobs 16 --workers 4                 # clean batch
     python -m repro.jobs --jobs 16 --fault-rate 0.2 --kill-workers 1 --verify
     python -m repro.jobs --jobs 8 --example mixed --schedule naive --json
+    python -m repro.jobs --jobs 64 --stream --lane bulk --tenant-quota 8
 
 Each job is one shot of a miniature survey: the paper's small verification
 propagator with a seed-perturbed source position.  ``--fault-rate`` /
@@ -29,7 +30,7 @@ from .breaker import CircuitBreaker
 from .chaos import ChaosConfig
 from .pool import JobPool
 from .retry import RetryPolicy
-from .spec import EXAMPLES, JOB_ENGINES, SCHEDULES, JobSpec
+from .spec import EXAMPLES, JOB_ENGINES, LANES, SCHEDULES, JobSpec
 from .worker import run_job_inline
 
 
@@ -46,6 +47,7 @@ def build_specs(args) -> List[JobSpec]:
             deadline=args.deadline,
             max_attempts=args.retries + 1,
             checkpoint_every=args.checkpoint_every,
+            lane=args.lane,
         )
         for i in range(args.jobs)
     ]
@@ -85,6 +87,18 @@ def main(argv: List[str] = None) -> int:
     )
     parser.add_argument(
         "--capacity", type=int, default=256, help="admission-queue bound"
+    )
+    parser.add_argument(
+        "--lane", choices=LANES, default="batch",
+        help="priority lane of the submitted jobs (default: batch)",
+    )
+    parser.add_argument(
+        "--tenant-quota", type=int, default=None,
+        help="per-tenant bound on admitted-but-unfinished jobs (default: none)",
+    )
+    parser.add_argument(
+        "--stream", action="store_true",
+        help="submit the batch as a lazily-pulled stream instead of upfront",
     )
     parser.add_argument(
         "--fault-rate", type=float, default=0.0,
@@ -133,10 +147,14 @@ def main(argv: List[str] = None) -> int:
         chaos=chaos,
         batch_seed=args.seed,
         workdir=args.workdir,
+        tenant_quota=args.tenant_quota,
     )
     specs = build_specs(args)
-    for spec in specs:
-        pool.submit(spec)
+    if args.stream:
+        pool.submit(iter(specs))
+    else:
+        for spec in specs:
+            pool.submit(spec)
     report = pool.run()
 
     verified = None
@@ -184,6 +202,20 @@ def main(argv: List[str] = None) -> int:
             f"{report.wall_seconds:.2f}s — {report.throughput:.2f} jobs/s "
             f"on {report.workers} worker(s)"
         )
+        if report.workers > 0:
+            warmth = f"{report.warm_attempts} warm / {report.cold_attempts} cold"
+            ratio = report.warm_over_cold()
+            if ratio is not None:
+                warmth += f" (warm_over_cold {ratio:.2f}x)"
+            print(
+                f"attempts: {warmth}; {report.workers_spawned} daemon(s) spawned"
+            )
+            phases = report.phase_totals()
+            if any(phases.values()):
+                print(
+                    "phase seconds: "
+                    + "  ".join(f"{k}={v:.3f}" for k, v in phases.items())
+                )
         if not ok:
             print("BATCH FAILED: lost jobs or verification mismatches")
     return 0 if ok else 1

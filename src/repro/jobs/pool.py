@@ -1,40 +1,51 @@
-"""The resilient batch executor: bounded admission, worker supervision,
+"""The warm-worker batch executor: persistent daemons, streaming admission,
 retry-from-checkpoint, deadlines, circuit breaking and chaos kills.
 
 One :class:`JobPool` drives one batch.  Jobs are admitted through a bounded
-queue (:meth:`submit` raises :class:`~repro.errors.QueueSaturatedError`
-instead of growing memory without limit), then :meth:`run` supervises up to
-``workers`` concurrent worker *processes* — one process per attempt, so a
-SIGKILLed or hung worker takes down nothing but its own attempt:
+queue — directly (:meth:`submit` with a spec raises
+:class:`~repro.errors.QueueSaturatedError` instead of growing memory without
+limit) or as a *stream* (:meth:`submit` with an iterator of specs, pulled
+lazily as capacity frees, with per-tenant quotas and priority lanes) — then
+:meth:`run` supervises up to ``workers`` **long-lived warm daemons**
+(:class:`~repro.jobs.warm.WarmWorker`).  Each daemon is preforked once and
+serves many jobs over a private pipe, so the process-wide kernel caches and
+the per-family ``(tile, height)`` step plans stay warm from job to job, and
+the read-only model arrays are attached zero-copy from
+:class:`~repro.jobs.shm.SharedArrayRegistry` segments published once per
+batch.  Results return over the same pipe; the atomic-file protocol remains
+for what it is good at — checkpoints and crash forensics.
 
-* **crash recovery** — a worker that dies without reporting (kill signal,
-  hard crash) becomes a :class:`~repro.errors.WorkerCrashError`; the job is
-  retried on a fresh process, resuming from the newest snapshot its
-  :class:`~repro.runtime.checkpoint.FileCheckpointStore` persisted (atomic
-  writes guarantee the supervisor never sees a partial snapshot).  Restart
-  is bit-identical, so a killed-and-resumed job produces exactly the
-  receivers of an uninterrupted run.
-* **retries** — worker-reported faults (injected faults, blowups, ...) are
-  retried with exponential backoff and per-job seeded jitter
-  (:class:`~repro.jobs.retry.RetryPolicy`) up to ``max_attempts``; the
-  terminal :class:`~repro.errors.RetryExhaustedError` carries the full
-  attempt history.
-* **deadlines** — a job that exceeds its total wall-clock budget is
-  SIGKILLed and reported as :class:`~repro.errors.JobTimeoutError` without
-  disturbing the rest of the pool; a retry dispatched after most of the
-  budget is burned is *degraded* (schedule downgraded to ``naive``, whose
-  every-timestep checkpoints also minimise lost work on any further retry).
+Every fault domain of the process-per-attempt design is preserved:
+
+* **crash recovery** — a daemon that dies without reporting (kill signal,
+  hard crash) surfaces as a :class:`~repro.errors.WorkerCrashError` on its
+  in-flight job; the job is retried on another daemon, resuming from the
+  newest snapshot its
+  :class:`~repro.runtime.checkpoint.FileCheckpointStore` persisted —
+  bit-identical to an uninterrupted run.  The dead daemon is retired and a
+  replacement preforked while work remains; its shared-memory mappings die
+  with the process and the supervisor's ``finally`` unlinks every segment,
+  so nothing leaks into ``/dev/shm``.
+* **retries** — daemon-reported faults are retried with exponential backoff
+  and per-job seeded jitter (:class:`~repro.jobs.retry.RetryPolicy`) up to
+  ``max_attempts``; the terminal
+  :class:`~repro.errors.RetryExhaustedError` carries the full history.
+* **deadlines** — a job over its total wall-clock budget has its daemon
+  SIGKILLed and reports :class:`~repro.errors.JobTimeoutError` without
+  disturbing the rest of the pool (a result that raced the kill into the
+  pipe still counts); late retries are *degraded* to the naive schedule.
 * **circuit breaking** — an optional
-  :class:`~repro.jobs.breaker.CircuitBreaker` watches worker-reported fused
-  compile failures; once open, jobs are dispatched straight at the next
-  ladder rung instead of paying the failure cost per job.
+  :class:`~repro.jobs.breaker.CircuitBreaker` watches daemon-reported fused
+  compile failures; once open, jobs dispatch straight at the next ladder
+  rung.
 * **chaos** — a :class:`~repro.jobs.chaos.ChaosConfig` arms per-job fault
-  injection inside workers and lets the supervisor SIGKILL attempt-0
-  workers right after their first checkpoint lands.
+  injection inside daemons and lets the supervisor SIGKILL the daemon of an
+  attempt-0 job right after its first checkpoint lands.
 
 ``workers=0`` runs the same job/retry/chaos state machine serially in the
-current process (no kills, post-hoc deadlines) — the baseline the benchmark
-compares pool throughput against.
+current process (no kills, post-hoc deadlines) with its own
+:class:`~repro.jobs.warm.WarmState` — the baseline the benchmark compares
+pool throughput against.
 """
 
 from __future__ import annotations
@@ -43,8 +54,9 @@ import heapq
 import multiprocessing
 import time
 from collections import deque
+from multiprocessing import connection as mp_connection
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 from ..errors import (
     JobTimeoutError,
@@ -56,6 +68,7 @@ from .breaker import CircuitBreaker
 from .chaos import ChaosConfig, ChaosPlan
 from .retry import RetryPolicy
 from .spec import AttemptRecord, BatchReport, JobResult, JobSpec
+from .warm import WarmState, WarmWorker
 from . import worker as worker_mod
 
 __all__ = ["JobPool", "run_batch", "DEFAULT_CAPACITY"]
@@ -74,7 +87,7 @@ class _Job:
         self.attempt_no = 0
         self.attempts: List[AttemptRecord] = []
         self.first_started: Optional[float] = None
-        self.proc = None
+        self.worker: Optional[WarmWorker] = None
         self.dispatched_engine = ""
         self.result: Optional[JobResult] = None
         self.chaos_killed = False
@@ -92,6 +105,33 @@ class _Job:
             and self.first_started is not None
             and self.elapsed(now) > self.spec.deadline
         )
+
+
+class _Stream:
+    """One lazily-pulled spec iterator with a single-slot hold buffer (a
+    pulled spec whose tenant is at quota parks here; the stream stalls —
+    bounded memory — until the quota frees)."""
+
+    def __init__(self, specs: Iterable[JobSpec]):
+        self.it = iter(specs)
+        self.held: Optional[JobSpec] = None
+        self.done = False
+
+    def next_spec(self) -> Optional[JobSpec]:
+        if self.held is not None:
+            spec, self.held = self.held, None
+            return spec
+        if self.done:
+            return None
+        try:
+            return next(self.it)
+        except StopIteration:
+            self.done = True
+            return None
+
+    @property
+    def exhausted(self) -> bool:
+        return self.done and self.held is None
 
 
 def _degrade(spec: JobSpec) -> JobSpec:
@@ -112,15 +152,16 @@ def _resume_step(job_dir: Path) -> Optional[int]:
 
 
 class JobPool:
-    """Resilient multiprocess batch executor (see module docstring).
+    """Warm-worker batch executor (see module docstring).
 
     Parameters
     ----------
     workers:
-        Concurrent worker processes; ``0`` executes serially in-process.
+        Warm daemon slots; ``0`` executes serially in-process.
     capacity:
-        Bound on admitted-but-unfinished jobs; :meth:`submit` raises
-        :class:`~repro.errors.QueueSaturatedError` beyond it.
+        Bound on admitted-but-unfinished jobs; a direct :meth:`submit`
+        raises :class:`~repro.errors.QueueSaturatedError` beyond it, and
+        streams stop being pulled until jobs finish.
     retry:
         Backoff policy (default :class:`~repro.jobs.retry.RetryPolicy`).
     breaker:
@@ -132,14 +173,20 @@ class JobPool:
     batch_seed:
         Master seed of every derived substream (faults, jitter, chaos).
     workdir:
-        Directory for per-job checkpoint/result files; a temporary
+        Directory for per-job checkpoint/forensics files; a temporary
         directory (cleaned up after :meth:`run`) when omitted.
     telemetry:
         Optional :class:`~repro.telemetry.Telemetry` buffer; job lifecycle
-        events land in it as ``job.*`` marks.
+        events land in it as ``job.*`` marks, plus per-worker warm/cold
+        attempt counters and aggregated kernel/step-cache tallies.
     pressure_fraction:
         Fraction of the deadline a job may burn before retries dispatch
         degraded.
+    tenant_quota:
+        Optional per-tenant bound on admitted-but-unfinished jobs: a direct
+        :meth:`submit` over it raises
+        :class:`~repro.errors.QueueSaturatedError`, a stream holding a spec
+        of a saturated tenant stalls until the tenant drains.
     """
 
     def __init__(
@@ -155,13 +202,17 @@ class JobPool:
         poll_interval: float = 0.02,
         pressure_fraction: float = 0.5,
         start_method: Optional[str] = None,
+        tenant_quota: Optional[int] = None,
     ):
         if workers < 0:
             raise ValueError("workers must be >= 0 (0 = serial in-process)")
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
+        if tenant_quota is not None and tenant_quota < 1:
+            raise ValueError("tenant_quota must be >= 1 (or None)")
         self.workers = int(workers)
         self.capacity = int(capacity)
+        self.tenant_quota = tenant_quota
         self.retry = retry or RetryPolicy()
         self.breaker = breaker
         self.chaos_plan = (
@@ -186,10 +237,17 @@ class JobPool:
         self._ctx = multiprocessing.get_context(start_method)
         self._jobs: List[_Job] = []
         self._by_id: Dict[str, _Job] = {}
-        self._ready: deque = deque()
+        self._ready: list = []  # heap of (lane_priority, tiebreak, job)
         self._delayed: list = []  # heap of (ready_time, tiebreak, job)
-        self._running: List[_Job] = []
+        self._streams: deque = deque()
+        self._tenant_active: Dict[str, int] = {}
         self._seq = 0
+        # warm-daemon pool state
+        self._pool: List[WarmWorker] = []
+        self._worker_seq = 0
+        self.workers_spawned = 0
+        self._registry = None  # SharedArrayRegistry, created in run()
+        self._handles: Dict[str, object] = {}
         self._kills_remaining = (
             self.chaos_plan.config.kill_workers if self.chaos_plan else 0
         )
@@ -202,8 +260,27 @@ class JobPool:
     def _active(self) -> int:
         return sum(1 for j in self._jobs if not j.terminal)
 
-    def submit(self, spec: JobSpec) -> None:
-        """Admit *spec*; raises :class:`QueueSaturatedError` at capacity."""
+    def _tenant_load(self, tenant: str) -> int:
+        return self._tenant_active.get(tenant, 0)
+
+    def submit(self, specs: Union[JobSpec, Iterable[JobSpec]]) -> None:
+        """Admit one spec, or register a *stream* of them.
+
+        A single :class:`JobSpec` is admitted immediately —
+        :class:`QueueSaturatedError` at capacity (or over the tenant quota)
+        is the backpressure signal.  Any other iterable is registered as a
+        stream and pulled lazily while :meth:`run` drives the batch: a spec
+        is only drawn once there is admission capacity (and tenant quota)
+        for it, so an effectively-infinite survey generator runs in bounded
+        memory.
+        """
+        if isinstance(specs, JobSpec):
+            self._admit(specs, streamed=False)
+            return None
+        self._streams.append(_Stream(specs))
+        return None
+
+    def _admit(self, spec: JobSpec, streamed: bool) -> None:
         if spec.job_id in self._by_id:
             raise ValueError(f"duplicate job_id {spec.job_id!r}")
         pending = self._active()
@@ -213,6 +290,17 @@ class JobPool:
                 "drain the pool or shed load",
                 capacity=self.capacity,
                 pending=pending,
+            )
+        if (
+            self.tenant_quota is not None
+            and self._tenant_load(spec.tenant) >= self.tenant_quota
+        ):
+            raise QueueSaturatedError(
+                f"tenant {spec.tenant!r} is at its admission quota "
+                f"({self._tenant_load(spec.tenant)}/{self.tenant_quota})",
+                capacity=self.tenant_quota,
+                pending=self._tenant_load(spec.tenant),
+                tenant=spec.tenant,
             )
         job_dir = self.workdir / spec.job_id
         job_dir.mkdir(parents=True, exist_ok=True)
@@ -224,9 +312,35 @@ class JobPool:
         )
         self._jobs.append(job)
         self._by_id[spec.job_id] = job
-        self._ready.append(job)
-        self._emit("queued", job)
-        return None
+        self._tenant_active[spec.tenant] = self._tenant_load(spec.tenant) + 1
+        self._push_ready(job)
+        self._emit(
+            "queued", job, lane=spec.lane, tenant=spec.tenant, streamed=streamed
+        )
+
+    def _push_ready(self, job: _Job) -> None:
+        self._seq += 1
+        heapq.heappush(self._ready, (job.spec.lane_priority, self._seq, job))
+
+    def _pump_streams(self) -> bool:
+        """Pull specs from registered streams while admission allows;
+        True if anything was admitted."""
+        admitted = False
+        while self._streams and self._active() < self.capacity:
+            stream: _Stream = self._streams[0]
+            spec = stream.next_spec()
+            if spec is None:
+                self._streams.popleft()
+                continue
+            if (
+                self.tenant_quota is not None
+                and self._tenant_load(spec.tenant) >= self.tenant_quota
+            ):
+                stream.held = spec  # park it; the stream stalls until drain
+                break
+            self._admit(spec, streamed=True)
+            admitted = True
+        return admitted
 
     # -- events ------------------------------------------------------------------------
     def _emit(self, kind: str, job: _Job, **info) -> None:
@@ -242,12 +356,29 @@ class JobPool:
             self.telemetry.counters.add(f"jobs_{kind}")
             self.telemetry.event(f"job.{kind}", phase="other", job=job.spec.job_id, **info)
 
+    def _emit_worker(self, kind: str, worker_id: int, **info) -> None:
+        self.events.append(
+            {
+                "ts": time.perf_counter() - self._epoch,
+                "kind": kind,
+                "job": "",
+                "worker": worker_id,
+                **info,
+            }
+        )
+        if self.telemetry is not None:
+            self.telemetry.counters.add(f"jobs_{kind}")
+            self.telemetry.event(f"job.{kind}", phase="other", worker=worker_id, **info)
+
     # -- terminal transitions ----------------------------------------------------------
     def _finish(self, job: _Job, result: JobResult, kind: str, **info) -> None:
         result.attempts = job.attempts
         result.elapsed = job.elapsed(time.perf_counter())
         job.result = result
-        job.proc = None
+        job.worker = None
+        self._tenant_active[job.spec.tenant] = max(
+            0, self._tenant_load(job.spec.tenant) - 1
+        )
         self._emit(kind, job, **info)
 
     def _complete(self, job: _Job, rec, meta: dict, now: float) -> None:
@@ -256,6 +387,11 @@ class JobPool:
         record.outcome = "completed"
         record.engine = meta.get("engine", "")
         record.resumed_from = meta.get("resumed_from")
+        record.worker = meta.get("worker")
+        record.warm = bool(meta.get("warm", False))
+        record.phases = dict(meta.get("phases", {}))
+        record.caches = dict(meta.get("caches", {}))
+        self._count_warmth(record)
         self._breaker_feedback(job, meta)
         self._finish(
             job,
@@ -269,6 +405,20 @@ class JobPool:
             "completed",
             attempts=len(job.attempts),
         )
+
+    def _count_warmth(self, record: AttemptRecord) -> None:
+        """Per-worker warm/cold attempt counters plus aggregated cache
+        tallies, into the attached telemetry buffer."""
+        if self.telemetry is None:
+            return
+        counters = self.telemetry.counters
+        kind = "warm" if record.warm else "cold"
+        counters.add(f"jobs_{kind}_attempts")
+        if record.worker is not None:
+            counters.add(f"worker{record.worker}.jobs")
+            counters.add(f"worker{record.worker}.{kind}_attempts")
+        for key, n in record.caches.items():
+            counters.add(f"jobs_{key}", n)
 
     def _timeout(self, job: _Job, now: float) -> None:
         if job.attempts and not job.attempts[-1].outcome:
@@ -318,7 +468,7 @@ class JobPool:
         self._emit("retried", job, attempt=job.attempt_no, delay=delay, error=record.error)
 
     def _breaker_feedback(self, job: _Job, meta: dict) -> None:
-        """Feed worker-reported engine outcomes into the parent's breaker.
+        """Feed daemon-reported engine outcomes into the parent's breaker.
 
         Multiprocess mode only: in serial mode the breaker rides the engine
         ladder in-process and has already recorded the outcome itself.
@@ -331,6 +481,51 @@ class JobPool:
             br.record_failure(br.engine)
         else:
             br.record_success(br.engine)
+
+    # -- warm-daemon pool --------------------------------------------------------------
+    def _spawn_worker(self) -> WarmWorker:
+        self._worker_seq += 1
+        self.workers_spawned += 1
+        worker = WarmWorker(self._ctx, self._worker_seq, self._handles)
+        self._pool.append(worker)
+        self._emit_worker("worker_spawned", worker.worker_id, pid=worker.proc.pid)
+        return worker
+
+    def _retire(self, worker: WarmWorker, crashed: bool = False) -> None:
+        """Drop *worker* from the pool (its process already dead or being
+        killed); shared segments stay valid — only the mapping died."""
+        if worker in self._pool:
+            self._pool.remove(worker)
+        worker.kill()  # no-op if already dead; reaps the process either way
+        self._emit_worker(
+            "worker_crashed" if crashed else "worker_retired",
+            worker.worker_id,
+            exitcode=worker.exitcode,
+            jobs=worker.jobs_dispatched,
+        )
+
+    def _idle_worker(self) -> Optional[WarmWorker]:
+        for worker in self._pool:
+            if not worker.busy and worker.alive:
+                return worker
+        if len(self._pool) < self.workers:
+            return self._spawn_worker()
+        return None
+
+    def _outstanding(self) -> int:
+        """Jobs that will still need a daemon (ready + backed off + maybe
+        more behind the streams)."""
+        n = len(self._ready) + len(self._delayed)
+        if any(not s.exhausted for s in self._streams):
+            n += 1
+        return n
+
+    def _replenish(self) -> None:
+        """Prefork replacements for crashed/retired daemons while there is
+        work left for them to do."""
+        want = min(self.workers, self._outstanding() + sum(w.busy for w in self._pool))
+        while len(self._pool) < want:
+            self._spawn_worker()
 
     # -- dispatch ----------------------------------------------------------------------
     def _effective_spec(self, job: _Job, now: float, reroute: bool = True) -> JobSpec:
@@ -359,7 +554,11 @@ class JobPool:
         job._degraded = degraded
         return spec
 
-    def _dispatch(self, job: _Job, now: float) -> None:
+    def _dispatch(self, job: _Job, now: float) -> bool:
+        """Hand *job* to an idle warm daemon; False when none is available."""
+        worker = self._idle_worker()
+        if worker is None:
+            return False
         if job.first_started is None:
             job.first_started = now
         spec = self._effective_spec(job, now)
@@ -378,87 +577,114 @@ class JobPool:
         step = _resume_step(job.dir) if resume else None
         if step is not None:
             self._emit("resumed", job, step=step, attempt=job.attempt_no)
-        job.proc = self._ctx.Process(
-            target=worker_mod.child_main,
-            args=(spec, str(job.dir), job.attempt_no, resume, entry),
-            daemon=True,
+        try:
+            worker.dispatch(spec, str(job.dir), job.attempt_no, resume, entry)
+        except (BrokenPipeError, OSError):
+            # the daemon died between polls; retire it and try the next one
+            self._retire(worker, crashed=True)
+            job.attempts.pop()
+            if step is not None:
+                self.events.pop()  # withdraw the provisional "resumed"
+            return self._dispatch(job, now)
+        worker.job = job
+        job.worker = worker
+        self._emit(
+            "started", job, attempt=job.attempt_no, engine=spec.engine,
+            worker=worker.worker_id,
         )
-        job.proc.start()
-        self._running.append(job)
-        self._emit("started", job, attempt=job.attempt_no, engine=spec.engine)
+        return True
 
     # -- supervision -------------------------------------------------------------------
-    def _reap(self, job: _Job, now: float) -> None:
-        """The worker exited: read its report (result file is authoritative
-        even on a nonzero exit — it is written atomically before exit)."""
-        exitcode = job.proc.exitcode
-        job.proc.join()
-        res = worker_mod.read_result(job.dir)
-        if res is not None:
-            rec, meta = res
+    def _handle_message(self, worker: WarmWorker, msg, now: float) -> None:
+        job = worker.job
+        worker.job = None
+        kind = msg[0]
+        if kind == "ok":
+            _, _job_id, _attempt, rec, meta = msg
             self._complete(job, rec, meta, now)
-            return
-        error = worker_mod.read_error(job.dir, job.attempts[-1].attempt)
-        if error is not None:
+        else:
+            _, _job_id, _attempt, error = msg
             self._fail_attempt(job, error, "fault", now)
-            return
+
+    def _crash(self, worker: WarmWorker, now: float) -> None:
+        """The daemon died with a job in flight and nothing in the pipe."""
+        job = worker.job
+        worker.job = None
         crash = WorkerCrashError(
             f"worker for job {job.spec.job_id} died without reporting "
-            f"(exitcode {exitcode})",
+            f"(exitcode {worker.exitcode})",
             job_id=job.spec.job_id,
-            exitcode=exitcode,
+            exitcode=worker.exitcode,
             attempt=job.attempts[-1].attempt,
         )
         self._fail_attempt(job, crash, "crash", now)
 
     def _chaos_kill(self, now: float) -> None:
-        """Deal out pending chaos kills: SIGKILL an attempt-0 worker as soon
-        as its first checkpoint is on disk (guaranteeing a mid-run kill and
-        a genuine resume on retry)."""
+        """Deal out pending chaos kills: SIGKILL the daemon of an attempt-0
+        job as soon as its first checkpoint is on disk (guaranteeing a
+        mid-run kill and a genuine resume on retry)."""
         if self._kills_remaining <= 0:
             return
-        for job in sorted(self._running, key=lambda j: j.index):
+        busy = sorted(
+            (w for w in self._pool if w.busy), key=lambda w: w.job.index
+        )
+        for worker in busy:
             if self._kills_remaining <= 0:
                 break
+            job = worker.job
             if job.chaos_killed or job.attempts[-1].attempt != 0:
                 continue
             if _resume_step(job.dir) is None:
                 continue
             job.chaos_killed = True
-            job.proc.kill()
+            worker.proc.kill()
             self._kills_remaining -= 1
             self.kills_done += 1
-            self._emit("killed", job, signal="SIGKILL")
+            self._emit("killed", job, signal="SIGKILL", worker=worker.worker_id)
 
     def _poll(self, now: float) -> bool:
         """One supervision sweep; True if any state changed."""
-        changed = False
-        still_running: List[_Job] = []
+        changed = self._pump_streams()
         self._chaos_kill(now)
-        for job in self._running:
-            if job.proc.exitcode is not None or not job.proc.is_alive():
-                self._reap(job, now)
+        for worker in list(self._pool):
+            if not worker.busy:
+                if not worker.alive:  # spontaneous death of an idle daemon
+                    self._retire(worker, crashed=True)
+                    changed = True
+                continue
+            job = worker.job
+            msg = worker.recv_nowait()
+            if msg is None and not worker.alive:
+                worker.proc.join()
+                msg = worker.recv_nowait()  # a result may have raced the death
+                if msg is not None:
+                    self._handle_message(worker, msg, now)
+                else:
+                    self._crash(worker, now)
+                self._retire(worker, crashed=True)
+                changed = True
+                continue
+            if msg is not None:
+                self._handle_message(worker, msg, now)
                 changed = True
             elif job.over_deadline(now):
-                job.proc.kill()
-                job.proc.join()
-                # the worker may have completed in the kill window
-                res = worker_mod.read_result(job.dir)
-                if res is not None:
-                    self._complete(job, res[0], res[1], now)
+                worker.proc.kill()
+                worker.proc.join()
+                late = worker.recv_nowait()  # completed in the kill window?
+                worker.job = None
+                if late is not None and late[0] == "ok":
+                    self._complete(job, late[3], late[4], now)
                 else:
                     self._timeout(job, now)
+                self._retire(worker)
                 changed = True
-            else:
-                still_running.append(job)
-        self._running = still_running
         # promote delayed jobs whose backoff expired (or deadline died waiting)
         while self._delayed and self._delayed[0][0] <= now:
             _, _, job = heapq.heappop(self._delayed)
             if job.over_deadline(now):
                 self._timeout(job, now)
             else:
-                self._ready.append(job)
+                self._push_ready(job)
             changed = True
         # deadline can also expire while a job waits in backoff
         for _, _, job in list(self._delayed):
@@ -467,27 +693,49 @@ class JobPool:
                 heapq.heapify(self._delayed)
                 self._timeout(job, now)
                 changed = True
-        while self._ready and len(self._running) < self.workers:
-            self._dispatch(self._ready.popleft(), now)
+        self._replenish()
+        while self._ready:
+            _, _, job = self._ready[0]
+            if not self._dispatch(job, now):
+                break
+            heapq.heappop(self._ready)
             changed = True
         return changed
 
+    def _busy_conns(self) -> List:
+        return [w.conn for w in self._pool if w.busy and w.alive]
+
     # -- the drive loop ----------------------------------------------------------------
     def run(self) -> BatchReport:
-        """Drive every admitted job to a terminal state; returns the report."""
+        """Drive every admitted job (and stream) to a terminal state."""
         t0 = time.perf_counter()
         try:
             if self.workers == 0:
                 self._run_serial()
             else:
-                while self._ready or self._delayed or self._running:
+                self._publish_shared()
+                # prefork the daemon fleet once, before the first dispatch
+                self._replenish()
+                while (
+                    self._ready
+                    or self._delayed
+                    or any(w.busy for w in self._pool)
+                    or any(not s.exhausted for s in self._streams)
+                ):
                     if not self._poll(time.perf_counter()):
-                        time.sleep(self.poll_interval)
+                        conns = self._busy_conns()
+                        if conns:  # wake on the first daemon report
+                            mp_connection.wait(conns, timeout=self.poll_interval)
+                        else:
+                            time.sleep(self.poll_interval)
         finally:
-            for job in self._running:  # never leak workers
-                if job.proc is not None and job.proc.is_alive():
-                    job.proc.kill()
-                    job.proc.join()
+            for worker in self._pool:  # never leak daemons
+                worker.shutdown()
+            self._pool.clear()
+            if self._registry is not None:  # never leak /dev/shm segments
+                self._registry.close()
+                self._registry = None
+            self._handles = {}
             if self._tmp is not None:
                 self._tmp.cleanup()
                 self._tmp = None
@@ -498,15 +746,32 @@ class JobPool:
             events=self.events,
             workers=self.workers,
             kills=self.kills_done,
+            workers_spawned=self.workers_spawned,
         )
+
+    def _publish_shared(self) -> None:
+        """Publish the batch's read-only model arrays into shared memory
+        once; every daemon attaches them zero-copy at prefork."""
+        from .shm import SharedArrayRegistry
+
+        if self._registry is not None:
+            return
+        self._registry = SharedArrayRegistry()
+        for key, array in worker_mod.model_arrays().items():
+            self._registry.publish(key, array)
+        self._handles = self._registry.handles()
 
     # -- serial (workers=0) ------------------------------------------------------------
     def _run_serial(self) -> None:
         """Same state machine, one job at a time in this process: no kills,
         deadlines enforced post-hoc (an in-process attempt cannot be
-        preempted), and the breaker rides the engine ladder directly."""
+        preempted), and the breaker rides the engine ladder directly.  The
+        in-process :class:`WarmState` gives the serial executor the same
+        cross-job cache warmth a daemon enjoys."""
+        warm = WarmState()
+        self._pump_streams()
         while self._ready:
-            job = self._ready.popleft()
+            _, _, job = heapq.heappop(self._ready)
             while not job.terminal:
                 now = time.perf_counter()
                 if job.first_started is None:
@@ -543,6 +808,7 @@ class JobPool:
                         resume=resume,
                         chaos=entry,
                         breaker=self.breaker,
+                        warm=warm,
                     )
                 except Exception as exc:
                     now = time.perf_counter()
@@ -560,9 +826,12 @@ class JobPool:
                     self._timeout(job, now)
                 else:
                     self._complete(job, rec, meta, now)
+            self._pump_streams()
 
 
-def run_batch(specs: Sequence[JobSpec], workers: int = 4, **kwargs) -> BatchReport:
+def run_batch(
+    specs: Sequence[JobSpec], workers: int = 4, **kwargs
+) -> BatchReport:
     """Submit *specs* to a fresh :class:`JobPool` and drive it to completion."""
     pool = JobPool(workers=workers, **kwargs)
     for spec in specs:

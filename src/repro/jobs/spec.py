@@ -17,7 +17,7 @@ CLI and benchmark serialise.
 from __future__ import annotations
 
 from dataclasses import dataclass, field as dc_field
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -26,6 +26,8 @@ __all__ = [
     "SCHEDULES",
     "JOB_ENGINES",
     "STATUSES",
+    "LANES",
+    "PHASE_KEYS",
     "JobSpec",
     "AttemptRecord",
     "JobResult",
@@ -35,6 +37,18 @@ __all__ = [
 EXAMPLES = ("acoustic", "tti", "elastic")
 SCHEDULES = ("naive", "spatial", "wavefront")
 JOB_ENGINES = ("fused", "kernel", "interp")
+
+#: priority lanes of the streaming admission front-end, best first: within
+#: the ready queue every ``interactive`` job dispatches before any ``batch``
+#: job, which dispatches before any ``bulk`` job (FIFO within a lane)
+LANES = ("interactive", "batch", "bulk")
+
+#: per-attempt cost centres recorded by the warm workers: ``spawn``
+#: (dispatch-to-receipt latency — fork + queueing on a cold worker, pipe
+#: latency on a warm one), ``compile`` (IR derivation, kernel binding, step
+#: plans, preflight), ``compute`` (stencil + sparse operators), ``io``
+#: (checkpoints + health guards)
+PHASE_KEYS = ("spawn", "compile", "compute", "io")
 
 #: terminal job states: ``completed`` (receivers produced), ``timeout``
 #: (deadline exceeded, killed), ``exhausted`` (retry budget spent)
@@ -71,6 +85,13 @@ class JobSpec:
     checkpoint_every:
         Snapshot cadence in timesteps (wavefront runs round up to the next
         time-tile boundary).
+    tenant:
+        Admission-quota bucket: a pool constructed with ``tenant_quota=N``
+        admits at most N unfinished jobs per tenant at a time, so one
+        streaming client cannot starve the others.
+    lane:
+        Priority lane (see :data:`LANES`): ``interactive`` jobs dispatch
+        before ``batch`` jobs, which dispatch before ``bulk`` jobs.
     """
 
     job_id: str
@@ -82,6 +103,8 @@ class JobSpec:
     deadline: Optional[float] = None
     max_attempts: int = 3
     checkpoint_every: int = 4
+    tenant: str = "default"
+    lane: str = "batch"
 
     def __post_init__(self):
         if self.example not in EXAMPLES:
@@ -104,6 +127,14 @@ class JobSpec:
             raise ValueError("checkpoint_every must be >= 1")
         if self.deadline is not None and self.deadline <= 0:
             raise ValueError("deadline must be positive (or None)")
+        if self.lane not in LANES:
+            raise ValueError(f"unknown lane {self.lane!r}; expected one of {LANES}")
+        if not self.tenant:
+            raise ValueError("tenant must be a non-empty string")
+
+    @property
+    def lane_priority(self) -> int:
+        return LANES.index(self.lane)
 
 
 @dataclass
@@ -125,6 +156,21 @@ class AttemptRecord:
     #: True when the dispatcher downgraded schedule/engine under deadline
     #: pressure or a tripped circuit breaker
     degraded: bool = False
+    #: warm-worker id the attempt ran on (None = serial in-process)
+    worker: Optional[int] = None
+    #: True when the attempt ran on a worker whose caches were already warm
+    #: (it had completed at least one prior job)
+    warm: bool = False
+    #: per-attempt cost breakdown over :data:`PHASE_KEYS` (empty until the
+    #: worker reports)
+    phases: dict = dc_field(default_factory=dict)
+    #: kernel/step cache activity of the attempt, e.g.
+    #: ``{"kernel_hits": 4, "kernel_misses": 0, "step_hits": 16, ...}``
+    caches: dict = dc_field(default_factory=dict)
+
+    @property
+    def seconds(self) -> float:
+        return max(0.0, self.ended - self.started)
 
     def to_dict(self) -> dict:
         return {
@@ -136,6 +182,10 @@ class AttemptRecord:
             "engine": self.engine,
             "resumed_from": self.resumed_from,
             "degraded": self.degraded,
+            "worker": self.worker,
+            "warm": self.warm,
+            "phases": dict(self.phases),
+            "caches": dict(self.caches),
         }
 
 
@@ -168,6 +218,8 @@ class JobResult:
             "schedule": self.spec.schedule,
             "nt": self.spec.nt,
             "seed": self.spec.seed,
+            "tenant": self.spec.tenant,
+            "lane": self.spec.lane,
             "status": self.status,
             "engine": self.engine,
             "elapsed": self.elapsed,
@@ -187,6 +239,9 @@ class BatchReport:
     events: List[dict] = dc_field(default_factory=list)
     workers: int = 0
     kills: int = 0
+    #: worker processes spawned over the batch (initial prefork + crash
+    #: replacements); 0 in serial mode
+    workers_spawned: int = 0
 
     @property
     def completed(self) -> int:
@@ -216,15 +271,59 @@ class BatchReport:
                 return r
         raise KeyError(job_id)
 
+    # -- warm/cold accounting -----------------------------------------------------
+    def _completed_attempts(self) -> List[AttemptRecord]:
+        return [
+            a
+            for r in self.results
+            for a in r.attempts
+            if a.outcome == "completed"
+        ]
+
+    @property
+    def warm_attempts(self) -> int:
+        return sum(a.warm for a in self._completed_attempts())
+
+    @property
+    def cold_attempts(self) -> int:
+        return sum(not a.warm for a in self._completed_attempts())
+
+    def phase_totals(self) -> Dict[str, float]:
+        """Summed per-attempt phase seconds over completed attempts, keyed
+        by :data:`PHASE_KEYS` (zeros where workers never reported)."""
+        totals = {k: 0.0 for k in PHASE_KEYS}
+        for a in self._completed_attempts():
+            for k in PHASE_KEYS:
+                totals[k] += float(a.phases.get(k, 0.0))
+        return totals
+
+    def warm_over_cold(self) -> Optional[float]:
+        """Mean cold-attempt seconds over mean warm-attempt seconds for
+        completed attempts — >1 means cache warmth measurably pays; None
+        when either population is empty."""
+        warm = [a.seconds for a in self._completed_attempts() if a.warm]
+        cold = [a.seconds for a in self._completed_attempts() if not a.warm]
+        if not warm or not cold:
+            return None
+        mean_warm = sum(warm) / len(warm)
+        if mean_warm <= 0:
+            return None
+        return (sum(cold) / len(cold)) / mean_warm
+
     def to_dict(self) -> dict:
         return {
             "jobs": [r.to_dict() for r in self.results],
             "workers": self.workers,
+            "workers_spawned": self.workers_spawned,
             "wall_seconds": self.wall_seconds,
             "completed": self.completed,
             "retries": self.retries,
             "kills": self.kills,
             "completion_rate": self.completion_rate,
             "throughput_jobs_per_s": self.throughput,
+            "warm_attempts": self.warm_attempts,
+            "cold_attempts": self.cold_attempts,
+            "warm_over_cold": self.warm_over_cold(),
+            "phase_totals": self.phase_totals(),
             "ok": self.ok,
         }

@@ -49,11 +49,26 @@ __all__ = [
     "child_main",
     "read_result",
     "read_error",
+    "write_error",
+    "model_arrays",
 ]
 
 #: the small verification grid every job runs on (mirrors repro.lint)
 SHAPE, NBL, SPACE_ORDER = (12, 12, 12), 2, 4
 NRECEIVERS = 4
+
+#: registry key of the shared velocity model (see :func:`model_arrays`)
+VP_KEY = "model/vp"
+
+
+def model_arrays() -> dict:
+    """The read-only model arrays every job of a batch shares, by registry
+    key.  The pool publishes these into shared memory once per batch;
+    :func:`build_problem` falls back to computing them locally (bit-identical
+    by construction) when no shared registry is attached."""
+    from ..propagators import layered_velocity
+
+    return {VP_KEY: layered_velocity(SHAPE, 1.5, 3.0, 3)}
 
 
 def make_schedule(kind: str):
@@ -66,8 +81,13 @@ def make_schedule(kind: str):
     return WavefrontSchedule(tile=(8, 8), block=(4, 4), height=2)
 
 
-def build_problem(spec: JobSpec):
-    """(propagator, dt) for *spec* — deterministic in the spec alone."""
+def build_problem(spec: JobSpec, shared=None):
+    """(propagator, dt) for *spec* — deterministic in the spec alone.
+
+    *shared* optionally maps registry keys to zero-copy read-only arrays
+    (a warm worker's shared-memory attachments); absent keys are computed
+    locally, producing bit-identical values by construction.
+    """
     from ..propagators import (
         AcousticPropagator,
         ElasticPropagator,
@@ -78,7 +98,9 @@ def build_problem(spec: JobSpec):
         receiver_line,
     )
 
-    vp = layered_velocity(SHAPE, 1.5, 3.0, 3)
+    vp = shared.get(VP_KEY) if shared else None
+    if vp is None:
+        vp = layered_velocity(SHAPE, 1.5, 3.0, 3)
     kwargs = {}
     if spec.example == "tti":
         kwargs = dict(epsilon=0.12, delta=0.05, theta=0.35, phi=0.4)
@@ -116,6 +138,7 @@ def execute_attempt(
     resume: bool = False,
     chaos: Optional[ChaosEntry] = None,
     breaker=None,
+    warm=None,
 ) -> Tuple[Optional[np.ndarray], dict]:
     """Run one attempt of *spec* in the current process.
 
@@ -123,9 +146,15 @@ def execute_attempt(
     (InjectedFault, NumericalBlowup, ...) — classification is the caller's
     business.  A corrupt checkpoint is *not* fatal: the store is discarded
     and the attempt restarts from scratch, preserving forward progress.
+
+    *warm* is an optional :class:`~repro.jobs.warm.WarmState`: its shared
+    arrays feed :func:`build_problem` zero-copy, its family step cache lets
+    the wavefront tile geometry persist across jobs, and the meta gains the
+    warm/cold attribution (worker id, warmth flag, per-phase seconds, cache
+    hit/miss tallies) the pool's benchmark and telemetry report.
     """
     job_dir = Path(job_dir)
-    prop, dt = build_problem(spec)
+    prop, dt = build_problem(spec, shared=warm.shared if warm else None)
     store = FileCheckpointStore(_checkpoint_dir(job_dir), keep=2)
     resumed_from = None
     if resume:
@@ -160,19 +189,45 @@ def execute_attempt(
             health=health,
             telemetry=telemetry,
             breaker=breaker,
+            step_cache=warm.step_cache(spec) if warm else None,
         )
     fallbacks = [
         {"failed": ev.attrs.get("failed"), "degraded_to": ev.attrs.get("degraded_to")}
         for ev in telemetry.events
         if ev.name == "engine.fallback"
     ]
+    ph = telemetry.phase_seconds
+    counters = telemetry.counters
     meta = {
         "engine": plan.sweeps[0].engine,
         "fallbacks": fallbacks,
         "resumed_from": resumed_from,
         "attempt": attempt,
-        "checkpoint_saves": int(telemetry.counters["checkpoint_saves"]),
+        "checkpoint_saves": int(counters["checkpoint_saves"]),
+        # warm/cold attribution: which daemon ran it, whether its caches
+        # were already hot, where the attempt's time went, and what the
+        # kernel/step caches did (spawn latency is stamped by the daemon)
+        "worker": warm.worker_id if warm else None,
+        "warm": bool(warm and warm.jobs_done > 0),
+        "phases": {
+            "compile": ph.get("precompute", 0.0),
+            "compute": (
+                ph.get("stencil", 0.0)
+                + ph.get("injection", 0.0)
+                + ph.get("receivers", 0.0)
+                + ph.get("other", 0.0)
+            ),
+            "io": ph.get("checkpoint+guard", 0.0),
+        },
+        "caches": {
+            "kernel_hits": int(counters["kernel_cache_hits"]),
+            "kernel_misses": int(counters["kernel_cache_misses"]),
+            "step_hits": int(counters["step_cache_hits"]),
+            "step_misses": int(counters["step_cache_misses"]),
+        },
     }
+    if warm is not None:
+        warm.jobs_done += 1
     return rec, meta
 
 
@@ -231,6 +286,21 @@ def read_result(job_dir) -> Optional[Tuple[Optional[np.ndarray], dict]]:
     return rec, meta
 
 
+def write_error(job_dir, attempt: int, exc: BaseException) -> None:
+    """Pickle *exc* to the attempt's forensics file (atomic, SIGKILL-safe).
+
+    Warm daemons write this *before* reporting over their pipe, one-shot
+    workers before exiting nonzero — either way a visible file is a complete
+    file, and a worker that dies between write and report still leaves the
+    supervisor the evidence.
+    """
+    try:
+        payload = pickle.dumps(exc)
+    except Exception:
+        payload = pickle.dumps(RuntimeError(f"{type(exc).__name__}: {exc}"))
+    _atomic_write(_error_path(job_dir, attempt), lambda fh: fh.write(payload))
+
+
 def read_error(job_dir, attempt: int) -> Optional[BaseException]:
     """The worker's pickled exception for *attempt*, or None."""
     path = _error_path(job_dir, attempt)
@@ -250,9 +320,5 @@ def child_main(spec: JobSpec, job_dir, attempt: int, resume: bool, chaos) -> Non
         )
         write_result(job_dir, rec, meta)
     except BaseException as exc:  # noqa: BLE001 — everything crosses as a pickle
-        try:
-            payload = pickle.dumps(exc)
-        except Exception:
-            payload = pickle.dumps(RuntimeError(f"{type(exc).__name__}: {exc}"))
-        _atomic_write(_error_path(job_dir, attempt), lambda fh: fh.write(payload))
+        write_error(job_dir, attempt, exc)
         sys.exit(1)

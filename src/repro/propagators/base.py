@@ -73,6 +73,7 @@ class Propagator:
         strict_engine: bool = False,
         telemetry=None,
         breaker=None,
+        step_cache=None,
     ):
         """Run the forward model for *nt* steps (or *tn* ms) under *schedule*.
 
@@ -93,6 +94,9 @@ class Propagator:
         *not* reset — the run continues from the restored state.
         ``telemetry`` attaches a :class:`~repro.telemetry.Telemetry` buffer
         (phase-level timing, counters, optional per-instance trace spans).
+        ``step_cache`` overrides the operator's private step-plan cache with
+        a caller-owned dict — how warm workers persist wavefront tile
+        geometry across jobs whose operators are rebuilt per shot.
         """
         if dt is None:
             dt = self.critical_dt()
@@ -130,6 +134,7 @@ class Propagator:
             strict_engine=strict_engine,
             telemetry=telemetry,
             breaker=breaker,
+            step_cache=step_cache,
         )
         rec = self.receivers.data.copy() if self.receivers is not None else None
         return rec, plan

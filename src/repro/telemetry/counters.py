@@ -15,6 +15,14 @@ Counter taxonomy (all optional — absent means the producer never ran):
   path, support corners for the raw off-the-grid path).
 * ``view_cache_hits`` / ``view_cache_misses`` — the fused engine's memoised
   ``(t, box)`` view bindings (:class:`~repro.execution.evalbox.BoundSweep`).
+* ``kernel_cache_hits`` / ``kernel_cache_misses`` — process-wide compiled
+  RHS/sweep kernel lookups during operator binding
+  (:func:`repro.ir.pycodegen.kernel_cache_stats`); a warm worker's second
+  job of a family is all hits, which is the whole point of keeping it alive.
+* ``step_cache_hits`` / ``step_cache_misses`` — wavefront ``(tile, height)``
+  step-plan lookups per time tile (:mod:`repro.execution.executors`); hits
+  mean the tile geometry was replayed from a prior run (or a warm worker's
+  persistent family cache) instead of recomputed.
 * ``checkpoint_saves``, ``guard_ticks``, ``guard_checks``, ``faults_fired``
   — runtime-monitor activity (:mod:`repro.runtime`).
 * ``engine_fallbacks`` — fused→kernel→interp ladder transitions during

@@ -90,6 +90,16 @@ def render_phase_table(tel: Telemetry, title: str = "") -> str:
             "achieved intensity  : "
             f"{derived['intensity_flops_per_byte']:.3f} flop/byte (min-traffic model)"
         )
+    caches = []
+    for label, key in (
+        ("kernel", "kernel_cache"), ("step", "step_cache"), ("view", "view_cache")
+    ):
+        hits = int(tel.counters.get(f"{key}_hits", 0))
+        misses = int(tel.counters.get(f"{key}_misses", 0))
+        if hits or misses:
+            caches.append(f"{label} {hits}/{hits + misses}")
+    if caches:
+        lines.append("cache hits          : " + "  ".join(caches))
     return "\n".join(lines)
 
 

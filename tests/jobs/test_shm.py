@@ -1,0 +1,86 @@
+"""Shared-memory registry: zero-copy publish/attach, strict parent-side
+ownership of unlinking, and the no-leaked-``/dev/shm``-entries invariant."""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.jobs.shm import (
+    AttachedArrays,
+    SharedArrayHandle,
+    SharedArrayRegistry,
+    attach_array,
+    segment_exists,
+)
+
+
+def test_publish_attach_roundtrip_is_bit_identical():
+    rng = np.random.default_rng(7)
+    original = rng.standard_normal((6, 5, 4)).astype(np.float32)
+    registry = SharedArrayRegistry()
+    try:
+        handle = registry.publish("model/vp", original)
+        assert handle.key == "model/vp"
+        assert handle.shape == (6, 5, 4)
+        assert handle.nbytes == original.nbytes
+        view = attach_array(handle)
+        np.testing.assert_array_equal(view, original)
+    finally:
+        registry.close()
+
+
+def test_attached_views_are_read_only():
+    registry = SharedArrayRegistry()
+    try:
+        handle = registry.publish("grid", np.arange(12.0).reshape(3, 4))
+        view = attach_array(handle)
+        assert not view.flags.writeable
+        with pytest.raises(ValueError):
+            view[0, 0] = 99.0
+    finally:
+        registry.close()
+
+
+def test_handles_are_picklable_job_payloads():
+    # handles cross the dispatch pipe inside job payloads; the arrays must not
+    handle = SharedArrayHandle(key="k", name="psm_test", shape=(2, 3), dtype="<f4")
+    clone = pickle.loads(pickle.dumps(handle))
+    assert clone == handle
+    assert clone.nbytes == 24
+
+
+def test_close_unlinks_every_segment_and_is_idempotent():
+    registry = SharedArrayRegistry()
+    registry.publish("a", np.zeros(4))
+    registry.publish("b", np.ones((2, 2)))
+    names = registry.segment_names()
+    assert len(names) == 2
+    assert all(segment_exists(n) for n in names)
+    registry.close()
+    assert not any(segment_exists(n) for n in names)
+    registry.close()  # second close is a no-op, not an error
+
+
+def test_attached_arrays_close_releases_views():
+    registry = SharedArrayRegistry()
+    try:
+        handles = {"x": registry.publish("x", np.arange(8))}
+        attached = AttachedArrays(handles)
+        assert set(attached.arrays) == {"x"}
+        attached.close()
+        assert attached.arrays == {}
+    finally:
+        registry.close()
+
+
+def test_duplicate_key_is_rejected():
+    registry = SharedArrayRegistry()
+    try:
+        registry.publish("vp", np.zeros(2))
+        with pytest.raises(ValueError, match="duplicate"):
+            registry.publish("vp", np.zeros(2))
+    finally:
+        registry.close()
