@@ -94,6 +94,10 @@ def run_cell(workers: int, fault_rate: float, specs=None) -> dict:
         "cold_attempts": report.cold_attempts,
         "warm_over_cold": report.warm_over_cold(),
         "workers_spawned": report.workers_spawned,
+        # supervisor-robustness tallies: all zero in a healthy bench (the
+        # ok-assertion above already guarantees nothing was quarantined)
+        "quarantined": report.quarantined,
+        "hung_workers": report.hung_workers,
     }
 
 

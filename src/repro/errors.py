@@ -33,6 +33,9 @@ __all__ = [
     "JobTimeoutError",
     "WorkerCrashError",
     "RetryExhaustedError",
+    "JournalCorruptError",
+    "PoisonJobError",
+    "StreamAdmissionError",
     "StabilityWarning",
     "EngineFallbackWarning",
 ]
@@ -214,6 +217,46 @@ class RetryExhaustedError(JobError):
     Carries ``job_id`` and ``attempts`` — the full attempt history as a list
     of dicts (start/end times, outcome, error summary, engine, resume step)
     so the caller can reconstruct exactly what the pool tried.
+    """
+
+
+class JournalCorruptError(JobError, RuntimeError):
+    """A write-ahead batch journal record failed its integrity check.
+
+    Raised by :mod:`repro.jobs.journal` when a record's SHA-256 trailer does
+    not match its payload, the record sequence is discontinuous, or the file
+    cannot be parsed at all.  Carries ``path``, ``line`` (1-based line number
+    of the offending record) and ``reason``.  Resume recovers from the
+    longest verified prefix instead of trusting a torn tail — this error is
+    only *fatal* when no usable prefix exists (e.g. the batch header itself
+    is corrupt).
+    """
+
+
+class PoisonJobError(JobError):
+    """A job was quarantined: it repeatedly crashed the daemons serving it.
+
+    A spec that kills every fresh worker it lands on (a poison job) would
+    otherwise burn the pool's replacement budget — each crash costs a
+    prefork — without ever completing.  After ``poison_threshold``
+    *consecutive* crash outcomes the supervisor stops retrying and
+    quarantines the job with forensics attached: ``job_id``, ``crashes``
+    (the consecutive-crash count), ``attempts`` (the full attempt history as
+    dicts) and ``job_dir`` (where the per-attempt forensics files live).
+    """
+
+
+class StreamAdmissionError(JobError):
+    """A user-supplied spec stream raised while being pulled.
+
+    The streaming admission front-end pulls specs lazily from caller-owned
+    iterators; an exception from ``next()`` is the caller's bug, not the
+    batch's.  Instead of propagating out of ``JobPool.run()`` and abandoning
+    in-flight jobs, the pool drops the broken stream, records this error on
+    the report, and drains every already-admitted job to a terminal state —
+    only the jobs the stream never yielded are lost.  Carries ``admitted``
+    (specs successfully admitted from the stream before it broke) and
+    ``reason`` (the underlying exception, rendered).
     """
 
 

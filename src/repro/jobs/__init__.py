@@ -27,11 +27,26 @@ lanes)::
     pool.submit(spec_generator())   # any non-JobSpec iterable is a stream
     report = pool.run()
 
+The batch itself is crash-safe: every state transition is write-ahead
+journaled (``journal.jsonl`` in the batch workdir, fsynced, SHA-256
+trailers), so a supervisor killed mid-batch — OOM, SIGKILL, power — is
+resumable bit-identically::
+
+    pool = JobPool.resume("path/to/batchdir")   # or: --resume on the CLI
+    report = pool.run()
+    assert report.resumed and report.ok
+
+SIGTERM/SIGINT drain gracefully (in-flight attempts finish, the rest is
+journaled ``interrupted`` and resumable); livelocked daemons are detected
+by heartbeat silence and replaced; poison jobs that crash every daemon are
+quarantined with forensics instead of retried forever.
+
 Command line: ``python -m repro.jobs --help`` (chaos knobs included).
 """
 
 from .breaker import CircuitBreaker
 from .chaos import ChaosConfig, ChaosEntry, ChaosPlan
+from .journal import JOURNAL_NAME, BatchJournal, JournalReplay, load_journal
 from .pool import DEFAULT_CAPACITY, JobPool, run_batch
 from .retry import RetryPolicy
 from .shm import SharedArrayHandle, SharedArrayRegistry, attach_array
@@ -65,6 +80,10 @@ __all__ = [
     "SharedArrayHandle",
     "SharedArrayRegistry",
     "attach_array",
+    "BatchJournal",
+    "JournalReplay",
+    "load_journal",
+    "JOURNAL_NAME",
     "WarmState",
     "WarmWorker",
     "build_problem",

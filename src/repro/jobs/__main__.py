@@ -6,12 +6,21 @@ Usage::
     python -m repro.jobs --jobs 16 --fault-rate 0.2 --kill-workers 1 --verify
     python -m repro.jobs --jobs 8 --example mixed --schedule naive --json
     python -m repro.jobs --jobs 64 --stream --lane bulk --tenant-quota 8
+    python -m repro.jobs --resume path/to/batchdir --verify    # crashed batch
 
 Each job is one shot of a miniature survey: the paper's small verification
 propagator with a seed-perturbed source position.  ``--fault-rate`` /
-``--break-rate`` / ``--kill-workers`` arm the chaos harness; ``--verify``
-re-runs every completed job's spec serially, fault-free, in-process and
-checks the pool's receivers are **bit-identical** — the chaos gate CI runs.
+``--break-rate`` / ``--kill-workers`` / ``--hang-workers`` /
+``--poison-jobs`` / ``--kill-supervisor-after`` arm the chaos harness;
+``--verify`` re-runs every completed job's spec serially, fault-free,
+in-process and checks the pool's receivers are **bit-identical** — the
+chaos gate CI runs.
+
+``--resume BATCH_DIR`` replays the write-ahead journal of an interrupted
+batch (supervisor SIGKILLed, OOM-killed, or gracefully drained by
+SIGTERM/SIGINT): durable verified results are kept, everything else is
+re-admitted and in-flight jobs continue from their newest checkpoint —
+with ``--verify``, provably bit-identical to an uninterrupted batch.
 
 Exit code 0 iff every submitted job completed (and, with ``--verify``,
 matched); 1 otherwise.
@@ -73,8 +82,9 @@ def main(argv: List[str] = None) -> int:
     )
     parser.add_argument("--nt", type=int, default=64, help="timesteps per job (default: 64)")
     parser.add_argument(
-        "--workers", type=int, default=4,
-        help="worker processes; 0 = serial in-process (default: 4)",
+        "--workers", type=int, default=None,
+        help="worker processes; 0 = serial in-process "
+        "(default: 4, or the journaled batch header with --resume)",
     )
     parser.add_argument("--seed", type=int, default=0, help="batch master seed")
     parser.add_argument(
@@ -113,6 +123,42 @@ def main(argv: List[str] = None) -> int:
         help="SIGKILL this many attempt-0 workers after their first checkpoint",
     )
     parser.add_argument(
+        "--hang-workers", type=int, default=0,
+        help="wedge the daemons of this many jobs on attempt 0 "
+        "(heartbeat-silent livelock the supervisor must detect)",
+    )
+    parser.add_argument(
+        "--hang-seconds", type=float, default=30.0,
+        help="how long a chaos-hung daemon stays silent (default: 30)",
+    )
+    parser.add_argument(
+        "--poison-jobs", type=int, default=0,
+        help="this many jobs hard-crash every daemon on every attempt "
+        "(must end quarantined)",
+    )
+    parser.add_argument(
+        "--kill-supervisor-after", type=int, default=None,
+        help="SIGKILL the supervisor itself once this many jobs are "
+        "terminal (resume the batch dir afterwards with --resume)",
+    )
+    parser.add_argument(
+        "--heartbeat-timeout", type=float, default=60.0,
+        help="SIGKILL a busy daemon silent this long (seconds; default: 60)",
+    )
+    parser.add_argument(
+        "--heartbeat-interval", type=float, default=0.25,
+        help="daemon liveness beat cadence in seconds (default: 0.25)",
+    )
+    parser.add_argument(
+        "--poison-threshold", type=int, default=3,
+        help="consecutive daemon crashes before a job is quarantined",
+    )
+    parser.add_argument(
+        "--resume", metavar="BATCH_DIR", default=None,
+        help="resume an interrupted batch from its write-ahead journal "
+        "instead of submitting a new one",
+    )
+    parser.add_argument(
         "--breaker-threshold", type=int, default=0,
         help="attach a fused-engine circuit breaker with this trip threshold (0 = off)",
     )
@@ -127,34 +173,51 @@ def main(argv: List[str] = None) -> int:
     parser.add_argument("--json", action="store_true", help="JSON report on stdout")
     args = parser.parse_args(argv)
 
-    chaos = None
-    if args.fault_rate or args.break_rate or args.kill_workers:
-        chaos = ChaosConfig(
-            fault_rate=args.fault_rate,
-            break_rate=args.break_rate,
-            kill_workers=args.kill_workers,
-        )
-    breaker = (
-        CircuitBreaker(threshold=args.breaker_threshold)
-        if args.breaker_threshold > 0
-        else None
-    )
-    pool = JobPool(
-        workers=args.workers,
-        capacity=args.capacity,
-        retry=RetryPolicy(),
-        breaker=breaker,
-        chaos=chaos,
-        batch_seed=args.seed,
-        workdir=args.workdir,
-        tenant_quota=args.tenant_quota,
-    )
-    specs = build_specs(args)
-    if args.stream:
-        pool.submit(iter(specs))
+    if args.resume is not None:
+        pool = JobPool.resume(args.resume, workers=args.workers)
     else:
-        for spec in specs:
-            pool.submit(spec)
+        chaos = None
+        if (
+            args.fault_rate
+            or args.break_rate
+            or args.kill_workers
+            or args.hang_workers
+            or args.poison_jobs
+            or args.kill_supervisor_after is not None
+        ):
+            chaos = ChaosConfig(
+                fault_rate=args.fault_rate,
+                break_rate=args.break_rate,
+                kill_workers=args.kill_workers,
+                hang_workers=args.hang_workers,
+                hang_seconds=args.hang_seconds,
+                poison_jobs=args.poison_jobs,
+                kill_supervisor_after=args.kill_supervisor_after,
+            )
+        breaker = (
+            CircuitBreaker(threshold=args.breaker_threshold)
+            if args.breaker_threshold > 0
+            else None
+        )
+        pool = JobPool(
+            workers=4 if args.workers is None else args.workers,
+            capacity=args.capacity,
+            retry=RetryPolicy(),
+            breaker=breaker,
+            chaos=chaos,
+            batch_seed=args.seed,
+            workdir=args.workdir,
+            tenant_quota=args.tenant_quota,
+            heartbeat_interval=args.heartbeat_interval,
+            heartbeat_timeout=args.heartbeat_timeout,
+            poison_threshold=args.poison_threshold,
+        )
+        specs = build_specs(args)
+        if args.stream:
+            pool.submit(iter(specs))
+        else:
+            for spec in specs:
+                pool.submit(spec)
     report = pool.run()
 
     verified = None
@@ -202,6 +265,21 @@ def main(argv: List[str] = None) -> int:
             f"{report.wall_seconds:.2f}s — {report.throughput:.2f} jobs/s "
             f"on {report.workers} worker(s)"
         )
+        notes = []
+        if report.resumed:
+            notes.append("resumed from journal")
+        if report.drained:
+            notes.append(
+                f"drained ({report.interrupted} interrupted, resumable)"
+            )
+        if report.quarantined:
+            notes.append(f"{report.quarantined} quarantined")
+        if report.hung_workers:
+            notes.append(f"{report.hung_workers} hung daemon(s) replaced")
+        if notes:
+            print("; ".join(notes))
+        for err in report.stream_errors:
+            print(f"stream error: {err}")
         if report.workers > 0:
             warmth = f"{report.warm_attempts} warm / {report.cold_attempts} cold"
             ratio = report.warm_over_cold()

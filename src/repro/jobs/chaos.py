@@ -24,11 +24,29 @@ Three kinds of injected trouble:
   that many attempt-0 workers, each as soon as its job has persisted its
   first checkpoint (guaranteeing the kill lands mid-run *and* that the
   retry is a genuine resume, not a restart).
+* **daemon hangs** (``hang_workers``) — the daemons of the first that many
+  jobs wedge on attempt 0: heartbeats stop and the daemon sleeps
+  ``hang_seconds``, simulating a livelock below the job deadline.  The
+  supervisor's heartbeat liveness check must detect the silence, SIGKILL
+  the daemon, prefork a replacement and retry the job — a hang must cost
+  one heartbeat timeout, never a stalled lane.
+* **poison jobs** (``poison_jobs``) — the first that many jobs hard-exit
+  (``os._exit``) every daemon they are dispatched to, on *every* attempt.
+  This is the pathology quarantine exists for: the supervisor must stop
+  retrying after ``poison_threshold`` consecutive crashes and quarantine
+  the job with forensics instead of burning the replacement budget.
+* **supervisor kill** (``kill_supervisor_after``) — the *supervisor*
+  SIGKILLs itself once that many jobs have reached a terminal state,
+  simulating an OOM-killed parent mid-batch.  Exercised from a subprocess:
+  the orphaned batch directory must then resume via ``JobPool.resume`` /
+  ``--resume`` to 100% completion, bit-identical.
 
-Faults and breakage arm on attempt 0 only: a retry must make forward
-progress, and the chaos gate's contract — every job completes with
+Faults, breakage and hangs arm on attempt 0 only: a retry must make
+forward progress, and the chaos gate's contract — every job completes with
 receivers bit-identical to a fault-free serial run — depends on retries
-running clean from the recovered checkpoint.
+running clean from the recovered checkpoint.  Poison jobs are the
+deliberate exception (a poison job is one that *never* stops crashing),
+which is why their terminal state is quarantine, not completion.
 """
 
 from __future__ import annotations
@@ -59,6 +77,18 @@ class ChaosConfig:
     #: number of attempt-0 workers the supervisor SIGKILLs (after their
     #: first checkpoint lands on disk)
     kill_workers: int = 0
+    #: the daemons of the first this many jobs (by submission index) wedge
+    #: on attempt 0: heartbeats stop and the daemon sleeps ``hang_seconds``
+    hang_workers: int = 0
+    #: how long a chaos-hung daemon sleeps (it resumes normal service
+    #: afterwards, so an undetected hang degrades to slowness, not deadlock)
+    hang_seconds: float = 30.0
+    #: the first this many jobs hard-exit every daemon they run on, on
+    #: every attempt — the quarantine pathology
+    poison_jobs: int = 0
+    #: SIGKILL the supervisor itself once this many jobs are terminal
+    #: (None = never); simulates an OOM-killed parent for resume tests
+    kill_supervisor_after: Optional[int] = None
 
     def __post_init__(self):
         if not 0.0 <= self.fault_rate <= 1.0:
@@ -67,13 +97,28 @@ class ChaosConfig:
             raise ValueError("break_rate must be in [0, 1]")
         if self.kill_workers < 0:
             raise ValueError("kill_workers must be >= 0")
+        if self.hang_workers < 0:
+            raise ValueError("hang_workers must be >= 0")
+        if self.hang_seconds <= 0:
+            raise ValueError("hang_seconds must be positive")
+        if self.poison_jobs < 0:
+            raise ValueError("poison_jobs must be >= 0")
+        if self.kill_supervisor_after is not None and self.kill_supervisor_after < 1:
+            raise ValueError("kill_supervisor_after must be >= 1 (or None)")
         for kind in self.kinds:
             if kind not in ("raise", "nan", "inf"):
                 raise ValueError(f"unknown fault kind {kind!r}")
 
     @property
     def active(self) -> bool:
-        return self.fault_rate > 0 or self.break_rate > 0 or self.kill_workers > 0
+        return (
+            self.fault_rate > 0
+            or self.break_rate > 0
+            or self.kill_workers > 0
+            or self.hang_workers > 0
+            or self.poison_jobs > 0
+            or self.kill_supervisor_after is not None
+        )
 
 
 @dataclass
@@ -86,6 +131,11 @@ class ChaosEntry:
     #: seed of the injector's corruption stream
     fault_seed: int = 0
     break_fused: bool = False
+    #: > 0 ⇒ the attempt-0 daemon wedges (heartbeats stop) for this long
+    hang_seconds: float = 0.0
+    #: True ⇒ the job hard-exits its daemon on every attempt (quarantine
+    #: fodder; daemon-only — the serial executor ignores it)
+    poison: bool = False
 
     @property
     def needs_guard(self) -> bool:
@@ -116,5 +166,10 @@ class ChaosPlan:
             t = int(rng.integers(max(1, nt // 10), max(2, nt)))
             entry.fault = {"t": t, "kind": kind, "message": "chaos fault"}
         entry.break_fused = bool(rng.random() < self.config.break_rate)
+        # hang/poison target the first N submission indices: budgets, not
+        # rates, so a test or smoke names exactly how many lanes suffer
+        if job_index < self.config.hang_workers:
+            entry.hang_seconds = float(self.config.hang_seconds)
+        entry.poison = job_index < self.config.poison_jobs
         self._entries[key] = entry
         return entry

@@ -40,7 +40,39 @@ Every fault domain of the process-per-attempt design is preserved:
   rung.
 * **chaos** — a :class:`~repro.jobs.chaos.ChaosConfig` arms per-job fault
   injection inside daemons and lets the supervisor SIGKILL the daemon of an
-  attempt-0 job right after its first checkpoint lands.
+  attempt-0 job right after its first checkpoint lands — or SIGKILL the
+  *supervisor itself* (``kill_supervisor_after``), the crash :meth:`resume`
+  exists to survive.
+
+And — new in this revision — the *supervisor* is no longer a single point
+of failure:
+
+* **write-ahead journal** — every state transition (admission, attempt
+  dispatch, outcome, terminal state, published shared-memory segments) is
+  appended to ``journal.jsonl`` in the batch workdir *before* it is
+  performed, fsynced, with a per-record SHA-256 trailer
+  (:mod:`repro.jobs.journal`).
+* **crash-safe resume** — :meth:`JobPool.resume` replays the journal of an
+  orphaned batch directory: jobs whose ``result.npz`` is durable and
+  digest-verified are preloaded as completed, terminal failures are
+  reconstructed, everything else is re-admitted (in-flight attempts resume
+  from their newest verified checkpoint snapshot), and the leaked
+  ``/dev/shm`` segments of the dead supervisor are unlinked.  The resumed
+  batch produces receivers bit-identical to an uninterrupted run.
+* **graceful drain** — SIGTERM/SIGINT stop dispatch, let in-flight attempts
+  finish, journal the drain and report unfinished jobs as ``interrupted``
+  (resumable); a second signal is answered the same way (idempotent).
+* **heartbeat liveness** — busy daemons beat every ``heartbeat_interval``
+  seconds; a busy daemon silent longer than ``heartbeat_timeout`` is
+  wedged (native-call livelock), SIGKILLed, replaced, and its job retried
+  from checkpoint.
+* **poison-job quarantine** — a spec whose attempts *crash* the daemon
+  ``poison_threshold`` times consecutively is quarantined
+  (:class:`~repro.errors.PoisonJobError` with forensics) instead of burning
+  the replacement budget forever.
+* **stream isolation** — a user spec iterator that raises mid-pull becomes
+  a :class:`~repro.errors.StreamAdmissionError` on the report; already
+  admitted jobs drain to terminal states instead of being abandoned.
 
 ``workers=0`` runs the same job/retry/chaos state machine serially in the
 current process (no kills, post-hoc deadlines) with its own
@@ -52,6 +84,8 @@ from __future__ import annotations
 
 import heapq
 import multiprocessing
+import os
+import signal
 import time
 from collections import deque
 from multiprocessing import connection as mp_connection
@@ -60,12 +94,16 @@ from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 from ..errors import (
     JobTimeoutError,
+    PoisonJobError,
     QueueSaturatedError,
     RetryExhaustedError,
+    StreamAdmissionError,
     WorkerCrashError,
 )
+from ..runtime.integrity import file_digest, verify_digest, write_digest
 from .breaker import CircuitBreaker
 from .chaos import ChaosConfig, ChaosPlan
+from .journal import JOURNAL_NAME, JOURNAL_VERSION, BatchJournal, load_journal
 from .retry import RetryPolicy
 from .spec import AttemptRecord, BatchReport, JobResult, JobSpec
 from .warm import WarmState, WarmWorker
@@ -91,6 +129,13 @@ class _Job:
         self.dispatched_engine = ""
         self.result: Optional[JobResult] = None
         self.chaos_killed = False
+        #: consecutive daemon-crash outcomes (quarantine trigger; survives
+        #: resume via the journal's outcome records)
+        self.consecutive_crashes = 0
+        #: a journal replay found an attempt in flight at the crash: the
+        #: next dispatch must resume from checkpoint even though no failure
+        #: outcome was ever journaled
+        self.force_resume = False
 
     @property
     def terminal(self) -> bool:
@@ -116,6 +161,7 @@ class _Stream:
         self.it = iter(specs)
         self.held: Optional[JobSpec] = None
         self.done = False
+        self.admitted = 0  # specs successfully admitted from this stream
 
     def next_spec(self) -> Optional[JobSpec]:
         if self.held is not None:
@@ -142,6 +188,24 @@ def _degrade(spec: JobSpec) -> JobSpec:
     from dataclasses import replace
 
     return spec if spec.schedule == "naive" else replace(spec, schedule="naive")
+
+
+def _durable_result(job_dir: Path, digest: Optional[str]):
+    """The journal-verified durable result of *job_dir*, or None.
+
+    Trusted only when ``result.npz`` exists, matches its ``.sha256``
+    sidecar, *and* matches the digest the journal's completion outcome
+    recorded — a torn write, on-disk damage, or a file from some other run
+    all fail the cross-check and send the job back to execution."""
+    path = worker_mod._result_path(job_dir)
+    if not path.exists() or not verify_digest(path, require=True):
+        return None
+    if digest is not None and file_digest(path) != digest:
+        return None
+    try:
+        return worker_mod.read_result(job_dir)
+    except Exception:
+        return None
 
 
 def _resume_step(job_dir: Path) -> Optional[int]:
@@ -187,6 +251,22 @@ class JobPool:
         :meth:`submit` over it raises
         :class:`~repro.errors.QueueSaturatedError`, a stream holding a spec
         of a saturated tenant stalls until the tenant drains.
+    journal:
+        Write-ahead journal every state transition to
+        ``<workdir>/journal.jsonl`` (default on; a pre-existing journal from
+        an earlier batch in the same workdir is truncated — use
+        :meth:`resume` to continue one instead).
+    journal_fsync:
+        fsync each journal record (default on — the crash-safety contract;
+        turn off only for throughput experiments).
+    heartbeat_interval:
+        Seconds between liveness beats of a busy daemon.
+    heartbeat_timeout:
+        A busy daemon silent this long is declared wedged: SIGKILLed,
+        replaced, its job retried from checkpoint.  ``None`` disables the
+        check.
+    poison_threshold:
+        Consecutive daemon-crash outcomes before a job is quarantined.
     """
 
     def __init__(
@@ -203,6 +283,11 @@ class JobPool:
         pressure_fraction: float = 0.5,
         start_method: Optional[str] = None,
         tenant_quota: Optional[int] = None,
+        journal: bool = True,
+        journal_fsync: bool = True,
+        heartbeat_interval: float = 0.25,
+        heartbeat_timeout: Optional[float] = 60.0,
+        poison_threshold: int = 3,
     ):
         if workers < 0:
             raise ValueError("workers must be >= 0 (0 = serial in-process)")
@@ -210,6 +295,12 @@ class JobPool:
             raise ValueError("capacity must be >= 1")
         if tenant_quota is not None and tenant_quota < 1:
             raise ValueError("tenant_quota must be >= 1 (or None)")
+        if heartbeat_interval <= 0:
+            raise ValueError("heartbeat_interval must be positive")
+        if heartbeat_timeout is not None and heartbeat_timeout <= 0:
+            raise ValueError("heartbeat_timeout must be positive (or None)")
+        if poison_threshold < 1:
+            raise ValueError("poison_threshold must be >= 1")
         self.workers = int(workers)
         self.capacity = int(capacity)
         self.tenant_quota = tenant_quota
@@ -255,6 +346,52 @@ class JobPool:
         #: chronological lifecycle events: {"ts", "kind", "job", ...}
         self.events: List[dict] = []
         self._epoch = time.perf_counter()
+        # supervisor robustness state
+        self.heartbeat_interval = float(heartbeat_interval)
+        self.heartbeat_timeout = (
+            None if heartbeat_timeout is None else float(heartbeat_timeout)
+        )
+        self.poison_threshold = int(poison_threshold)
+        self.hung_workers = 0
+        self.resumed = False
+        self._stream_errors: List[str] = []
+        self._draining = False
+        self._drain_signal: Optional[int] = None
+        self._terminals = 0
+        self._journal: Optional[BatchJournal] = None
+        if journal:
+            # a fresh pool owns its journal outright: truncate whatever an
+            # earlier batch left in this workdir (resume() reattaches
+            # instead, past the verified prefix)
+            self._journal = BatchJournal(
+                self.workdir / JOURNAL_NAME, fsync=journal_fsync, truncate_to=0
+            )
+            self._journal_append(
+                "batch",
+                version=JOURNAL_VERSION,
+                batch_seed=self.batch_seed,
+                workers=self.workers,
+                capacity=self.capacity,
+                tenant_quota=self.tenant_quota,
+                retry={
+                    "base": self.retry.base,
+                    "factor": self.retry.factor,
+                    "max_delay": self.retry.max_delay,
+                    "jitter": self.retry.jitter,
+                },
+                heartbeat_interval=self.heartbeat_interval,
+                heartbeat_timeout=self.heartbeat_timeout,
+                poison_threshold=self.poison_threshold,
+                chaos_active=self.chaos_plan is not None,
+            )
+
+    def _journal_append(self, kind: str, **payload) -> None:
+        """Durably journal one record (no-op when journaling is off)."""
+        if self._journal is None:
+            return
+        self._journal.append(kind, **payload)
+        if self.telemetry is not None:
+            self.telemetry.counters.add("journal_records")
 
     # -- admission ---------------------------------------------------------------------
     def _active(self) -> int:
@@ -310,6 +447,10 @@ class JobPool:
             job_dir=job_dir,
             jitter_rng=self.retry.rng_for(self.batch_seed, len(self._jobs)),
         )
+        self._journal_append(
+            "admit", job=spec.job_id, index=job.index, streamed=streamed,
+            spec=spec.to_dict(),
+        )
         self._jobs.append(job)
         self._by_id[spec.job_id] = job
         self._tenant_active[spec.tenant] = self._tenant_load(spec.tenant) + 1
@@ -324,11 +465,23 @@ class JobPool:
 
     def _pump_streams(self) -> bool:
         """Pull specs from registered streams while admission allows;
-        True if anything was admitted."""
+        True if anything was admitted.
+
+        A stream whose iterator raises is the *caller's* bug, not the
+        batch's: the broken stream is dropped and recorded as a
+        :class:`~repro.errors.StreamAdmissionError` on the report, while
+        every job it already yielded drains to a terminal state — only the
+        specs it never produced are lost.
+        """
         admitted = False
         while self._streams and self._active() < self.capacity:
             stream: _Stream = self._streams[0]
-            spec = stream.next_spec()
+            try:
+                spec = stream.next_spec()
+            except Exception as exc:  # noqa: BLE001 — caller-owned iterator
+                self._stream_failed(stream, exc)
+                self._streams.popleft()
+                continue
             if spec is None:
                 self._streams.popleft()
                 continue
@@ -339,8 +492,24 @@ class JobPool:
                 stream.held = spec  # park it; the stream stalls until drain
                 break
             self._admit(spec, streamed=True)
+            stream.admitted += 1
             admitted = True
         return admitted
+
+    def _stream_failed(self, stream: _Stream, exc: BaseException) -> None:
+        reason = f"{type(exc).__name__}: {exc}"
+        err = StreamAdmissionError(
+            f"spec stream raised while being pulled ({reason}); dropping the "
+            f"stream after {stream.admitted} admitted job(s)",
+            admitted=stream.admitted,
+            reason=reason,
+        )
+        err.__cause__ = exc
+        self._stream_errors.append(str(err))
+        self._journal_append(
+            "stream_failed", admitted=stream.admitted, reason=reason
+        )
+        self._emit_pool("stream_failed", admitted=stream.admitted, error=reason)
 
     # -- events ------------------------------------------------------------------------
     def _emit(self, kind: str, job: _Job, **info) -> None:
@@ -355,6 +524,20 @@ class JobPool:
         if self.telemetry is not None:
             self.telemetry.counters.add(f"jobs_{kind}")
             self.telemetry.event(f"job.{kind}", phase="other", job=job.spec.job_id, **info)
+
+    def _emit_pool(self, kind: str, **info) -> None:
+        """A batch-scoped event attributable to no single job or worker."""
+        self.events.append(
+            {
+                "ts": time.perf_counter() - self._epoch,
+                "kind": kind,
+                "job": "",
+                **info,
+            }
+        )
+        if self.telemetry is not None:
+            self.telemetry.counters.add(f"jobs_{kind}")
+            self.telemetry.event(f"job.{kind}", phase="other", **info)
 
     def _emit_worker(self, kind: str, worker_id: int, **info) -> None:
         self.events.append(
@@ -379,7 +562,28 @@ class JobPool:
         self._tenant_active[job.spec.tenant] = max(
             0, self._tenant_load(job.spec.tenant) - 1
         )
+        self._journal_append(
+            "terminal",
+            job=job.spec.job_id,
+            status=result.status,
+            attempts=len(job.attempts),
+            error=f"{type(result.error).__name__}: {result.error}"
+            if result.error
+            else "",
+        )
         self._emit(kind, job, **info)
+        self._terminals += 1
+        self._chaos_kill_supervisor()
+
+    def _chaos_kill_supervisor(self) -> None:
+        """Chaos ``kill_supervisor_after``: SIGKILL *this* process once N
+        jobs are terminal — the journal records just fsynced are all a
+        resume gets, exactly like an OOM-killed parent."""
+        if self.chaos_plan is None:
+            return
+        threshold = self.chaos_plan.config.kill_supervisor_after
+        if threshold is not None and self._terminals >= threshold:
+            os.kill(os.getpid(), signal.SIGKILL)
 
     def _complete(self, job: _Job, rec, meta: dict, now: float) -> None:
         record = job.attempts[-1]
@@ -393,6 +597,20 @@ class JobPool:
         record.caches = dict(meta.get("caches", {}))
         self._count_warmth(record)
         self._breaker_feedback(job, meta)
+        # make the result durable *before* journaling the outcome: the
+        # outcome record carries the file digest, so a resume trusts
+        # result.npz only when both the sidecar and the journal agree
+        worker_mod.write_result(job.dir, rec, meta)
+        digest = write_digest(worker_mod._result_path(job.dir))
+        self._journal_append(
+            "outcome",
+            job=job.spec.job_id,
+            attempt=record.attempt,
+            outcome="completed",
+            engine=record.engine,
+            digest=digest,
+        )
+        job.consecutive_crashes = 0
         self._finish(
             job,
             JobResult(
@@ -424,6 +642,12 @@ class JobPool:
         if job.attempts and not job.attempts[-1].outcome:
             job.attempts[-1].ended = now
             job.attempts[-1].outcome = "timeout"
+        self._journal_append(
+            "outcome",
+            job=job.spec.job_id,
+            attempt=job.attempts[-1].attempt if job.attempts else 0,
+            outcome="timeout",
+        )
         if self.breaker is not None and job.dispatched_engine == self.breaker.engine:
             self.breaker.record_inconclusive(job.dispatched_engine)
         err = JobTimeoutError(
@@ -444,12 +668,40 @@ class JobPool:
         record.ended = now
         record.outcome = outcome
         record.error = f"{type(error).__name__}: {error}"
+        self._journal_append(
+            "outcome",
+            job=job.spec.job_id,
+            attempt=record.attempt,
+            outcome=outcome,
+            error=record.error,
+        )
+        job.consecutive_crashes = (
+            job.consecutive_crashes + 1 if outcome == "crash" else 0
+        )
         if (
             outcome == "crash"
             and self.breaker is not None
             and job.dispatched_engine == self.breaker.engine
         ):
             self.breaker.record_inconclusive(job.dispatched_engine)
+        if job.consecutive_crashes >= self.poison_threshold:
+            err = PoisonJobError(
+                f"job {job.spec.job_id} quarantined: it crashed "
+                f"{job.consecutive_crashes} consecutive daemon(s); forensics "
+                f"under {job.dir}",
+                job_id=job.spec.job_id,
+                crashes=job.consecutive_crashes,
+                attempts=[a.to_dict() for a in job.attempts],
+                job_dir=str(job.dir),
+            )
+            err.__cause__ = error
+            self._finish(
+                job,
+                JobResult(spec=job.spec, status="quarantined", error=err),
+                "quarantined",
+                crashes=job.consecutive_crashes,
+            )
+            return
         if job.attempt_no + 1 >= job.spec.max_attempts:
             err = RetryExhaustedError(
                 f"job {job.spec.job_id} failed all {job.spec.max_attempts} attempt(s); "
@@ -462,7 +714,13 @@ class JobPool:
                          "exhausted", attempts=len(job.attempts))
             return
         job.attempt_no += 1
-        delay = self.retry.delay(job.attempt_no, job.jitter_rng)
+        # backoff never sleeps a job past its own deadline: cap the delay at
+        # the remaining budget (the jitter draw is consumed regardless, so
+        # the per-job backoff stream stays deterministic)
+        budget = None
+        if job.spec.deadline is not None and job.first_started is not None:
+            budget = job.spec.deadline - job.elapsed(now)
+        delay = self.retry.delay(job.attempt_no, job.jitter_rng, budget=budget)
         self._seq += 1
         heapq.heappush(self._delayed, (now + delay, self._seq, job))
         self._emit("retried", job, attempt=job.attempt_no, delay=delay, error=record.error)
@@ -486,7 +744,12 @@ class JobPool:
     def _spawn_worker(self) -> WarmWorker:
         self._worker_seq += 1
         self.workers_spawned += 1
-        worker = WarmWorker(self._ctx, self._worker_seq, self._handles)
+        worker = WarmWorker(
+            self._ctx,
+            self._worker_seq,
+            self._handles,
+            heartbeat_interval=self.heartbeat_interval,
+        )
         self._pool.append(worker)
         self._emit_worker("worker_spawned", worker.worker_id, pid=worker.proc.pid)
         return worker
@@ -523,6 +786,8 @@ class JobPool:
     def _replenish(self) -> None:
         """Prefork replacements for crashed/retired daemons while there is
         work left for them to do."""
+        if self._draining:
+            return  # no new daemons for work that will not dispatch
         want = min(self.workers, self._outstanding() + sum(w.busy for w in self._pool))
         while len(self._pool) < want:
             self._spawn_worker()
@@ -563,7 +828,7 @@ class JobPool:
             job.first_started = now
         spec = self._effective_spec(job, now)
         job.dispatched_engine = spec.engine
-        resume = job.attempt_no > 0
+        resume = job.attempt_no > 0 or job.force_resume
         entry = (
             self.chaos_plan.entry(job.index, spec.nt) if self.chaos_plan else None
         )
@@ -577,6 +842,16 @@ class JobPool:
         step = _resume_step(job.dir) if resume else None
         if step is not None:
             self._emit("resumed", job, step=step, attempt=job.attempt_no)
+        # write-ahead: the attempt is journaled before it crosses the pipe,
+        # so a supervisor crash can never lose track of an in-flight job
+        self._journal_append(
+            "attempt",
+            job=job.spec.job_id,
+            attempt=job.attempt_no,
+            engine=spec.engine,
+            resume=resume,
+            step=step,
+        )
         try:
             worker.dispatch(spec, str(job.dir), job.attempt_no, resume, entry)
         except (BrokenPipeError, OSError):
@@ -588,6 +863,7 @@ class JobPool:
             return self._dispatch(job, now)
         worker.job = job
         job.worker = worker
+        job.force_resume = False
         self._emit(
             "started", job, attempt=job.attempt_no, engine=spec.engine,
             worker=worker.worker_id,
@@ -642,9 +918,41 @@ class JobPool:
             self.kills_done += 1
             self._emit("killed", job, signal="SIGKILL", worker=worker.worker_id)
 
+    def _hung(self, worker: WarmWorker, now: float) -> None:
+        """A busy daemon went heartbeat-silent past ``heartbeat_timeout``:
+        alive to the OS, wedged in practice.  SIGKILL it, honour any result
+        that raced into the pipe, otherwise retry the job from checkpoint,
+        and let :meth:`_replenish` prefork a replacement."""
+        job = worker.job
+        silent = time.monotonic() - worker.last_beat
+        worker.proc.kill()
+        worker.proc.join()
+        late = worker.recv_nowait()
+        worker.job = None
+        self.hung_workers += 1
+        self._emit_worker(
+            "worker_hung", worker.worker_id, job=job.spec.job_id,
+            silent=round(silent, 3),
+        )
+        if late is not None and late[0] == "ok":
+            self._complete(job, late[3], late[4], now)
+        else:
+            hang = WorkerCrashError(
+                f"worker {worker.worker_id} serving job {job.spec.job_id} went "
+                f"heartbeat-silent for {silent:.2f}s (> "
+                f"{self.heartbeat_timeout}s): livelocked, killed",
+                job_id=job.spec.job_id,
+                exitcode=worker.exitcode,
+                attempt=job.attempts[-1].attempt,
+            )
+            self._fail_attempt(job, hang, "hang", now)
+        self._retire(worker)
+
     def _poll(self, now: float) -> bool:
         """One supervision sweep; True if any state changed."""
-        changed = self._pump_streams()
+        changed = False
+        if not self._draining:
+            changed = self._pump_streams()
         self._chaos_kill(now)
         for worker in list(self._pool):
             if not worker.busy:
@@ -678,6 +986,9 @@ class JobPool:
                     self._timeout(job, now)
                 self._retire(worker)
                 changed = True
+            elif worker.stalled(self.heartbeat_timeout):
+                self._hung(worker, now)
+                changed = True
         # promote delayed jobs whose backoff expired (or deadline died waiting)
         while self._delayed and self._delayed[0][0] <= now:
             _, _, job = heapq.heappop(self._delayed)
@@ -694,7 +1005,7 @@ class JobPool:
                 self._timeout(job, now)
                 changed = True
         self._replenish()
-        while self._ready:
+        while self._ready and not self._draining:
             _, _, job = self._ready[0]
             if not self._dispatch(job, now):
                 break
@@ -705,10 +1016,56 @@ class JobPool:
     def _busy_conns(self) -> List:
         return [w.conn for w in self._pool if w.busy and w.alive]
 
+    # -- graceful drain ----------------------------------------------------------------
+    def request_drain(self, signum: Optional[int] = None) -> None:
+        """Begin a graceful shutdown: stop pulling streams and dispatching
+        ready jobs, let in-flight attempts finish, then return a partial —
+        resumable — report with unfinished jobs marked ``interrupted``.
+
+        Called by the SIGTERM/SIGINT handlers :meth:`run` installs;
+        idempotent, safe from signal context (it only flips a flag and
+        appends — the drive loop does the actual winding down)."""
+        if self._draining:
+            return
+        self._draining = True
+        self._drain_signal = signum
+        self._journal_append("drain", signal=signum)
+        self._emit_pool("drain", signal=signum)
+
+    def _finish_interrupted(self) -> None:
+        """Terminal bookkeeping for every job the drain left unfinished —
+        ``interrupted`` is resumable: the journal has the admission, and the
+        checkpoints have the progress."""
+        for job in self._jobs:
+            if not job.terminal:
+                self._finish(
+                    job,
+                    JobResult(spec=job.spec, status="interrupted"),
+                    "interrupted",
+                    attempts=len(job.attempts),
+                )
+
     # -- the drive loop ----------------------------------------------------------------
+    def _install_signal_handlers(self) -> dict:
+        """SIGTERM/SIGINT → graceful drain while the batch runs.  Returns
+        the displaced handlers (restored in :meth:`run`'s ``finally``); a
+        no-op off the main thread, where Python forbids ``signal.signal``."""
+        previous = {}
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                previous[sig] = signal.signal(
+                    sig, lambda signum, frame: self.request_drain(signum)
+                )
+            except ValueError:  # not the main thread
+                break
+        return previous
+
     def run(self) -> BatchReport:
-        """Drive every admitted job (and stream) to a terminal state."""
+        """Drive every admitted job (and stream) to a terminal state — or,
+        under a drain signal, every in-flight attempt to completion and the
+        rest to ``interrupted``."""
         t0 = time.perf_counter()
+        previous_handlers = self._install_signal_handlers()
         try:
             if self.workers == 0:
                 self._run_serial()
@@ -716,19 +1073,36 @@ class JobPool:
                 self._publish_shared()
                 # prefork the daemon fleet once, before the first dispatch
                 self._replenish()
-                while (
-                    self._ready
-                    or self._delayed
-                    or any(w.busy for w in self._pool)
-                    or any(not s.exhausted for s in self._streams)
-                ):
+                while True:
+                    if self._draining:
+                        if not any(w.busy for w in self._pool):
+                            break
+                    elif not (
+                        self._ready
+                        or self._delayed
+                        or any(w.busy for w in self._pool)
+                        or any(not s.exhausted for s in self._streams)
+                    ):
+                        break
                     if not self._poll(time.perf_counter()):
                         conns = self._busy_conns()
                         if conns:  # wake on the first daemon report
                             mp_connection.wait(conns, timeout=self.poll_interval)
                         else:
                             time.sleep(self.poll_interval)
+            self._finish_interrupted()
+            self._journal_append(
+                "batch_end",
+                drained=self._draining,
+                completed=sum(1 for j in self._jobs if j.result and j.result.ok),
+                terminals=self._terminals,
+            )
         finally:
+            for sig, handler in previous_handlers.items():
+                signal.signal(sig, handler)
+            # the journal stays open: the pool outlives run() (submitting
+            # into freed capacity and running again is supported), and every
+            # append is already flushed/fsynced — closing is GC's job
             for worker in self._pool:  # never leak daemons
                 worker.shutdown()
             self._pool.clear()
@@ -747,11 +1121,17 @@ class JobPool:
             workers=self.workers,
             kills=self.kills_done,
             workers_spawned=self.workers_spawned,
+            drained=self._draining,
+            resumed=self.resumed,
+            hung_workers=self.hung_workers,
+            stream_errors=list(self._stream_errors),
         )
 
     def _publish_shared(self) -> None:
         """Publish the batch's read-only model arrays into shared memory
-        once; every daemon attaches them zero-copy at prefork."""
+        once; every daemon attaches them zero-copy at prefork.  The segment
+        names are journaled so a resumed supervisor can unlink what a
+        SIGKILLed predecessor (whose ``finally`` never ran) leaked."""
         from .shm import SharedArrayRegistry
 
         if self._registry is not None:
@@ -760,6 +1140,7 @@ class JobPool:
         for key, array in worker_mod.model_arrays().items():
             self._registry.publish(key, array)
         self._handles = self._registry.handles()
+        self._journal_append("shm", names=list(self._registry.segment_names()))
 
     # -- serial (workers=0) ------------------------------------------------------------
     def _run_serial(self) -> None:
@@ -770,9 +1151,9 @@ class JobPool:
         cross-job cache warmth a daemon enjoys."""
         warm = WarmState()
         self._pump_streams()
-        while self._ready:
+        while self._ready and not self._draining:
             _, _, job = heapq.heappop(self._ready)
-            while not job.terminal:
+            while not job.terminal and not self._draining:
                 now = time.perf_counter()
                 if job.first_started is None:
                     job.first_started = now
@@ -783,7 +1164,8 @@ class JobPool:
                 # consults the breaker itself (Operator._build_sweeps)
                 spec = self._effective_spec(job, now, reroute=False)
                 job.dispatched_engine = spec.engine
-                resume = job.attempt_no > 0
+                resume = job.attempt_no > 0 or job.force_resume
+                job.force_resume = False
                 entry = (
                     self.chaos_plan.entry(job.index, spec.nt)
                     if self.chaos_plan
@@ -799,6 +1181,10 @@ class JobPool:
                 step = _resume_step(job.dir) if resume else None
                 if step is not None:
                     self._emit("resumed", job, step=step, attempt=job.attempt_no)
+                self._journal_append(
+                    "attempt", job=job.spec.job_id, attempt=job.attempt_no,
+                    engine=spec.engine, resume=resume, step=step,
+                )
                 self._emit("started", job, attempt=job.attempt_no, engine=spec.engine)
                 try:
                     rec, meta = worker_mod.execute_attempt(
@@ -826,7 +1212,152 @@ class JobPool:
                     self._timeout(job, now)
                 else:
                     self._complete(job, rec, meta, now)
-            self._pump_streams()
+            if not self._draining:
+                self._pump_streams()
+
+    # -- crash-safe resume -------------------------------------------------------------
+    @classmethod
+    def resume(
+        cls,
+        batch_dir,
+        workers: Optional[int] = None,
+        telemetry=None,
+        poll_interval: float = 0.02,
+        start_method: Optional[str] = None,
+        journal_fsync: bool = True,
+    ) -> "JobPool":
+        """Reconstruct an interrupted batch from its journal; :meth:`run`
+        the returned pool to drive it to completion.
+
+        Replays the write-ahead journal of *batch_dir* (tolerating a torn
+        tail — the longest verified prefix wins, and the file is truncated
+        back to it before new records append), then:
+
+        * unlinks the ``/dev/shm`` segments the dead supervisor journaled
+          but — SIGKILLed before its ``finally`` — never unlinked;
+        * preloads every job whose ``result.npz`` is durable *and* verified
+          (digest sidecar plus the journal's recorded digest) as completed,
+          bit-identical to what the dead batch produced;
+        * reconstructs durable terminal failures (``timeout``/
+          ``exhausted``/``quarantined``) without re-running them;
+        * re-admits everything else with its journaled attempt budget and
+          consecutive-crash count; a job whose attempt was in flight at the
+          crash resumes from its newest verified checkpoint snapshot.
+
+        *workers* (and the other parameters) default to the journaled batch
+        header.  Chaos injection is deliberately **not** re-armed: the crash
+        the chaos config manufactured already happened — a resume runs
+        clean, which is also what keeps ``kill_supervisor_after`` from
+        re-killing every successor.
+        """
+        batch_dir = Path(batch_dir)
+        replay = load_journal(batch_dir / JOURNAL_NAME)
+        header = replay.header  # raises JournalCorruptError when unusable
+        # reclaim what the dead supervisor leaked into /dev/shm
+        from .shm import unlink_stale
+
+        reclaimed = []
+        for rec in replay.for_kind("shm"):
+            for name in rec.get("names", ()):
+                if unlink_stale(name):
+                    reclaimed.append(name)
+        retry_cfg = header.get("retry") or {}
+        pool = cls(
+            workers=header.get("workers", 4) if workers is None else workers,
+            capacity=header.get("capacity", DEFAULT_CAPACITY),
+            retry=RetryPolicy(**retry_cfg) if retry_cfg else None,
+            batch_seed=header.get("batch_seed", 0),
+            workdir=batch_dir,
+            telemetry=telemetry,
+            poll_interval=poll_interval,
+            start_method=start_method,
+            tenant_quota=header.get("tenant_quota"),
+            journal=False,  # reattached below, past the verified prefix
+            heartbeat_interval=header.get("heartbeat_interval", 0.25),
+            heartbeat_timeout=header.get("heartbeat_timeout", 60.0),
+            poison_threshold=header.get("poison_threshold", 3),
+        )
+        pool._journal = BatchJournal(
+            batch_dir / JOURNAL_NAME,
+            fsync=journal_fsync,
+            seq_start=len(replay.records),
+            truncate_to=replay.good_bytes,
+        )
+        pool.resumed = True
+        outcomes = replay.by_job("outcome")
+        terminals = replay.by_job("terminal")
+        attempts = replay.by_job("attempt")
+        for rec in replay.for_kind("admit"):
+            spec = JobSpec.from_dict(rec["spec"])
+            if spec.job_id in pool._by_id:
+                continue  # duplicate admit record; first wins
+            index = int(rec.get("index", len(pool._jobs)))
+            job_dir = batch_dir / spec.job_id
+            job_dir.mkdir(parents=True, exist_ok=True)
+            job = _Job(
+                index=index,
+                spec=spec,
+                job_dir=job_dir,
+                jitter_rng=pool.retry.rng_for(pool.batch_seed, index),
+            )
+            pool._jobs.append(job)
+            pool._by_id[spec.job_id] = job
+            jouts = outcomes.get(spec.job_id, [])
+            term = terminals.get(spec.job_id, [])
+            status = term[-1].get("status") if term else None
+            if status in ("timeout", "exhausted", "quarantined"):
+                # a durable terminal failure: reconstruct, never re-run
+                summary = term[-1].get("error", "")
+                job.result = JobResult(
+                    spec=spec,
+                    status=status,
+                    error=RuntimeError(summary) if summary else None,
+                )
+                continue
+            completed = [o for o in jouts if o.get("outcome") == "completed"]
+            if completed:
+                loaded = _durable_result(job_dir, completed[-1].get("digest"))
+                if loaded is not None:
+                    rec_arr, meta = loaded
+                    job.result = JobResult(
+                        spec=spec,
+                        status="completed",
+                        receivers=rec_arr,
+                        engine=meta.get("engine", ""),
+                        fallbacks=meta.get("fallbacks", []),
+                    )
+                    pool._emit("preloaded", job, digest=True)
+                    continue
+            # re-admit: journaled failures restore the attempt budget, and
+            # the jitter stream is advanced past the draws the dead
+            # supervisor consumed, keeping later backoffs deterministic
+            failures = [o for o in jouts if o.get("outcome") != "completed"]
+            job.attempt_no = len(failures)
+            for _ in range(job.attempt_no):
+                job.jitter_rng.random()
+            for out in reversed(jouts):
+                if out.get("outcome") == "crash":
+                    job.consecutive_crashes += 1
+                else:
+                    break
+            if len(attempts.get(spec.job_id, [])) > len(jouts):
+                # an attempt was in flight when the supervisor died: its
+                # checkpoints are on disk, so the retry must resume
+                job.force_resume = True
+            pool._tenant_active[spec.tenant] = pool._tenant_load(spec.tenant) + 1
+            pool._push_ready(job)
+            pool._emit(
+                "readmitted", job, attempt=job.attempt_no,
+                resume=job.force_resume or job.attempt_no > 0,
+            )
+        pool._journal_append(
+            "resume",
+            jobs=len(pool._jobs),
+            pending=sum(1 for j in pool._jobs if not j.terminal),
+            reclaimed_shm=reclaimed,
+            corruption=str(replay.corruption) if replay.corruption else None,
+        )
+        return pool
 
 
 def run_batch(

@@ -15,7 +15,7 @@ after a correlated fault) without sacrificing replayability.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 import numpy as np
 
@@ -49,12 +49,29 @@ class RetryPolicy:
         :func:`repro.runtime.faults.split_seed`)."""
         return np.random.default_rng(split_seed(batch_seed, job_index, RETRY_SALT))
 
-    def delay(self, attempt: int, rng: np.random.Generator) -> float:
-        """Backoff before retry *attempt* (>= 1), consuming one jitter draw."""
+    def delay(
+        self,
+        attempt: int,
+        rng: np.random.Generator,
+        budget: Optional[float] = None,
+    ) -> float:
+        """Backoff before retry *attempt* (>= 1), consuming one jitter draw.
+
+        *budget* is the job's remaining deadline allowance in seconds: the
+        returned delay is capped at it (floor 0), so a job never sleeps
+        past the point where its next attempt is guaranteed to exceed its
+        deadline — backoff must not convert a recoverable fault into a
+        timeout.  The jitter draw is consumed *before* capping, so the
+        deterministic per-job backoff stream stays aligned whether or not a
+        deadline intervened.
+        """
         if attempt < 1:
             raise ValueError("attempt must be >= 1 (the first retry)")
         raw = min(self.max_delay, self.base * self.factor ** (attempt - 1))
-        return raw * (1.0 + self.jitter * float(rng.random()))
+        delay = raw * (1.0 + self.jitter * float(rng.random()))
+        if budget is not None:
+            delay = min(delay, max(0.0, float(budget)))
+        return delay
 
     def schedule(self, batch_seed: int, job_index: int, retries: int) -> List[float]:
         """The first *retries* backoff delays of job *job_index* — exactly

@@ -38,6 +38,7 @@ __all__ = [
     "AttachedArrays",
     "attach_array",
     "segment_exists",
+    "unlink_stale",
 ]
 
 
@@ -206,4 +207,27 @@ def segment_exists(name: str) -> bool:
     except FileNotFoundError:
         return False
     shm.close()
+    return True
+
+
+def unlink_stale(name: str) -> bool:
+    """Unlink a segment leaked by a dead supervisor; True if one existed.
+
+    The one sanctioned exception to parent-side ownership: a SIGKILLed
+    supervisor never reaches its ``finally`` unlink, so the segment names it
+    journaled (the batch journal's ``shm`` records) are orphans by
+    definition — no process that could legitimately unlink them is alive.
+    ``JobPool.resume`` reclaims them through this helper before publishing
+    its own registry.
+    """
+    try:
+        with _attach_untracked():
+            shm = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return False
+    shm.close()
+    try:
+        shm.unlink()
+    except FileNotFoundError:
+        return False
     return True

@@ -51,8 +51,10 @@ LANES = ("interactive", "batch", "bulk")
 PHASE_KEYS = ("spawn", "compile", "compute", "io")
 
 #: terminal job states: ``completed`` (receivers produced), ``timeout``
-#: (deadline exceeded, killed), ``exhausted`` (retry budget spent)
-STATUSES = ("completed", "timeout", "exhausted")
+#: (deadline exceeded, killed), ``exhausted`` (retry budget spent),
+#: ``quarantined`` (poison job: repeatedly crashed fresh daemons),
+#: ``interrupted`` (batch drained before the job finished — resumable)
+STATUSES = ("completed", "timeout", "exhausted", "quarantined", "interrupted")
 
 
 @dataclass(frozen=True)
@@ -135,6 +137,22 @@ class JobSpec:
     @property
     def lane_priority(self) -> int:
         return LANES.index(self.lane)
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form, sufficient to reconstruct the spec —
+        what the batch journal's ``admit`` records persist."""
+        from dataclasses import asdict
+
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "JobSpec":
+        """Inverse of :meth:`to_dict` (unknown keys from newer journal
+        versions are ignored rather than fatal)."""
+        from dataclasses import fields
+
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in known})
 
 
 @dataclass
@@ -242,10 +260,28 @@ class BatchReport:
     #: worker processes spawned over the batch (initial prefork + crash
     #: replacements); 0 in serial mode
     workers_spawned: int = 0
+    #: True when the batch was gracefully drained (SIGTERM/SIGINT) before
+    #: every job finished — the journal + checkpoints make it resumable
+    drained: bool = False
+    #: True when this report came from a journal-resumed supervisor
+    resumed: bool = False
+    #: daemons killed for heartbeat silence (livelocked/wedged, replaced)
+    hung_workers: int = 0
+    #: rendered StreamAdmissionErrors — spec streams that raised mid-pull
+    #: (their admitted jobs were drained; un-admitted jobs never existed)
+    stream_errors: List[str] = dc_field(default_factory=list)
 
     @property
     def completed(self) -> int:
         return sum(r.ok for r in self.results)
+
+    @property
+    def quarantined(self) -> int:
+        return sum(r.status == "quarantined" for r in self.results)
+
+    @property
+    def interrupted(self) -> int:
+        return sum(r.status == "interrupted" for r in self.results)
 
     @property
     def retries(self) -> int:
@@ -262,8 +298,13 @@ class BatchReport:
 
     @property
     def ok(self) -> bool:
-        """Every submitted job reached ``completed`` (the zero-lost-jobs gate)."""
-        return bool(self.results) and all(r.ok for r in self.results)
+        """Every submitted job reached ``completed`` and no spec stream
+        broke mid-pull (the zero-lost-jobs gate)."""
+        return (
+            bool(self.results)
+            and all(r.ok for r in self.results)
+            and not self.stream_errors
+        )
 
     def result_for(self, job_id: str) -> JobResult:
         for r in self.results:
@@ -319,6 +360,12 @@ class BatchReport:
             "completed": self.completed,
             "retries": self.retries,
             "kills": self.kills,
+            "drained": self.drained,
+            "resumed": self.resumed,
+            "hung_workers": self.hung_workers,
+            "quarantined": self.quarantined,
+            "interrupted": self.interrupted,
+            "stream_errors": list(self.stream_errors),
             "completion_rate": self.completion_rate,
             "throughput_jobs_per_s": self.throughput,
             "warm_attempts": self.warm_attempts,

@@ -22,20 +22,35 @@ dead-silent worker is detected by the supervisor, its in-flight job retried
 daemon preforked in its place.  Worker-side failures are still pickled to
 the job's ``error-NN.pkl`` forensics file *before* crossing the pipe, so a
 crash between write and send loses no evidence.
+
+**Liveness**: a busy daemon also *heartbeats* — a background thread sends
+``("hb", worker_id)`` over the pipe every ``heartbeat_interval`` seconds
+while a job is executing (sends are lock-serialised with result messages,
+so a heartbeat can never tear a result frame).  Death is easy to detect;
+*wedging* is not: a daemon stuck in a native call or a runaway loop is
+alive by every OS measure while its lane starves below the job deadline.
+Heartbeat silence is the tell: the supervisor SIGKILLs a busy daemon whose
+last beat is older than ``heartbeat_timeout``, retries its job from the
+newest checkpoint, and preforks a replacement — a hang costs one timeout,
+never a stalled lane.
 """
 
 from __future__ import annotations
 
 import pickle
+import threading
 import time
 from typing import Dict, Mapping, Optional
 
 from .spec import JobSpec
 
-__all__ = ["WarmState", "WarmWorker", "warm_main", "SHUTDOWN"]
+__all__ = ["WarmState", "WarmWorker", "warm_main", "SHUTDOWN", "HEARTBEAT"]
 
 #: parent -> worker sentinel asking the daemon loop to exit cleanly
 SHUTDOWN = "shutdown"
+
+#: worker -> parent message tag of a liveness heartbeat
+HEARTBEAT = "hb"
 
 
 class WarmState:
@@ -81,25 +96,96 @@ def _safe_exception(exc: BaseException) -> BaseException:
         return RuntimeError(f"{type(exc).__name__}: {exc}")
 
 
-def warm_main(worker_id: int, conn, handles: Mapping[str, object]) -> None:
+class _Heartbeat:
+    """Daemon-side liveness beacon: a background thread that sends
+    :data:`HEARTBEAT` messages while a job is executing.
+
+    ``begin``/``end`` bracket each job; outside them the thread idles (an
+    idle daemon is blocked in ``conn.recv`` — silence there is normal, and
+    the supervisor only judges *busy* workers).  All sends go through the
+    shared lock so a heartbeat can never interleave with a result frame.
+    """
+
+    def __init__(self, conn, lock: threading.Lock, worker_id: int, interval: float):
+        self.conn = conn
+        self.lock = lock
+        self.worker_id = worker_id
+        self.interval = max(0.01, float(interval))
+        self._busy = threading.Event()
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._loop, daemon=True, name=f"repro-hb-{worker_id}"
+        )
+        self._thread.start()
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval):
+            if not self._busy.is_set():
+                continue
+            try:
+                with self.lock:
+                    self.conn.send((HEARTBEAT, self.worker_id))
+            except (BrokenPipeError, OSError, ValueError):
+                return  # supervisor gone; the main loop will notice too
+
+    def begin(self) -> None:
+        self._busy.set()
+
+    def end(self) -> None:
+        self._busy.clear()
+
+    def stop(self) -> None:
+        self._stop.set()
+
+
+def warm_main(
+    worker_id: int,
+    conn,
+    handles: Mapping[str, object],
+    heartbeat_interval: float = 0.25,
+) -> None:
     """Daemon entry point: attach shared arrays once, then serve jobs until
     a :data:`SHUTDOWN` sentinel (or pipe EOF) arrives.
 
     Messages in: ``("job", spec, job_dir, attempt, resume, chaos_entry,
     dispatch_ts)``.  Messages out: ``("ok", job_id, attempt, receivers,
-    meta)`` or ``("err", job_id, attempt, exception)``.  Failures are
-    pickled to the job's forensics file before the pipe send, so the
-    supervisor can still reconstruct the failure if the daemon dies between
-    the two.
+    meta)``, ``("err", job_id, attempt, exception)``, or ``("hb",
+    worker_id)`` liveness beats while executing.  Failures are pickled to
+    the job's forensics file before the pipe send, so the supervisor can
+    still reconstruct the failure if the daemon dies between the two.
+
+    Chaos hooks: an entry with ``hang_seconds > 0`` on attempt 0 wedges the
+    daemon first — heartbeats *suspended*, simulating a livelock the
+    supervisor must detect by silence; an entry with ``poison=True``
+    hard-exits the process on every attempt (the quarantine pathology — no
+    report, no forensics, just a dead daemon, exactly like a segfault).
+
+    **Orphan self-termination**: pipe EOF alone cannot signal supervisor
+    death — under fork, each daemon inherits copies of its *siblings'*
+    pipe ends, so when the supervisor is SIGKILLed the orphans keep each
+    other's pipes open forever.  The recv loop therefore polls with a
+    timeout and exits when the parent pid changes (re-parenting to init/a
+    subreaper is the one unfakeable sign the supervisor is gone), so an
+    orphaned fleet drains itself within about a second instead of pinning
+    pipes, shared-memory mappings and inherited stdio open indefinitely.
     """
+    import os
+
     from .shm import AttachedArrays
     from . import worker as worker_mod
 
+    parent_pid = os.getppid()
     attached = AttachedArrays(handles)
     warm = WarmState(shared=attached.arrays, worker_id=worker_id)
+    send_lock = threading.Lock()
+    beat = _Heartbeat(conn, send_lock, worker_id, heartbeat_interval)
     try:
         while True:
             try:
+                if not conn.poll(1.0):
+                    if os.getppid() != parent_pid:
+                        break  # orphaned: the supervisor died without EOF
+                    continue
                 msg = conn.recv()
             except (EOFError, OSError):  # supervisor died or closed the pipe
                 break
@@ -107,6 +193,16 @@ def warm_main(worker_id: int, conn, handles: Mapping[str, object]) -> None:
                 break
             _, spec, job_dir, attempt, resume, chaos, dispatch_ts = msg
             recv_ts = time.monotonic()
+            if chaos is not None and getattr(chaos, "poison", False):
+                os._exit(66)  # hard crash: no report, no cleanup — poison
+            if (
+                chaos is not None
+                and attempt == 0
+                and getattr(chaos, "hang_seconds", 0.0) > 0
+            ):
+                # wedged, not dead: alive to the OS, silent on the pipe
+                time.sleep(chaos.hang_seconds)
+            beat.begin()
             try:
                 rec, meta = worker_mod.execute_attempt(
                     spec, job_dir, attempt=attempt, resume=resume, chaos=chaos,
@@ -115,14 +211,19 @@ def warm_main(worker_id: int, conn, handles: Mapping[str, object]) -> None:
                 meta.setdefault("phases", {})["spawn"] = max(
                     0.0, recv_ts - dispatch_ts
                 )
-                conn.send(("ok", spec.job_id, attempt, rec, meta))
+                with send_lock:
+                    conn.send(("ok", spec.job_id, attempt, rec, meta))
             except BaseException as exc:  # noqa: BLE001 — crosses as a pickle
                 worker_mod.write_error(job_dir, attempt, exc)
                 try:
-                    conn.send(("err", spec.job_id, attempt, _safe_exception(exc)))
+                    with send_lock:
+                        conn.send(("err", spec.job_id, attempt, _safe_exception(exc)))
                 except (BrokenPipeError, OSError):
                     break
+            finally:
+                beat.end()
     finally:
+        beat.stop()
         attached.close()
         try:
             conn.close()
@@ -135,16 +236,25 @@ class WarmWorker:
 
     Owns the daemon :class:`multiprocessing.Process` and the parent end of
     its private pipe.  ``job`` tracks the in-flight supervisor job (None =
-    idle); the pool never dispatches at a busy worker.
+    idle); the pool never dispatches at a busy worker.  ``last_beat`` is
+    the supervisor-side liveness clock: reset at dispatch and bumped by
+    every message (heartbeat or result) drained from the pipe — a busy
+    worker whose ``last_beat`` goes stale is wedged, not working.
     """
 
-    def __init__(self, ctx, worker_id: int, handles: Mapping[str, object]):
+    def __init__(
+        self,
+        ctx,
+        worker_id: int,
+        handles: Mapping[str, object],
+        heartbeat_interval: float = 0.25,
+    ):
         self.worker_id = worker_id
         parent_conn, child_conn = ctx.Pipe(duplex=True)
         self.conn = parent_conn
         self.proc = ctx.Process(
             target=warm_main,
-            args=(worker_id, child_conn, dict(handles)),
+            args=(worker_id, child_conn, dict(handles), heartbeat_interval),
             daemon=True,
             name=f"repro-warm-{worker_id}",
         )
@@ -152,6 +262,7 @@ class WarmWorker:
         child_conn.close()  # parent's copy; lets EOF reach the daemon
         self.job = None
         self.jobs_dispatched = 0
+        self.last_beat = time.monotonic()
 
     # -- state ---------------------------------------------------------------------
     @property
@@ -175,17 +286,31 @@ class WarmWorker:
             ("job", spec, str(job_dir), attempt, resume, chaos, time.monotonic())
         )
         self.jobs_dispatched += 1
+        self.last_beat = time.monotonic()
 
     def recv_nowait(self):
-        """The daemon's next buffered message, or None.  Buffered data is
-        readable even after the daemon died, which is what lets the pool
-        honour a result that raced a deadline kill."""
+        """The daemon's next buffered *job* message, or None.  Heartbeats
+        are consumed here (bumping :attr:`last_beat`) and never surfaced.
+        Buffered data is readable even after the daemon died, which is what
+        lets the pool honour a result that raced a deadline kill."""
         try:
-            if self.conn.poll(0):
-                return self.conn.recv()
+            while self.conn.poll(0):
+                msg = self.conn.recv()
+                self.last_beat = time.monotonic()
+                if msg[0] != HEARTBEAT:
+                    return msg
         except (EOFError, OSError):
             return None
         return None
+
+    def stalled(self, timeout: Optional[float]) -> bool:
+        """True iff this worker is busy and has been silent for longer than
+        *timeout* seconds (None disables the check)."""
+        return (
+            timeout is not None
+            and self.busy
+            and (time.monotonic() - self.last_beat) > timeout
+        )
 
     # -- lifecycle -------------------------------------------------------------------
     def kill(self) -> None:

@@ -31,6 +31,7 @@ import numpy as np
 
 from ..dsl.functions import TimeFunction
 from ..errors import CheckpointCorruptError
+from .integrity import digest_path, file_digest, read_digest, write_digest
 
 __all__ = [
     "Snapshot",
@@ -108,11 +109,19 @@ class FileCheckpointStore(CheckpointStore):
     exists complete or not at all — a worker SIGKILLed mid-save can never
     leave a truncated ``ckpt_*.npz`` behind (external observers, like the
     batch-pool supervisor polling for the first checkpoint, see only
-    complete files).  :meth:`latest` still validates the newest snapshot on
-    load — checkpoints written by older code, copied around or damaged on
-    disk are refused with a structured
-    :class:`~repro.errors.CheckpointCorruptError` instead of a raw
-    ``zipfile``/numpy exception.
+    complete files).  Each snapshot also gets a SHA-256 *sidecar*
+    (``<name>.sha256``, see :mod:`repro.runtime.integrity`) so damage that
+    atomic rename cannot prevent — bit rot, a torn copy, a crashed
+    filesystem replaying a partial extent — is detected on load rather than
+    restored into a live wavefield.
+
+    :meth:`latest` validates candidates newest-first and **falls back to
+    the previous good snapshot** when the newest is corrupt or fails its
+    digest (losing one checkpoint interval of work instead of the whole
+    run); only when *every* on-disk snapshot is unusable does it raise a
+    structured :class:`~repro.errors.CheckpointCorruptError` — never a raw
+    ``zipfile``/numpy exception.  Snapshots written by older code carry no
+    sidecar and load as before.
     """
 
     def __init__(self, directory, keep: int = 2):
@@ -140,16 +149,38 @@ class FileCheckpointStore(CheckpointStore):
             fh.flush()
             os.fsync(fh.fileno())
         os.replace(tmp, path)
+        write_digest(path)
         for old in self._paths()[: -self.keep]:
             old.unlink()
-        for stale in self.directory.glob("ckpt_*.npz.tmp"):
+            digest_path(old).unlink(missing_ok=True)
+        for stale in self.directory.glob("ckpt_*.npz*.tmp"):
             stale.unlink(missing_ok=True)
 
     def latest(self) -> Optional[Snapshot]:
+        """Newest *usable* snapshot: candidates are validated newest-first
+        (digest sidecar, then structure) and a corrupt one falls back to the
+        previous good one.  Raises :class:`CheckpointCorruptError` (for the
+        newest failure) only when snapshots exist but none is usable."""
         paths = self._paths()
         if not paths:
             return None
-        path = paths[-1]
+        first_error: Optional[CheckpointCorruptError] = None
+        for path in reversed(paths):
+            try:
+                return self._load(path)
+            except CheckpointCorruptError as exc:
+                if first_error is None:
+                    first_error = exc
+        raise first_error
+
+    def _load(self, path: Path) -> Snapshot:
+        recorded = read_digest(path)
+        if recorded is not None and file_digest(path) != recorded:
+            raise CheckpointCorruptError(
+                f"checkpoint {path.name} fails its SHA-256 integrity check",
+                path=str(path),
+                reason="digest mismatch (torn write or on-disk damage)",
+            )
         try:
             with np.load(path) as data:
                 if "step" not in data.files:
@@ -188,7 +219,8 @@ class FileCheckpointStore(CheckpointStore):
     def clear(self) -> None:
         for path in self._paths():
             path.unlink()
-        for stale in self.directory.glob("ckpt_*.npz.tmp"):
+            digest_path(path).unlink(missing_ok=True)
+        for stale in self.directory.glob("ckpt_*.npz*.tmp"):
             stale.unlink(missing_ok=True)
 
 

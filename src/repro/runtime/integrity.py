@@ -1,0 +1,101 @@
+"""SHA-256 integrity trailers for on-disk artifacts.
+
+The durability layer trusts three kinds of files across a supervisor crash:
+checkpoint snapshots (``ckpt_*.npz``), durable job results (``result.npz``)
+and the write-ahead batch journal.  The journal embeds a digest in every
+record; the binary artifacts carry theirs as an atomic *sidecar* file
+(``<name>.sha256``) written after the artifact itself is in place.
+
+The ordering makes torn writes fail safe in both directions: a crash after
+the artifact but before the sidecar leaves a file that merely *cannot be
+verified* (treated as not durable — recomputed, never trusted), and a crash
+mid-sidecar leaves a ``.tmp`` that is invisible to readers.  A digest
+mismatch means the artifact itself was torn or damaged and must not be
+trusted; callers fall back to the previous good artifact or recompute.
+
+Legacy artifacts written before this layer have no sidecar;
+:func:`verify_digest` accepts them unless ``require=True`` — resume-time
+decisions (skip a completed job?) require the digest, load-time decisions
+(is this checkpoint usable?) merely refuse a *mismatching* one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from pathlib import Path
+from typing import Optional
+
+__all__ = [
+    "DIGEST_SUFFIX",
+    "file_digest",
+    "digest_path",
+    "write_digest",
+    "read_digest",
+    "verify_digest",
+]
+
+DIGEST_SUFFIX = ".sha256"
+
+_CHUNK = 1 << 20
+
+
+def file_digest(path) -> str:
+    """Hex SHA-256 of the file's bytes (streamed, constant memory)."""
+    h = hashlib.sha256()
+    with open(path, "rb") as fh:
+        while True:
+            chunk = fh.read(_CHUNK)
+            if not chunk:
+                break
+            h.update(chunk)
+    return h.hexdigest()
+
+
+def digest_path(path) -> Path:
+    """The sidecar path of *path* (``<name>.sha256``)."""
+    path = Path(path)
+    return path.with_name(path.name + DIGEST_SUFFIX)
+
+
+def write_digest(path) -> str:
+    """Compute and persist the sidecar digest of *path* (atomic, fsynced).
+
+    Returns the hex digest.  Written via temp sibling + :func:`os.replace`
+    so a crash mid-write can never leave a torn sidecar — only a missing
+    one, which verification treats as "not durable", never as "valid".
+    """
+    digest = file_digest(path)
+    sidecar = digest_path(path)
+    tmp = sidecar.with_name(sidecar.name + ".tmp")
+    with open(tmp, "w") as fh:
+        fh.write(digest + "\n")
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, sidecar)
+    return digest
+
+
+def read_digest(path) -> Optional[str]:
+    """The recorded sidecar digest of *path*, or None if absent/unreadable."""
+    try:
+        text = digest_path(path).read_text().strip()
+    except OSError:
+        return None
+    return text or None
+
+
+def verify_digest(path, require: bool = False) -> bool:
+    """True iff *path* exists and matches its sidecar digest.
+
+    A missing sidecar passes unless ``require=True`` (legacy artifacts have
+    none); a present-but-mismatching sidecar always fails — the artifact was
+    torn or damaged and must not be trusted.
+    """
+    path = Path(path)
+    if not path.exists():
+        return False
+    recorded = read_digest(path)
+    if recorded is None:
+        return not require
+    return file_digest(path) == recorded

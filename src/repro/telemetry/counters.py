@@ -27,6 +27,19 @@ Counter taxonomy (all optional — absent means the producer never ran):
   — runtime-monitor activity (:mod:`repro.runtime`).
 * ``engine_fallbacks`` — fused→kernel→interp ladder transitions during
   binding (:meth:`repro.ir.operator.Operator._build_sweeps`).
+* ``jobs_{kind}`` — one per pool lifecycle event kind
+  (:class:`repro.jobs.pool.JobPool`): ``queued``/``started``/``retried``/
+  ``resumed``/``degraded``/``rerouted``/``completed``/``timeout``/
+  ``exhausted``/``quarantined``/``interrupted`` job transitions,
+  ``killed`` chaos kills, ``worker_spawned``/``worker_crashed``/
+  ``worker_retired``/``worker_hung`` daemon lifecycle, plus batch-scoped
+  ``drain`` and ``stream_failed``.
+* ``jobs_warm_attempts`` / ``jobs_cold_attempts`` and
+  ``worker{W}.jobs`` / ``worker{W}.warm_attempts`` — warm/cold attribution
+  of completed attempts per daemon.
+* ``journal_records`` — write-ahead journal appends
+  (:mod:`repro.jobs.journal`): each one is a durable, fsynced state
+  transition of the batch.
 
 The derived metrics join the measured counters and phase seconds with the
 *static* per-point costs of :mod:`repro.analysis.metrics` (flop and access

@@ -66,6 +66,42 @@ def test_direct_submit_over_capacity_raises(tmp_path):
     assert err.value.capacity == 2 and err.value.pending == 2
 
 
+def test_broken_stream_is_isolated_to_unadmitted_jobs(tmp_path):
+    """A spec stream that raises mid-pull must not take the batch down:
+    every already-admitted job still completes, and the failure surfaces as
+    a structured stream error on the report (ok=False — jobs were lost)."""
+
+    def generate():
+        yield _spec(0)
+        yield _spec(1)
+        raise ValueError("upstream survey database went away")
+
+    pool = JobPool(workers=0, capacity=16, workdir=tmp_path)
+    pool.submit(generate())
+    report = pool.run()
+    assert not report.ok  # un-admitted work was lost — never report clean
+    assert len(report.results) == 2
+    assert all(r.status == "completed" for r in report.results)
+    assert len(report.stream_errors) == 1
+    assert "upstream survey database" in report.stream_errors[0]
+    assert "2" in report.stream_errors[0]  # admitted count in the forensics
+    failed = [e for e in report.events if e["kind"] == "stream_failed"]
+    assert len(failed) == 1
+
+
+def test_broken_stream_does_not_poison_healthy_streams(tmp_path):
+    def broken():
+        raise ValueError("bad iterator")
+        yield  # pragma: no cover
+
+    pool = JobPool(workers=0, capacity=16, workdir=tmp_path)
+    pool.submit(broken())
+    pool.submit(_spec(i) for i in range(3))
+    report = pool.run()
+    assert len(report.results) == 3 and all(r.ok for r in report.results)
+    assert len(report.stream_errors) == 1 and not report.ok
+
+
 def test_direct_submit_over_tenant_quota_raises(tmp_path):
     pool = JobPool(workers=0, capacity=16, tenant_quota=1, workdir=tmp_path)
     pool.submit(_spec(0, tenant="alice"))

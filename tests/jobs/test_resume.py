@@ -1,0 +1,196 @@
+"""Crash-safe resume: a supervisor SIGKILLed mid-batch (or drained by a
+signal) leaves a journal from which ``JobPool.resume`` reconstructs the
+batch and finishes it bit-identically to an uninterrupted run — durable
+results preloaded, not recomputed; leaked shared memory reclaimed; torn
+artifacts refused and redone."""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+import repro
+from repro.jobs import JOURNAL_NAME, JobPool, JobSpec, load_journal, run_job_inline
+from repro.jobs.shm import segment_exists
+
+pytestmark = pytest.mark.faults
+
+SRC_DIR = str(Path(repro.__file__).resolve().parents[1])
+
+
+def _spec(i, nt=32, **kwargs):
+    kwargs.setdefault("checkpoint_every", 8)
+    return JobSpec(f"shot-{i:02d}", nt=nt, seed=i, **kwargs)
+
+
+def _assert_oracle(report, specs):
+    for spec in specs:
+        np.testing.assert_array_equal(
+            report.result_for(spec.job_id).receivers, run_job_inline(spec)
+        )
+
+
+def test_every_transition_is_journaled(tmp_path):
+    pool = JobPool(workers=0, workdir=tmp_path, batch_seed=3)
+    specs = [_spec(i) for i in range(3)]
+    for spec in specs:
+        pool.submit(spec)
+    report = pool.run()
+    assert report.ok and not report.resumed
+    replay = load_journal(tmp_path / JOURNAL_NAME)
+    assert replay.corruption is None
+    assert replay.header["batch_seed"] == 3
+    assert len(replay.for_kind("admit")) == 3
+    assert len(replay.for_kind("attempt")) == 3
+    assert len(replay.for_kind("outcome")) == 3
+    assert len(replay.for_kind("terminal")) == 3
+    assert len(replay.for_kind("batch_end")) == 1
+    # outcomes carry the durable-result digest resume will verify against
+    for out in replay.for_kind("outcome"):
+        assert out["outcome"] == "completed" and len(out["digest"]) == 64
+
+
+def test_journal_stays_open_across_run_cycles(tmp_path):
+    # finished jobs free admission capacity, so submitting into the same
+    # pool after run() is supported — the journal must keep recording
+    pool = JobPool(workers=0, capacity=2, workdir=tmp_path, batch_seed=3)
+    pool.submit(_spec(0))
+    pool.submit(_spec(1))
+    assert pool.run().ok
+    pool.submit(_spec(2))
+    report = pool.run()
+    assert report.ok and len(report.results) == 3
+    replay = load_journal(tmp_path / JOURNAL_NAME)
+    assert replay.corruption is None
+    assert len(replay.for_kind("admit")) == 3
+    assert len(replay.for_kind("batch_end")) == 2
+
+
+def test_resume_of_a_finished_batch_preloads_everything(tmp_path):
+    specs = [_spec(i) for i in range(3)]
+    pool = JobPool(workers=0, workdir=tmp_path, batch_seed=3)
+    for spec in specs:
+        pool.submit(spec)
+    first = pool.run()
+    assert first.ok
+    resumed = JobPool.resume(tmp_path, workers=0)
+    report = resumed.run()
+    assert report.ok and report.resumed
+    # nothing re-ran: every job was preloaded from its verified result.npz
+    kinds = [e["kind"] for e in report.events]
+    assert kinds.count("preloaded") == 3
+    assert "started" not in kinds
+    _assert_oracle(report, specs)
+
+
+def test_resume_redoes_a_job_whose_result_was_torn(tmp_path):
+    specs = [_spec(i) for i in range(2)]
+    pool = JobPool(workers=0, workdir=tmp_path, batch_seed=3)
+    for spec in specs:
+        pool.submit(spec)
+    assert pool.run().ok
+    # tear the durable artifact of job 0 the way a dying disk would
+    result = tmp_path / specs[0].job_id / "result.npz"
+    result.write_bytes(result.read_bytes()[:-16])
+    resumed = JobPool.resume(tmp_path, workers=0)
+    report = resumed.run()
+    assert report.ok and report.resumed
+    kinds = [e["kind"] for e in report.events]
+    assert kinds.count("preloaded") == 1  # the intact job
+    assert kinds.count("readmitted") == 1  # the torn one, recomputed
+    _assert_oracle(report, specs)
+
+
+def test_supervisor_sigkill_then_resume_is_bit_identical(tmp_path):
+    """The tentpole invariant: SIGKILL the supervisor process mid-batch
+    (chaos pulls the trigger after 2 terminal jobs), then resume from the
+    journal — the batch completes with receivers bit-identical to the
+    fault-free oracle, durable results are preloaded, and the /dev/shm
+    segments the dead supervisor leaked are reclaimed."""
+    specs = [_spec(i, nt=48, max_attempts=3) for i in range(4)]
+    child = (
+        "import sys\n"
+        "from repro.jobs import ChaosConfig, JobPool, JobSpec\n"
+        "pool = JobPool(workers=2, workdir=sys.argv[1], batch_seed=11,\n"
+        "               chaos=ChaosConfig(kill_supervisor_after=2))\n"
+        "for i in range(4):\n"
+        "    pool.submit(JobSpec(f'shot-{i:02d}', nt=48, seed=i,\n"
+        "                        checkpoint_every=8, max_attempts=3))\n"
+        "pool.run()\n"
+        "sys.exit(3)  # unreachable: chaos SIGKILLs the supervisor first\n"
+    )
+    env = dict(os.environ, PYTHONPATH=SRC_DIR)
+    proc = subprocess.run(
+        [sys.executable, "-c", child, str(tmp_path)],
+        env=env, capture_output=True, text=True, timeout=180,
+    )
+    assert proc.returncode == -signal.SIGKILL, proc.stderr
+    # the journal survived the kill with at worst a torn tail
+    replay = load_journal(tmp_path / JOURNAL_NAME)
+    assert len(replay.for_kind("terminal")) >= 2
+    shm_names = [n for r in replay.for_kind("shm") for n in r["names"]]
+    assert shm_names
+    report = JobPool.resume(tmp_path, workers=2).run()
+    assert report.ok and report.resumed
+    kinds = [e["kind"] for e in report.events]
+    assert kinds.count("preloaded") >= 2  # the pre-kill completions
+    assert kinds.count("preloaded") + kinds.count("readmitted") == 4
+    _assert_oracle(report, specs)
+    # nothing the dead supervisor published is still in /dev/shm
+    assert not any(segment_exists(n) for n in shm_names)
+
+
+def test_sigterm_drains_gracefully_and_resume_completes(tmp_path):
+    """SIGTERM mid-batch: dispatch stops, un-run jobs become resumable
+    ``interrupted`` terminals, and the drained report says so — then a
+    resume finishes exactly the jobs the drain left behind."""
+    specs = [_spec(i) for i in range(3)]
+
+    def stream():
+        yield specs[0]
+        yield specs[1]
+        # delivered in the main thread, so the drain handler runs before
+        # the pool pulls again — deterministic, no timers
+        os.kill(os.getpid(), signal.SIGTERM)
+        yield specs[2]
+
+    pool = JobPool(workers=0, capacity=1, workdir=tmp_path, batch_seed=5)
+    pool.submit(stream())
+    report = pool.run()
+    assert report.drained and not report.ok
+    assert report.completed == 2 and report.interrupted == 1
+    assert any(e["kind"] == "drain" for e in report.events)
+    # the handler was restored once run() returned
+    assert signal.getsignal(signal.SIGTERM) == signal.SIG_DFL
+    resumed = JobPool.resume(tmp_path, workers=0).run()
+    assert resumed.ok and resumed.resumed
+    assert resumed.completed == 3 and not resumed.drained
+    _assert_oracle(resumed, specs)
+
+
+def test_resume_survives_a_torn_journal_tail(tmp_path):
+    specs = [_spec(i) for i in range(2)]
+    pool = JobPool(workers=0, workdir=tmp_path, batch_seed=3)
+    for spec in specs:
+        pool.submit(spec)
+    assert pool.run().ok
+    journal = tmp_path / JOURNAL_NAME
+    journal.write_bytes(journal.read_bytes()[:-9])  # writer died mid-append
+    report = JobPool.resume(tmp_path, workers=0).run()
+    assert report.ok and report.resumed
+    _assert_oracle(report, specs)
+    # the resumed supervisor truncated the tear and appended cleanly
+    assert load_journal(journal).corruption is None
+
+
+def test_resume_without_a_journal_is_a_structured_error(tmp_path):
+    from repro.errors import JournalCorruptError
+
+    with pytest.raises(JournalCorruptError, match="unreadable"):
+        JobPool.resume(tmp_path)

@@ -44,6 +44,26 @@ def test_zero_jitter_is_exactly_exponential():
     assert policy.schedule(1, 1, 3) == [0.5, 1.5, 4.5]
 
 
+def test_budget_caps_the_delay_at_the_remaining_deadline():
+    # a job 0.3s from its deadline must not sleep 2s of backoff first
+    policy = RetryPolicy(base=1.0, factor=2.0, max_delay=8.0, jitter=0.0)
+    rng = policy.rng_for(0, 0)
+    assert policy.delay(2, rng, budget=0.3) == 0.3
+    assert policy.delay(2, rng, budget=10.0) == 2.0  # ample budget: uncapped
+    assert policy.delay(2, rng, budget=-1.0) == 0.0  # already over: no sleep
+
+
+def test_budget_capping_does_not_desync_the_jitter_stream():
+    # the draw is consumed before capping, so a deadline intervening at
+    # retry n leaves retries n+1... identical to the uncapped schedule
+    policy = RetryPolicy(base=0.05, factor=2.0, max_delay=2.0, jitter=0.5)
+    plain = policy.rng_for(7, 3)
+    capped = policy.rng_for(7, 3)
+    reference = [policy.delay(n, plain) for n in (1, 2, 3)]
+    assert policy.delay(1, capped, budget=0.0) == 0.0
+    assert [policy.delay(n, capped) for n in (2, 3)] == reference[1:]
+
+
 def test_first_retry_is_attempt_one():
     policy = RetryPolicy()
     with pytest.raises(ValueError, match="attempt"):

@@ -1,0 +1,91 @@
+"""Supervisor robustness under daemon pathology: heartbeat liveness kills
+livelocked daemons in one timeout, poison jobs are quarantined with
+forensics instead of burning the replacement budget forever."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import PoisonJobError
+from repro.jobs import ChaosConfig, JobPool, JobSpec, run_job_inline
+
+pytestmark = pytest.mark.faults
+
+
+def _specs(n, nt=48, **kwargs):
+    kwargs.setdefault("checkpoint_every", 8)
+    return [JobSpec(f"shot-{i:02d}", nt=nt, seed=i, **kwargs) for i in range(n)]
+
+
+def test_hung_daemon_is_detected_by_heartbeat_silence_and_replaced(tmp_path):
+    """Chaos wedges job 0's daemon (heartbeats stop, 30s sleep — well below
+    any job deadline, so only liveness can catch it).  The supervisor must
+    SIGKILL it after one heartbeat timeout, prefork a replacement and retry
+    the job to a bit-identical completion — a hang costs ~a second, never a
+    stalled lane."""
+    specs = _specs(2, max_attempts=3)
+    pool = JobPool(
+        workers=1,
+        workdir=tmp_path,
+        batch_seed=9,
+        chaos=ChaosConfig(hang_workers=1, hang_seconds=30.0),
+        heartbeat_interval=0.1,
+        heartbeat_timeout=0.6,
+    )
+    for spec in specs:
+        pool.submit(spec)
+    report = pool.run()
+    assert report.ok
+    assert report.hung_workers == 1
+    assert report.wall_seconds < 25.0  # detected by liveness, not the sleep
+    kinds = [e["kind"] for e in report.events]
+    assert "worker_hung" in kinds
+    hung = report.result_for(specs[0].job_id)
+    assert [a.outcome for a in hung.attempts] == ["hang", "completed"]
+    # a hang is a liveness failure, not a crash: it must never count
+    # toward poison quarantine
+    assert report.quarantined == 0
+    for spec in specs:
+        np.testing.assert_array_equal(
+            report.result_for(spec.job_id).receivers, run_job_inline(spec)
+        )
+
+
+def test_poison_job_is_quarantined_with_forensics(tmp_path):
+    """Chaos makes job 0 hard-exit every daemon it touches, on every
+    attempt.  The supervisor must stop after ``poison_threshold``
+    consecutive crashes — well inside the job's own attempt budget — and
+    quarantine with a PoisonJobError carrying the attempt history, while
+    the sibling job completes untouched."""
+    specs = _specs(2, max_attempts=6)
+    pool = JobPool(
+        workers=1,
+        workdir=tmp_path,
+        batch_seed=9,
+        chaos=ChaosConfig(poison_jobs=1),
+        poison_threshold=3,
+    )
+    for spec in specs:
+        pool.submit(spec)
+    report = pool.run()
+    assert not report.ok
+    assert report.quarantined == 1
+    poisoned = report.result_for(specs[0].job_id)
+    assert poisoned.status == "quarantined"
+    assert len(poisoned.attempts) == 3  # threshold, not max_attempts
+    assert all(a.outcome == "crash" for a in poisoned.attempts)
+    err = poisoned.error
+    assert isinstance(err, PoisonJobError)
+    assert err.job_id == specs[0].job_id and err.crashes == 3
+    assert len(err.attempts) == 3
+    sibling = report.result_for(specs[1].job_id)
+    assert sibling.status == "completed"
+    np.testing.assert_array_equal(sibling.receivers, run_job_inline(specs[1]))
+
+
+def test_pool_validates_liveness_and_quarantine_knobs(tmp_path):
+    with pytest.raises(ValueError, match="heartbeat_timeout"):
+        JobPool(workers=1, workdir=tmp_path, heartbeat_timeout=0.0)
+    with pytest.raises(ValueError, match="poison_threshold"):
+        JobPool(workers=1, workdir=tmp_path, poison_threshold=0)

@@ -129,3 +129,59 @@ def test_clear_removes_snapshots_and_stale_tmps(tmp_path):
     store.clear()
     assert list(tmp_path.iterdir()) == []
     assert store.latest() is None
+
+
+def test_every_snapshot_gets_a_digest_sidecar(tmp_path):
+    from repro.runtime.integrity import file_digest, read_digest
+
+    store = FileCheckpointStore(tmp_path, keep=2)
+    store.save(make_snapshot(8))
+    path = tmp_path / "ckpt_0000000008.npz"
+    assert read_digest(path) == file_digest(path)
+    # pruning removes the sidecar along with its snapshot
+    for step in (12, 16):
+        store.save(make_snapshot(step))
+    assert sorted(p.name for p in tmp_path.glob("*.sha256")) == [
+        "ckpt_0000000012.npz.sha256",
+        "ckpt_0000000016.npz.sha256",
+    ]
+
+
+def test_digest_mismatch_falls_back_to_the_previous_good_snapshot(tmp_path):
+    """Bit rot atomic rename cannot prevent: the newest snapshot's bytes
+    no longer match its sidecar.  ``latest`` must refuse it and fall back
+    one checkpoint interval rather than restore damage into a live
+    wavefield — or lose the whole run."""
+    store = FileCheckpointStore(tmp_path, keep=2)
+    store.save(make_snapshot(8))
+    store.save(make_snapshot(12))
+    newest = tmp_path / "ckpt_0000000012.npz"
+    damaged = bytearray(newest.read_bytes())
+    damaged[len(damaged) // 2] ^= 0xFF  # same length, one flipped bit
+    newest.write_bytes(bytes(damaged))
+    snap = store.latest()
+    assert snap.step == 8
+    assert_snapshots_equal(snap, make_snapshot(8))
+
+
+def test_all_snapshots_damaged_raises_the_newest_failure(tmp_path):
+    store = FileCheckpointStore(tmp_path, keep=2)
+    for step in (8, 12):
+        store.save(make_snapshot(step))
+        path = tmp_path / f"ckpt_{step:010d}.npz"
+        raw = bytearray(path.read_bytes())
+        raw[len(raw) // 2] ^= 0xFF
+        path.write_bytes(bytes(raw))
+    with pytest.raises(CheckpointCorruptError) as excinfo:
+        store.latest()
+    assert "ckpt_0000000012" in str(excinfo.value)
+    assert "digest mismatch" in excinfo.value.reason
+
+
+def test_legacy_snapshot_without_sidecar_still_loads(tmp_path):
+    from repro.runtime.integrity import digest_path
+
+    store = FileCheckpointStore(tmp_path)
+    store.save(make_snapshot(8))
+    digest_path(tmp_path / "ckpt_0000000008.npz").unlink()
+    assert store.latest().step == 8

@@ -17,14 +17,17 @@ from repro.errors import (
     InvalidTimeRange,
     JobError,
     JobTimeoutError,
+    JournalCorruptError,
     KernelLintError,
     NumericalBlowup,
     PlanValidationError,
+    PoisonJobError,
     QueueSaturatedError,
     ReproError,
     RetryExhaustedError,
     ScheduleLegalityError,
     StabilityViolation,
+    StreamAdmissionError,
     WorkerCrashError,
 )
 
@@ -42,9 +45,16 @@ CASES = [
     (CheckpointCorruptError, dict(path="/tmp/ckpt_0000000008.npz", reason="BadZipFile")),
     (JobError, dict(job_id="j1")),
     (QueueSaturatedError, dict(capacity=8, pending=8)),
+    (QueueSaturatedError, dict(capacity=4, pending=4, tenant="team-a")),
     (JobTimeoutError, dict(job_id="j2", deadline=1.5, elapsed=3.2)),
     (WorkerCrashError, dict(job_id="j3", exitcode=-9, attempt=1)),
     (RetryExhaustedError, dict(job_id="j4", attempts=[{"attempt": 0, "outcome": "fault"}])),
+    (JournalCorruptError,
+     dict(path="/tmp/journal.jsonl", line=7, reason="SHA-256 trailer mismatch")),
+    (PoisonJobError,
+     dict(job_id="j5", crashes=3, attempts=[{"attempt": 0, "outcome": "crash"}],
+          job_dir="/tmp/b/j5")),
+    (StreamAdmissionError, dict(admitted=4, reason="ValueError: bad spec")),
 ]
 
 
