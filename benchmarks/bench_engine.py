@@ -280,14 +280,19 @@ def print_guards_report(guards):
 
 
 def run_verify_bench(repeats=REPEATS):
-    """Wall-clock of the schedule-legality prover on the bench operator.
+    """Wall-clock of the static analyses on the bench operator.
 
-    Times a cold :func:`repro.verify.prove_schedule` per schedule (dependence
-    extraction + per-edge inequalities) and the cached
+    Times, per schedule, a cold :func:`repro.verify.prove_schedule`
+    (dependence extraction + per-edge inequalities) and the cached
     :meth:`Operator.certificate_for` replay — the cost every wavefront
-    ``apply`` pays at most once per (schedule, sparse-mode) pair.
+    ``apply`` pays at most once per (schedule, sparse-mode) pair — plus the
+    abstract-interpretation analyzer alongside it: a cold
+    :func:`repro.verify.prove_bounds` (parametric halo-safety proof) and the
+    cached :meth:`Operator.bounds_certificate_for` replay.  A one-shot
+    ``scratch`` section records the whole-program liveness/coloring verdict
+    and the pool shrink it licenses (slots -> slabs).
     """
-    from repro.verify import prove_schedule
+    from repro.verify import lint_operator, prove_bounds, prove_schedule
 
     prop, _dt = build()
     op = prop.op
@@ -303,15 +308,43 @@ def run_verify_bench(repeats=REPEATS):
         t0 = time.perf_counter()
         op.certificate_for(sched)  # cached replay
         cached = time.perf_counter() - t0
+        cold_bounds = []
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            bcert = prove_bounds(op, sched)
+            cold_bounds.append(time.perf_counter() - t0)
+        op.bounds_certificates.clear()
+        op.bounds_certificate_for(sched)  # populate
+        t0 = time.perf_counter()
+        op.bounds_certificate_for(sched)  # cached replay
+        cached_bounds = time.perf_counter() - t0
         results[sched_name] = {
             "prove": min(cold),
             "cached": cached,
             "edges": len(cert.dependences),
             "legal": bool(cert.check()),
+            "absint": min(cold_bounds),
+            "absint_cached": cached_bounds,
+            "checks": len(bcert.checks),
+            "safe": bool(bcert.check()),
         }
+    t0 = time.perf_counter()
+    lint = lint_operator(op)
+    lint_seconds = time.perf_counter() - t0
+    live = lint.scratch
+    scratch = {
+        "analyzer_seconds": lint_seconds,
+        "safe_for_slab": bool(live.safe_for_slab) if live is not None else None,
+        "slots": live.total_slots if live is not None else None,
+        "slabs": live.total_colors if live is not None else None,
+    }
     return {
-        "timing": "min over N rounds: cold prove_schedule vs cached certificate_for",
+        "timing": (
+            "min over N rounds: cold prove_schedule/prove_bounds vs cached "
+            "certificate replays"
+        ),
         "schedules": results,
+        "scratch": scratch,
     }
 
 
@@ -323,12 +356,23 @@ def merge_verify_report(verify, path=RESULT_PATH):
 
 
 def print_verify_report(verify):
-    print("# schedule-legality prover wall-clock")
-    print(f"{'schedule':<12} {'prove':>12} {'cached':>12} {'edges':>7} {'legal':>6}")
+    print("# schedule-legality prover + abstract-interpretation wall-clock")
+    print(
+        f"{'schedule':<12} {'prove':>12} {'cached':>12} {'edges':>7} {'legal':>6} "
+        f"{'absint':>12} {'checks':>7} {'safe':>6}"
+    )
     for sched, row in verify["schedules"].items():
         print(
             f"{sched:<12} {row['prove']*1e3:>10.2f}ms {row['cached']*1e6:>10.2f}us "
-            f"{row['edges']:>7} {str(row['legal']):>6}"
+            f"{row['edges']:>7} {str(row['legal']):>6} "
+            f"{row['absint']*1e3:>10.2f}ms {row['checks']:>7} {str(row['safe']):>6}"
+        )
+    scratch = verify.get("scratch")
+    if scratch:
+        print(
+            f"scratch: lint+liveness {scratch['analyzer_seconds']*1e3:.2f}ms, "
+            f"slab-safe={scratch['safe_for_slab']}, "
+            f"{scratch['slots']} slots -> {scratch['slabs']} slabs"
         )
 
 

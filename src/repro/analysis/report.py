@@ -13,6 +13,8 @@ __all__ = [
     "render_series",
     "render_speedup_bars",
     "render_certificate",
+    "render_bounds_certificate",
+    "render_coloring",
 ]
 
 
@@ -74,6 +76,79 @@ def render_certificate(cert, title: str = "") -> str:
     return render_table(
         ["quantity", "value"], rows, title=title or "Legality certificate"
     )
+
+
+def render_bounds_certificate(cert, title: str = "") -> str:
+    """Human-readable summary of a parametric bounds certificate
+    (:class:`repro.verify.certificate.BoundsCertificate`).
+
+    Shows the admissible parameter family the proof quantifies over, the
+    per-kind check tally, the tightest halo margin, and — when the verdict is
+    negative — the concrete ``(schedule, t, tile, index)`` counterexample
+    plus every violated margin.
+    """
+    kinds: Dict[str, int] = {}
+    for c in cert.checks:
+        kinds[c.kind] = kinds.get(c.kind, 0) + 1
+    tally = ", ".join(f"{k}={v}" for k, v in sorted(kinds.items()))
+    family = "; ".join(
+        f"{name} in [{entry['range'][0]}, "
+        f"{'inf' if entry['range'][1] is None else entry['range'][1]}]"
+        for name, entry in cert.params.items()
+    )
+    rows = [
+        ["operator", cert.operator],
+        ["schedule family", cert.schedule.get("kind", "?")],
+        ["sparse mode", cert.sparse_mode],
+        ["safe", cert.check()],
+        ["checks", f"{len(cert.checks)} ({tally})"],
+        ["min halo margin", cert.min_margin if cert.min_margin is not None else "-"],
+        ["halos", " ".join(f"{k}={v}" for k, v in cert.halos.items())],
+        ["parameters", family],
+    ]
+    out = render_table(
+        ["quantity", "value"], rows, title=title or "Parametric bounds certificate"
+    )
+    if cert.counterexample is not None:
+        out += "\ncounterexample: " + cert.counterexample.describe()
+    violated = cert.violations()
+    if violated:
+        out += "\nviolated margins:"
+        for c in violated:
+            out += (
+                f"\n  sweep {c.sweep}: {c.function}[{c.dim}{c.offset:+d}] "
+                f"(halo {c.halo}) margin_lo={c.margin_lo} margin_hi={c.margin_hi}"
+            )
+    return out
+
+
+def render_coloring(report, title: str = "") -> str:
+    """Human-readable summary of the scratch-slot liveness/coloring report
+    (:class:`repro.verify.absint.liveness.LivenessReport`).
+
+    Shows, per sweep, the slot live ranges and assigned slab colors, the
+    interference edge count, and the pool shrink the coloring licenses
+    (``total slots -> total colors``).
+    """
+    rows = []
+    for j, colors in enumerate(report.colors):
+        ranges = report.ranges[j]
+        names = sorted(ranges, key=lambda n: ranges[n][0])
+        span = " ".join(f"{n}[{ranges[n][0]},{ranges[n][1]}]" for n in names)
+        rows.append([j, len(colors), " ".join(str(c) for c in colors), span])
+    out = render_table(
+        ["sweep", "slots", "colors", "live ranges [def,last-use]"],
+        rows,
+        title=title or "Scratch-slot coloring",
+    )
+    out += (
+        f"\nslab-safe: {report.safe_for_slab}; interference edges: "
+        f"{len(report.edges)}; pool: {report.total_slots} slots -> "
+        f"{report.total_colors} slabs ("
+        + ", ".join(f"{k}:{v}" for k, v in sorted(report.colors_per_dtype.items()))
+        + ")"
+    )
+    return out
 
 
 def render_speedup_bars(

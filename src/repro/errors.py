@@ -23,6 +23,7 @@ __all__ = [
     "StabilityViolation",
     "EngineCompilationError",
     "KernelLintError",
+    "BoundsProofError",
     "ScheduleLegalityError",
     "InvalidTimeRange",
     "PlanValidationError",
@@ -34,6 +35,7 @@ __all__ = [
     "WorkerCrashError",
     "RetryExhaustedError",
     "JournalCorruptError",
+    "JournalSchemaError",
     "PoisonJobError",
     "StreamAdmissionError",
     "StabilityWarning",
@@ -143,6 +145,20 @@ class KernelLintError(EngineCompilationError):
     """
 
 
+class BoundsProofError(KernelLintError):
+    """The parametric bounds analysis refuted halo safety.
+
+    Raised when :func:`repro.verify.absint.prove_bounds` finds an access that
+    escapes its field's padded storage for some member of the admissible
+    parameter family.  Carries ``counterexample`` (a concrete
+    :class:`repro.verify.certificate.BoundsCounterexample` naming the exact
+    ``(schedule, t, tile, index)`` instance) and ``certificate`` (the full
+    :class:`repro.verify.certificate.BoundsCertificate` with every violated
+    margin).  Subclasses :class:`KernelLintError` so the fused-rung gate
+    rides the same engine-degradation ladder as any lint rejection.
+    """
+
+
 class ScheduleLegalityError(ReproError, ValueError):
     """A schedule fails the dependence-legality proof.
 
@@ -230,6 +246,20 @@ class JournalCorruptError(JobError, RuntimeError):
     longest verified prefix instead of trusting a torn tail — this error is
     only *fatal* when no usable prefix exists (e.g. the batch header itself
     is corrupt).
+    """
+
+
+class JournalSchemaError(JobError, RuntimeError):
+    """The journal record-kind tables have drifted out of sync.
+
+    Raised by :func:`repro.jobs.journal.verify_journal_schema` when a record
+    ``kind`` emitted by :mod:`repro.jobs.pool` is missing from the declared
+    :data:`~repro.jobs.journal.JOURNAL_KINDS` table, a declared kind is
+    never emitted, or the set of kinds the resume replay consumes disagrees
+    with the kinds declared ``replayed``.  This is a static self-check over
+    the *source* of ``pool.py`` — it fires at pool construction in the
+    development tree, before any batch runs against a skewed schema.
+    Carries ``missing`` / ``unused`` / ``detail`` naming the drifted kinds.
     """
 
 

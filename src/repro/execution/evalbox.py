@@ -11,7 +11,7 @@ vectorised arithmetic.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -219,6 +219,10 @@ class BoundSweep:
                 1,
             )
             self._view_cache: Dict[Tuple, Tuple[tuple, tuple]] = {}
+            # slab coloring from the scratch-liveness proof: when set (via
+            # apply_slot_plan), slot i checks out the pooled slab of color
+            # _slot_colors[i] instead of a per-(shape, dtype, slot) buffer
+            self._slot_colors: Optional[Tuple[int, ...]] = None
             # plain-int tallies of the memoised (t, box) bindings; read by
             # the telemetry layer as per-run deltas (Operator.apply).  Kept
             # unconditional: two int adds per evaluate are noise next to the
@@ -248,10 +252,19 @@ class BoundSweep:
                 return
             outs = tuple(box_view(l, t, box, self.dim_names) for l in self.writes)
             views = tuple(box_view(a, t, box, self.dim_names) for a in self.reads)
-            slots = tuple(
-                self.pool.get(outs[0].shape, dt, i)
-                for dt, i in self._kernel.__slotspec__
-            )
+            colors = self._slot_colors
+            if colors is not None:
+                # slab mode, licensed by the cross-sweep liveness proof: all
+                # box shapes and same-colored slots share one growable slab
+                slots = tuple(
+                    self.pool.slab_view(outs[0].shape, dt, colors[i])
+                    for i, (dt, _) in enumerate(self._kernel.__slotspec__)
+                )
+            else:
+                slots = tuple(
+                    self.pool.get(outs[0].shape, dt, i)
+                    for dt, i in self._kernel.__slotspec__
+                )
             if len(self._view_cache) >= 4096:  # safety valve, never hit in practice
                 self._view_cache.clear()
             bound = self._view_cache[key] = (slots, outs, views)
@@ -265,6 +278,39 @@ class BoundSweep:
         if self._kernel is None:
             return None
         return getattr(self._kernel, "__source__", None)
+
+    def kernel_program(self):
+        """The structured three-address program
+        (:class:`~repro.ir.nodes.TAProgram`) of the fused kernel, or ``None``
+        for the non-fused engines — the input of the abstract-interpretation
+        passes (:mod:`repro.verify.absint`)."""
+        if self._kernel is None:
+            return None
+        return getattr(self._kernel, "__program__", None)
+
+    def apply_slot_plan(self, colors: Optional[Sequence[int]]) -> None:
+        """Switch scratch checkout to slab mode under the given coloring.
+
+        *colors* assigns each slot of ``__slotspec__`` (in order) a slab
+        color; equal ``(dtype, color)`` pairs share one growable pooled slab
+        across all box shapes and sweeps.  Only sound when the cross-sweep
+        liveness proof holds (every kernel writes every slot before reading
+        it) — :meth:`Operator._build_sweeps` applies the plan exactly when
+        :attr:`LivenessReport.safe_for_slab`.  ``None`` reverts to the
+        conservative per-``(shape, dtype, slot)`` pool.  Cached view bindings
+        are dropped either way: they embed the old checkout.
+        """
+        if self._kernel is None:
+            return
+        if colors is not None:
+            colors = tuple(int(c) for c in colors)
+            if len(colors) != len(self._kernel.__slotspec__):
+                raise ValueError(
+                    f"slot plan rank {len(colors)} != "
+                    f"{len(self._kernel.__slotspec__)} kernel slots"
+                )
+        self._slot_colors = colors
+        self._view_cache.clear()
 
     def invalidate_invariants(self) -> None:
         """Force hoisted model-term buffers to re-materialise on next use.

@@ -85,6 +85,15 @@ class Operator:
         # (schedule.key(), resolved sparse mode); apply() proves each
         # wavefront schedule once and replays the cached verdict after
         self.certificates: Dict = {}
+        # parametric bounds certificates (halo safety for whole schedule
+        # families), keyed like legality certificates; the schedule-free
+        # "any" family proved on the fused bind is cached separately since
+        # equations are immutable
+        self.bounds_certificates: Dict = {}
+        self._bounds_cert = None
+        # cumulative wall-time of the abstract-interpretation analyses
+        # (bounds proofs + scratch liveness), reported by the verify bench
+        self.analyzer_seconds = 0.0
         # precomputed wavefront step plans, persisted across apply() calls;
         # keyed (tile, height) -- the only schedule knobs geometry depends on
         # (grid and sweep radii are fixed per operator)
@@ -139,6 +148,38 @@ class Operator:
         if cert is None:
             cert = prove_schedule(self, schedule, sparse_mode=sparse_mode)
             self.certificates[key] = cert
+        return cert
+
+    def bounds_certificate_for(
+        self, schedule: Optional[Schedule] = None, sparse_mode: str = "auto"
+    ):
+        """Prove (once, then cache) parametric halo safety of every access
+        under *schedule*'s parameter family, returning the
+        :class:`~repro.verify.certificate.BoundsCertificate`.  Unlike
+        :meth:`certificate_for` this never raises — callers inspect
+        ``cert.check()`` / ``cert.counterexample`` and decide (the fused bind
+        gate and the wavefront preflight raise
+        :class:`~repro.errors.BoundsProofError`)."""
+        import time as _time
+
+        from ..verify.absint import prove_bounds
+        from ..verify.prover import resolve_sparse_mode
+
+        if schedule is None:
+            # the schedule-free "any" family: one proof covers every
+            # schedule kind (executors clip all windows to the interior)
+            if self._bounds_cert is None:
+                t0 = _time.perf_counter()
+                self._bounds_cert = prove_bounds(self)
+                self.analyzer_seconds += _time.perf_counter() - t0
+            return self._bounds_cert
+        key = (schedule.key(), resolve_sparse_mode(sparse_mode, schedule))
+        cert = self.bounds_certificates.get(key)
+        if cert is None:
+            t0 = _time.perf_counter()
+            cert = prove_bounds(self, schedule, sparse_mode=sparse_mode)
+            self.analyzer_seconds += _time.perf_counter() - t0
+            self.bounds_certificates[key] = cert
         return cert
 
     # -- sweep attachment ------------------------------------------------------------
@@ -219,10 +260,14 @@ class Operator:
                     # kernel-IR lint gate: error findings reject the fused
                     # bind; the KernelLintError rides the same ladder as any
                     # compilation failure (degrade unless strict)
-                    from ..errors import KernelLintError
+                    import time as _time
+
+                    from ..errors import BoundsProofError, KernelLintError
                     from ..verify.linter import lint_bound_sweeps
 
+                    t0 = _time.perf_counter()
                     report = lint_bound_sweeps(bound, name=self.name)
+                    self.analyzer_seconds += _time.perf_counter() - t0
                     if not report.ok:
                         raise KernelLintError(
                             f"{self.name}: kernel-IR linter rejected the "
@@ -231,6 +276,38 @@ class Operator:
                             engine="fused",
                             diagnostics=report.diagnostics,
                         )
+                    # parametric bounds gate: every access must be proven
+                    # in-bounds for the whole schedule family before any
+                    # timestep runs; a violation carries the concrete
+                    # (schedule, t, tile, index) counterexample and rides
+                    # the same ladder
+                    cert = self.bounds_certificate_for(None)
+                    if not cert.check():
+                        ce = cert.counterexample
+                        raise BoundsProofError(
+                            f"{self.name}: parametric bounds analysis "
+                            "refuted halo safety: "
+                            + (ce.describe() if ce is not None else
+                               "; ".join(
+                                   c.vc for c in cert.violations()[:3]
+                               )),
+                            engine="fused",
+                            diagnostics=[],
+                            counterexample=ce,
+                            certificate=cert,
+                        )
+                    # scratch-pool slab plan: the whole-program liveness
+                    # proof (already computed by the lint gate) licenses
+                    # collapsing the per-(shape, dtype, slot) pool into
+                    # per-(dtype, color) slabs, bit-identically
+                    live = report.scratch
+                    if (
+                        live is not None
+                        and live.safe_for_slab
+                        and len(live.colors) == len(bound)
+                    ):
+                        for sw, colors in zip(bound, live.colors):
+                            sw.apply_slot_plan(colors)
                 if breaker is not None:
                     breaker.record_success(eng)
                 return eng, bound
@@ -409,6 +486,24 @@ class Operator:
             # sparse-mode) pair, or a ScheduleLegalityError naming two
             # conflicting statement instances
             self.certificate_for(schedule, sparse_mode)
+            # parametric bounds preflight: under wavefront blocking every
+            # engine executes the same clipped windows, so a refuted halo
+            # proof is a hard error before timestep 0 — unlike the fused
+            # bind gate there is no sound rung to degrade to
+            bcert = self.bounds_certificate_for(schedule, sparse_mode)
+            if not bcert.check():
+                from ..errors import BoundsProofError
+
+                ce = bcert.counterexample
+                raise BoundsProofError(
+                    f"{self.name}: parametric bounds analysis refuted halo "
+                    "safety under the wavefront schedule: "
+                    + (ce.describe() if ce is not None else "margin violated"),
+                    engine="fused",
+                    diagnostics=[],
+                    counterexample=ce,
+                    certificate=bcert,
+                )
         if tel is not None:
             from .pycodegen import kernel_cache_stats
 

@@ -48,6 +48,7 @@ __all__ = [
     "HoistedField",
     "HoistResult",
     "hoist_invariants",
+    "plan_scratch_slots",
 ]
 
 
@@ -588,3 +589,36 @@ def build_wavefront(op, schedule: Optional[WavefrontSchedule] = None) -> Node:
         ]
     return Iteration("tt", "time_m", "time_M", tile_nest, step="tile_t",
                      properties=("time", "tile"))
+
+
+# -- scratch-pool planning (abstract-interpretation backed) ----------------------
+
+
+def plan_scratch_slots(programs):
+    """Shrink the shared scratch pool via the cross-sweep liveness proof.
+
+    Runs the whole-program scratch analysis of
+    :mod:`repro.verify.absint.liveness` over the sweeps' three-address
+    programs and returns ``(report, plan)``:
+
+    * ``report`` — the full :class:`~repro.verify.absint.liveness.LivenessReport`
+      (findings, live ranges, interference edges, coloring);
+    * ``plan`` — per sweep, the tuple of slab colors to feed
+      :meth:`~repro.execution.evalbox.BoundSweep.apply_slot_plan`, or ``None``
+      when the proof does not license slab sharing
+      (:attr:`~repro.verify.absint.liveness.LivenessReport.safe_for_slab` is
+      False) — the conservative per-``(shape, dtype, slot)`` pool keying then
+      stays in force.
+
+    The optimisation this licenses: legacy pool keying allocates one buffer
+    per ``(box shape, dtype, slot)`` triple, so wavefront execution with its
+    many clipped box shapes multiplies buffers; under the proof, every
+    kernel writes each slot before reading it, so same-dtype slots can share
+    ``ncolors`` growable slabs across *all* shapes and sweeps, bit-identically.
+    """
+    from ..verify.absint.liveness import analyse_programs
+
+    report = analyse_programs(list(programs))
+    if not report.safe_for_slab:
+        return report, None
+    return report, [tuple(c) for c in report.colors]

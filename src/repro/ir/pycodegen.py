@@ -37,6 +37,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..dsl.symbols import Add, Call, Expr, Indexed, Mul, Number, Pow, Symbol
+from .nodes import TAInstr, TAOperand, TAProgram
 
 __all__ = [
     "render_numpy_expression",
@@ -158,12 +159,22 @@ class ScratchPool:
     need several same-typed scratch registers live at once), and the pool is
     shared freely across sweeps and operator rebuilds — buffers are keyed
     only by what they are, not by who uses them.
+
+    **Slab mode** (``slab_view``): when the whole-program scratch-liveness
+    proof holds (every slot written before read in every kernel — see
+    :mod:`repro.verify.absint.liveness`), slots no longer need per-*shape*
+    buffers: one growable 1-D slab per ``(dtype, color)`` backs every box
+    shape via reshaped prefix views.  Wavefront execution touches many
+    distinct clipped box shapes, so this collapses ``shapes x slots``
+    buffers into ``ncolors`` slabs; the coloring plan is computed by
+    :func:`repro.ir.passes.plan_scratch_slots` and applied per sweep.
     """
 
-    __slots__ = ("_bufs",)
+    __slots__ = ("_bufs", "_slabs")
 
     def __init__(self) -> None:
         self._bufs: Dict[Tuple, np.ndarray] = {}
+        self._slabs: Dict[Tuple, np.ndarray] = {}
 
     def get(self, shape: Tuple[int, ...], dtype: np.dtype, slot: int) -> np.ndarray:
         key = (shape, dtype, slot)
@@ -173,14 +184,48 @@ class ScratchPool:
             self._bufs[key] = buf
         return buf
 
-    def __len__(self) -> int:
+    def slab_view(self, shape: Tuple[int, ...], dtype: np.dtype, color: int) -> np.ndarray:
+        """A *shape*-shaped scratch view backed by the ``(dtype, color)`` slab.
+
+        Sound only for slots proven write-before-read (the slab is shared
+        across every sweep and box shape, so its prior contents are
+        arbitrary).  A slab grows geometrically when a larger box arrives;
+        earlier views keep the old storage, which is harmless — aliasing
+        between *distinct* colors (the only aliasing that could corrupt a
+        kernel call) never occurs, as each color owns its own slab.
+        """
+        key = (np.dtype(dtype).str, int(color))
+        n = 1
+        for s in shape:
+            n *= int(s)
+        slab = self._slabs.get(key)
+        if slab is None or slab.size < n:
+            cap = n if slab is None else max(n, 2 * slab.size)
+            slab = np.empty(cap, dtype=dtype)
+            self._slabs[key] = slab
+        return slab[:n].reshape(shape)
+
+    @property
+    def buffer_count(self) -> int:
+        """Legacy per-(shape, dtype, slot) buffers currently allocated."""
         return len(self._bufs)
 
+    @property
+    def slab_count(self) -> int:
+        """(dtype, color) slabs currently allocated."""
+        return len(self._slabs)
+
+    def __len__(self) -> int:
+        return len(self._bufs) + len(self._slabs)
+
     def nbytes(self) -> int:
-        return sum(b.nbytes for b in self._bufs.values())
+        return sum(b.nbytes for b in self._bufs.values()) + sum(
+            b.nbytes for b in self._slabs.values()
+        )
 
     def clear(self) -> None:
         self._bufs.clear()
+        self._slabs.clear()
 
 
 class _Operand:
@@ -209,6 +254,8 @@ class _Emitter:
         self.view_names = view_names
         self.view_specs = view_specs
         self.lines: List[str] = []
+        #: structured mirror of ``lines`` (same order, peepholes applied)
+        self.instrs: List[TAInstr] = []
         self.slots: Dict[str, np.dtype] = {}  # slot name -> dtype
         self.consts: Dict[str, np.ndarray] = {}  # const name -> 0-d array
         self._const_names: Dict[Tuple[str, str], str] = {}
@@ -216,6 +263,15 @@ class _Emitter:
         self._remaining: Dict[str, int] = {}
         self._temps: Dict[Symbol, _Operand] = {}
         self._nslots = 0
+
+    def _ta(self, op: _Operand) -> TAOperand:
+        """The structured-IR operand mirroring *op*."""
+        if op.kind == "scalar":
+            return TAOperand("scalar", op.text, None)
+        if op.kind == "const":
+            return TAOperand("const", op.text, self.consts[op.text].dtype.name)
+        kind = "view" if op.kind == "view" else "slot"
+        return TAOperand(kind, op.text, op.spec.dtype.name)
 
     # -- slot lifecycle ---------------------------------------------------------
     def _alloc(self, spec: np.ndarray) -> _Operand:
@@ -261,6 +317,10 @@ class _Emitter:
                     for p in self.lines[-1][len("np.subtract(") : -1].split(",")
                 ]
                 self.lines[-1] = f"np.subtract({b}, {a}, {out})"
+                prev = self.instrs[-1]
+                self.instrs[-1] = TAInstr(
+                    "subtract", (prev.args[1], prev.args[0]), prev.out
+                )
                 return o
         # peephole: multiply by the literal -1 is an exact IEEE sign flip, so
         # emit np.negative instead (guarded on identical result dtype, which
@@ -299,6 +359,9 @@ class _Emitter:
         # positional out: skips the ufunc kwarg-parsing path, which is
         # measurable at wavefront tile sizes
         self.lines.append(f"np.{ufunc}({args}, {out.text})")
+        self.instrs.append(
+            TAInstr(ufunc, tuple(self._ta(o) for o in operands), self._ta(out))
+        )
         return out
 
     def _const(self, text: str, dtype: np.dtype) -> _Operand:
@@ -356,6 +419,9 @@ class _Emitter:
         overlap correctly, so this is safe even for radius-0 self reads.)
         """
         op = self.lower(expr)
+        out_ta = TAOperand(
+            "out", out_name, np.dtype(out_dtype).name if out_dtype is not None else None
+        )
         producer_tail = f", {op.text})"
         if (
             op.kind == "slot"
@@ -366,9 +432,12 @@ class _Emitter:
             and self.lines[-1].endswith(producer_tail)
         ):
             self.lines[-1] = self.lines[-1][: -len(producer_tail)] + f", {out_name})"
+            prev = self.instrs[-1]
+            self.instrs[-1] = TAInstr(prev.op, prev.args, out_ta)
             self._consume(op)
             return
         self.lines.append(f"{out_name}[...] = {op.text}")
+        self.instrs.append(TAInstr("store", (self._ta(op),), out_ta))
         self._consume(op)
 
     def lower(self, e: Expr) -> _Operand:
@@ -500,6 +569,15 @@ def compile_sweep(
     kernel.__source__ = source  # for inspection/tests
     kernel.__nslots__ = len(em.slots)
     kernel.__ntemps__ = cse.ntemps
+    # structured three-address program: the typed mirror of __source__ the
+    # abstract-interpretation passes (repro.verify.absint) operate on
+    kernel.__program__ = TAProgram(
+        instrs=tuple(em.instrs),
+        slots=tuple((n, d.name) for n, d in em.slots.items()),
+        views=tuple((f"v{i}", d.name) for i, d in enumerate(read_dtypes)),
+        outs=tuple((f"o{i}", d.name) for i, d in enumerate(out_dtypes)),
+        consts=tuple((n, a.dtype.name) for n, a in em.consts.items()),
+    )
     # (dtype, per-dtype index) per slot, in s0..sN order: the caller checks
     # the actual buffers out of its ScratchPool with this spec
     per_dtype_index: Dict[np.dtype, int] = {}

@@ -103,6 +103,7 @@ from ..errors import (
 from ..runtime.integrity import file_digest, verify_digest, write_digest
 from .breaker import CircuitBreaker
 from .chaos import ChaosConfig, ChaosPlan
+from . import journal as _journal_mod
 from .journal import JOURNAL_NAME, JOURNAL_VERSION, BatchJournal, load_journal
 from .retry import RetryPolicy
 from .spec import AttemptRecord, BatchReport, JobResult, JobSpec
@@ -301,6 +302,10 @@ class JobPool:
             raise ValueError("heartbeat_timeout must be positive (or None)")
         if poison_threshold < 1:
             raise ValueError("poison_threshold must be >= 1")
+        # static schema self-check: the journal kinds this module emits must
+        # match the declared table and the resume dispatch (cached per process)
+        if not _journal_mod._schema_checked:
+            _journal_mod.verify_journal_schema()
         self.workers = int(workers)
         self.capacity = int(capacity)
         self.tenant_quota = tenant_quota

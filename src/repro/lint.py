@@ -12,8 +12,13 @@ benchmarks scale up.  The exit code is 1 iff any linted operator has an
 error-severity finding (warnings alone exit 0), so CI can gate on it.
 
 Besides linting, every example is run through the schedule-legality prover
-(:func:`repro.verify.prove_schedule`) under a wavefront schedule and the
-certificate summary is printed — a certificate failure is a finding too.
+(:func:`repro.verify.prove_schedule`) under the same schedule set the profile
+CLI sweeps (``SCHEDULES`` — naive, spatial, wavefront; the prover result is
+trivial for the untiled kinds but recorded so the JSON is uniform) and the
+certificate summaries are printed — a certificate failure is a finding too.
+
+The ``--json`` output is schema-stable: a versioned envelope with sorted
+keys, suitable for committed baselines (see ``python -m repro.verify``).
 """
 
 from __future__ import annotations
@@ -23,11 +28,33 @@ import json
 import sys
 from typing import List
 
-from .core.scheduler import WavefrontSchedule
+from .core.scheduler import (
+    NaiveSchedule,
+    SpatialBlockSchedule,
+    WavefrontSchedule,
+)
 from .errors import ScheduleLegalityError
 from .verify import lint_operator, prove_schedule
 
 EXAMPLES = ("acoustic", "tti", "elastic")
+
+#: the schedule sweep shared by the lint/verify/profile CLIs — one source of
+#: truth so static verification covers exactly the schedules profiled
+SCHEDULES = ("naive", "spatial", "wavefront")
+
+#: JSON envelope version of ``--json`` output (bump on schema changes)
+JSON_SCHEMA_VERSION = 1
+
+
+def make_schedule(kind: str):
+    """The concrete schedule each CLI kind maps to (shared with profile)."""
+    if kind == "naive":
+        return NaiveSchedule()
+    if kind == "spatial":
+        return SpatialBlockSchedule(block=(6, 6))
+    if kind == "wavefront":
+        return WavefrontSchedule(tile=(8, 8), block=(4, 4), height=2)
+    raise ValueError(f"unknown schedule kind {kind!r}; expected one of {SCHEDULES}")
 
 
 def build_example(kind: str, nt: int = 16):
@@ -102,35 +129,50 @@ def main(argv: List[str] = None) -> int:
         if not report.ok:
             failed = True
         if not args.no_prove:
-            schedule = WavefrontSchedule(tile=(8, 8), block=(4, 4), height=2)
-            try:
-                cert = prove_schedule(prop.op, schedule)
-                entry["certificate"] = cert.to_dict()
-                if not cert.check():
+            entry["certificates"] = {}
+            for sched_kind in SCHEDULES:
+                schedule = make_schedule(sched_kind)
+                try:
+                    cert = prove_schedule(prop.op, schedule)
+                    entry["certificates"][sched_kind] = cert.to_dict()
+                    if not cert.check():
+                        failed = True
+                except ScheduleLegalityError as exc:
                     failed = True
-            except ScheduleLegalityError as exc:
-                failed = True
-                entry["certificate"] = {"legal": False, "error": str(exc)}
+                    entry["certificates"][sched_kind] = {
+                        "legal": False,
+                        "error": str(exc),
+                    }
+            # keep the wavefront certificate at the legacy key too
+            entry["certificate"] = entry["certificates"]["wavefront"]
         results.append((kind, report, entry))
 
     if args.json:
-        print(json.dumps({k: e for k, _, e in results}, indent=2))
+        envelope = {
+            "version": JSON_SCHEMA_VERSION,
+            "tool": "repro.lint",
+            "schedules": list(SCHEDULES),
+            "results": {k: e for k, _, e in results},
+        }
+        print(json.dumps(envelope, indent=2, sort_keys=True))
     else:
         for kind, report, entry in results:
             print(report.render())
-            cert = entry.get("certificate")
-            if cert is not None:
+            for sched_kind, cert in entry.get("certificates", {}).items():
                 if cert.get("legal"):
                     skew = cert["tile_skew"]
                     dist = cert["max_distance"]
                     print(
-                        f"  certificate: legal under wavefront "
+                        f"  certificate[{sched_kind}]: legal "
                         f"(angle={cert['wavefront_angle']}, skew={skew}, "
                         f"edges={len(cert['dependences'])}, "
                         f"max_distance={dist})"
                     )
                 else:
-                    print(f"  certificate: ILLEGAL — {cert.get('error', 'violated')}")
+                    print(
+                        f"  certificate[{sched_kind}]: ILLEGAL — "
+                        f"{cert.get('error', 'violated')}"
+                    )
     return 1 if failed else 0
 
 

@@ -24,19 +24,12 @@ import json
 import sys
 from typing import List
 
-from .core.scheduler import NaiveSchedule, SpatialBlockSchedule, WavefrontSchedule
+# the schedule sweep is shared with the lint/verify CLIs (one source of
+# truth: static verification covers exactly the schedules profiled)
+from .lint import SCHEDULES, make_schedule as _make_schedule
 from .telemetry import Telemetry, telemetry_to_json, render_phase_table, write_chrome_trace
 
 EXAMPLES = ("quickstart", "acoustic", "tti", "elastic")
-SCHEDULES = ("naive", "spatial", "wavefront")
-
-
-def _make_schedule(kind: str):
-    if kind == "naive":
-        return NaiveSchedule()
-    if kind == "spatial":
-        return SpatialBlockSchedule(block=(6, 6))
-    return WavefrontSchedule(tile=(8, 8), block=(4, 4), height=2)
 
 
 def profile_example(

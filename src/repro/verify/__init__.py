@@ -19,9 +19,25 @@ Layers (each usable standalone):
 * :mod:`repro.verify.oracle` — shadow-memory replay of real executions on
   small grids, confirming certified schedules race-free and counterexamples
   real.
+* :mod:`repro.verify.absint` — the abstract-interpretation pass framework:
+  parametric bounds proofs (:func:`prove_bounds` →
+  :class:`~repro.verify.certificate.BoundsCertificate`), the NEP 50 dtype
+  lattice behind W201, and whole-program scratch-slot liveness/coloring
+  (``python -m repro.verify`` is the CLI front-end).
 """
 
+from .absint import (
+    AffineForm,
+    Interval,
+    LivenessReport,
+    ParamSpace,
+    analyse_programs,
+    prove_bounds,
+)
 from .certificate import (
+    BoundsCertificate,
+    BoundsCounterexample,
+    CheckedBound,
     CheckedDependence,
     Counterexample,
     InstanceRef,
@@ -59,6 +75,15 @@ __all__ = [
     "Counterexample",
     "CheckedDependence",
     "LegalityCertificate",
+    "CheckedBound",
+    "BoundsCounterexample",
+    "BoundsCertificate",
+    "AffineForm",
+    "Interval",
+    "ParamSpace",
+    "prove_bounds",
+    "LivenessReport",
+    "analyse_programs",
     "prove_schedule",
     "offgrid_counterexample",
     "resolve_sparse_mode",

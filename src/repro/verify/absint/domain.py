@@ -1,0 +1,231 @@
+"""Abstract domains for the pass framework: intervals, affine forms, and
+admissible parameter spaces.
+
+The parametric bounds analysis (:mod:`repro.verify.absint.bounds`) reasons
+about index expressions that are *affine* in a set of named symbolic
+parameters — grid extents, halos, tile extents, wavefront height and lag.
+Because every parameter occurs at most once in such a form, evaluating it
+over per-parameter intervals is **exact**, not merely sound: the interval
+returned by :meth:`AffineForm.range_over` is precisely the image of the
+admissible parameter box.  A verification condition "form >= 0 for the whole
+family" therefore reduces to checking the interval's lower bound, with no
+false positives — exactly the property the acceptance gate demands.
+
+``None`` encodes the infinities (``lo=None`` is -inf, ``hi=None`` is +inf),
+so unbounded families like "every grid extent >= 1" are first-class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional, Tuple
+
+__all__ = ["Interval", "AffineForm", "ParamSpace"]
+
+
+def _add(a: Optional[int], b: Optional[int]) -> Optional[int]:
+    return None if a is None or b is None else a + b
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A closed integer interval ``[lo, hi]``; ``None`` bounds are infinite."""
+
+    lo: Optional[int]
+    hi: Optional[int]
+
+    def __post_init__(self) -> None:
+        if self.lo is not None and self.hi is not None and self.lo > self.hi:
+            raise ValueError(f"empty interval [{self.lo}, {self.hi}]")
+
+    @classmethod
+    def point(cls, v: int) -> "Interval":
+        return cls(int(v), int(v))
+
+    @classmethod
+    def at_least(cls, lo: int) -> "Interval":
+        return cls(int(lo), None)
+
+    @classmethod
+    def top(cls) -> "Interval":
+        return cls(None, None)
+
+    # -- arithmetic (exact for independent operands) -----------------------------
+    def __add__(self, other: "Interval") -> "Interval":
+        return Interval(_add(self.lo, other.lo), _add(self.hi, other.hi))
+
+    def __neg__(self) -> "Interval":
+        return Interval(
+            None if self.hi is None else -self.hi,
+            None if self.lo is None else -self.lo,
+        )
+
+    def __sub__(self, other: "Interval") -> "Interval":
+        return self + (-other)
+
+    def scale(self, k: int) -> "Interval":
+        if k == 0:
+            return Interval.point(0)
+        lo = None if self.lo is None else k * self.lo
+        hi = None if self.hi is None else k * self.hi
+        return Interval(lo, hi) if k > 0 else Interval(hi, lo)
+
+    def shift(self, c: int) -> "Interval":
+        return self + Interval.point(c)
+
+    # -- lattice -----------------------------------------------------------------
+    def join(self, other: "Interval") -> "Interval":
+        lo = None if self.lo is None or other.lo is None else min(self.lo, other.lo)
+        hi = None if self.hi is None or other.hi is None else max(self.hi, other.hi)
+        return Interval(lo, hi)
+
+    def widen(self, newer: "Interval") -> "Interval":
+        """Standard interval widening: unstable bounds jump to infinity."""
+        stable_lo = (
+            self.lo is not None and newer.lo is not None and newer.lo >= self.lo
+        )
+        stable_hi = (
+            self.hi is not None and newer.hi is not None and newer.hi <= self.hi
+        )
+        return Interval(self.lo if stable_lo else None, self.hi if stable_hi else None)
+
+    def contains(self, v: int) -> bool:
+        return (self.lo is None or v >= self.lo) and (self.hi is None or v <= self.hi)
+
+    @property
+    def nonnegative(self) -> bool:
+        """Does every member of the interval satisfy ``>= 0``?"""
+        return self.lo is not None and self.lo >= 0
+
+    def describe(self) -> str:
+        lo = "-inf" if self.lo is None else str(self.lo)
+        hi = "+inf" if self.hi is None else str(self.hi)
+        return f"[{lo}, {hi}]"
+
+    def to_list(self) -> list:
+        return [self.lo, self.hi]
+
+
+@dataclass(frozen=True)
+class AffineForm:
+    """``const + sum(coeff_p * p)`` over named symbolic parameters.
+
+    Immutable; coefficients with value 0 are dropped so structurally equal
+    forms compare equal.
+    """
+
+    const: int = 0
+    coeffs: Tuple[Tuple[str, int], ...] = ()
+
+    @classmethod
+    def of(cls, const: int = 0, **coeffs: int) -> "AffineForm":
+        return cls(
+            int(const),
+            tuple(sorted((p, int(k)) for p, k in coeffs.items() if k != 0)),
+        )
+
+    @classmethod
+    def param(cls, name: str, coeff: int = 1) -> "AffineForm":
+        return cls.of(0, **{name: coeff})
+
+    def coeff_map(self) -> Dict[str, int]:
+        return dict(self.coeffs)
+
+    def __add__(self, other: "AffineForm") -> "AffineForm":
+        coeffs = self.coeff_map()
+        for p, k in other.coeffs:
+            coeffs[p] = coeffs.get(p, 0) + k
+        return AffineForm.of(self.const + other.const, **coeffs)
+
+    def __neg__(self) -> "AffineForm":
+        return AffineForm.of(-self.const, **{p: -k for p, k in self.coeffs})
+
+    def __sub__(self, other: "AffineForm") -> "AffineForm":
+        return self + (-other)
+
+    def shift(self, c: int) -> "AffineForm":
+        return AffineForm(self.const + int(c), self.coeffs)
+
+    def range_over(self, space: "ParamSpace") -> Interval:
+        """The exact image of this form over the parameter box *space*.
+
+        Every parameter occurs once, so interval evaluation introduces no
+        over-approximation — the analysis has zero false positives by
+        construction.
+        """
+        acc = Interval.point(self.const)
+        for p, k in self.coeffs:
+            acc = acc + space.interval(p).scale(k)
+        return acc
+
+    def describe(self) -> str:
+        parts = [str(self.const)] if self.const or not self.coeffs else []
+        for p, k in self.coeffs:
+            if k == 1:
+                parts.append(p)
+            elif k == -1:
+                parts.append(f"-{p}")
+            else:
+                parts.append(f"{k}*{p}")
+        return " + ".join(parts).replace("+ -", "- ")
+
+
+@dataclass
+class ParamSpace:
+    """The admissible family: one interval (plus description) per parameter.
+
+    This is the domain the bounds certificates quantify over — "for **all**
+    grid extents >= 1, tile extents >= 1, heights >= 1, lags in
+    [0, angle*(height-1)] ..." — recorded so a serialised certificate states
+    exactly which family it proves.
+    """
+
+    _params: Dict[str, Tuple[Interval, str]] = field(default_factory=dict)
+
+    def declare(
+        self,
+        name: str,
+        lo: Optional[int],
+        hi: Optional[int],
+        description: str = "",
+    ) -> "ParamSpace":
+        self._params[name] = (Interval(lo, hi), description)
+        return self
+
+    def interval(self, name: str) -> Interval:
+        try:
+            return self._params[name][0]
+        except KeyError:
+            raise KeyError(f"parameter {name!r} not declared in this family") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._params
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._params)
+
+    def witness(self) -> Dict[str, int]:
+        """A minimal concrete member of the family (smallest finite bounds)."""
+        out = {}
+        for name, (iv, _) in self._params.items():
+            if iv.lo is not None:
+                out[name] = iv.lo
+            elif iv.hi is not None:
+                out[name] = iv.hi
+            else:
+                out[name] = 0
+        return out
+
+    def to_dict(self) -> dict:
+        return {
+            name: {"range": iv.to_list(), "description": desc}
+            for name, (iv, desc) in sorted(self._params.items())
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ParamSpace":
+        space = cls()
+        for name, entry in d.items():
+            lo, hi = entry["range"]
+            space.declare(name, lo, hi, entry.get("description", ""))
+        return space

@@ -1,0 +1,154 @@
+"""The dataflow pass framework over the three-address kernel IR.
+
+A :class:`DataflowPass` declares a direction, an initial state, a transfer
+function over :class:`~repro.ir.nodes.TAInstr` and a lattice join;
+:func:`run_pass` drives it over one straight-line kernel program, and
+:func:`fixpoint` drives it over the *cyclic* whole-program sequence of a
+timestep — sweep 0, sweep 1, ..., sweep 0, ... — propagating the exit state
+of each kernel into the next and iterating until the entry states stabilise
+(with an optional widening hook for infinite-height domains; the production
+dtype and liveness lattices are finite, so plain iteration terminates).
+
+Passes report :class:`Finding` records — the absint-side mirror of the
+linter's ``Diagnostic`` (converted by :meth:`Finding.to_diagnostic`, kept
+separate so the pass layer has no import cycle with the linter that calls
+it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Sequence
+
+from ...ir.nodes import TAProgram
+
+__all__ = ["Finding", "DataflowPass", "PassResult", "run_pass", "fixpoint"]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One analysis finding, convertible to a linter diagnostic."""
+
+    code: str
+    severity: str  # "error" | "warning"
+    message: str
+    sweep: Optional[int] = None
+    statement: Optional[str] = None
+    field: Optional[str] = None
+
+    def to_diagnostic(self):
+        from ..linter import Diagnostic
+
+        return Diagnostic(
+            code=self.code,
+            severity=self.severity,
+            message=self.message,
+            sweep=self.sweep,
+            statement=self.statement,
+            field=self.field,
+        )
+
+
+class DataflowPass:
+    """Base class: a direction, a lattice, and a transfer function.
+
+    Subclasses override :meth:`initial`, :meth:`transfer` and :meth:`join`
+    (plus :meth:`widen` for infinite-height domains).  States must be
+    treated as immutable values: ``transfer`` returns a new state.
+    """
+
+    #: "forward" (entry -> exit) or "backward" (exit -> entry)
+    direction = "forward"
+    #: human-readable pass name (reports, telemetry)
+    name = "dataflow"
+
+    def initial(self, program: TAProgram) -> Any:
+        raise NotImplementedError
+
+    def transfer(self, state: Any, instr, index: int, program: TAProgram) -> Any:
+        raise NotImplementedError
+
+    def join(self, a: Any, b: Any) -> Any:
+        raise NotImplementedError
+
+    def widen(self, older: Any, newer: Any) -> Any:
+        return newer
+
+    def equal(self, a: Any, b: Any) -> bool:
+        return a == b
+
+
+@dataclass
+class PassResult:
+    """Per-instruction states of one pass over one kernel program.
+
+    ``pre[i]``/``post[i]`` bracket instruction ``i`` in *program order*
+    regardless of the pass direction; ``entry``/``exit`` are the states at
+    the program boundaries in *dataflow* order (for a backward pass the
+    entry state is the one at the end of the program).
+    """
+
+    program: TAProgram
+    pre: List[Any] = field(default_factory=list)
+    post: List[Any] = field(default_factory=list)
+    entry: Any = None
+    exit: Any = None
+
+
+def run_pass(pass_: DataflowPass, program: TAProgram, entry: Any = None) -> PassResult:
+    """Drive *pass_* across one straight-line program.
+
+    *entry* overrides the pass's initial state (used by :func:`fixpoint` to
+    chain kernels); straight-line code needs exactly one sweep over the
+    instructions per invocation.
+    """
+    state = pass_.initial(program) if entry is None else entry
+    n = len(program.instrs)
+    pre: List[Any] = [None] * n
+    post: List[Any] = [None] * n
+    indices = range(n) if pass_.direction == "forward" else range(n - 1, -1, -1)
+    result = PassResult(program=program, entry=state)
+    for i in indices:
+        pre[i] = state
+        state = pass_.transfer(state, program.instrs[i], i, program)
+        post[i] = state
+    if pass_.direction == "backward":
+        pre, post = post, pre  # report in program order
+    result.pre, result.post, result.exit = pre, post, state
+    return result
+
+
+def fixpoint(
+    pass_: DataflowPass,
+    programs: Sequence[TAProgram],
+    max_rounds: int = 16,
+) -> List[PassResult]:
+    """Iterate *pass_* around the cyclic kernel sequence of one timestep.
+
+    The exit state of each kernel feeds the next (wrapping from the last
+    sweep back to the first, as execution does every timestep) until every
+    entry state is stable.  After ``max_rounds`` un-stabilised rounds the
+    pass's :meth:`~DataflowPass.widen` is applied to force convergence —
+    unreachable for the finite production lattices, present so interval
+    domains can ride the same driver.
+    """
+    order = list(programs) if pass_.direction == "forward" else list(programs)[::-1]
+    entries: List[Any] = [pass_.initial(p) for p in order]
+    results: List[PassResult] = [run_pass(pass_, p) for p in order]
+    for round_ in range(max_rounds + 1):
+        changed = False
+        carry = results[-1].exit
+        for i, program in enumerate(order):
+            merged = pass_.join(entries[i], carry)
+            if round_ == max_rounds:
+                merged = pass_.widen(entries[i], merged)
+            if not pass_.equal(merged, entries[i]):
+                changed = True
+                entries[i] = merged
+                results[i] = run_pass(pass_, program, entry=merged)
+            carry = results[i].exit
+        if not changed:
+            break
+    if pass_.direction == "backward":
+        results = results[::-1]
+    return results

@@ -1,0 +1,280 @@
+"""Whole-program scratch-slot liveness, interference and slab coloring.
+
+The per-kernel scratch analysis (linter codes E301/W302) asked one question:
+does any instruction read a slot this kernel never wrote?  This module
+extends it to the **whole program** — the cyclic sequence of fused kernels
+one timestep executes, all drawing slots from one shared
+:class:`~repro.ir.pycodegen.ScratchPool` — by running a backward liveness
+pass around the kernel cycle with the framework's :func:`fixpoint` driver.
+Pool buffers are identified by ``(dtype, per-dtype index)``, exactly the
+``__slotspec__`` identity under which sweeps share them.
+
+Deliverables:
+
+* **Findings** — E301 escalated to whole-program form (a stale read names
+  the *producing sweep* whose leftover value would be observed) and W302
+  dead stores, now derived from the typed IR instead of re-parsed source.
+* **Interference graph** — edges between same-dtype slots of one kernel
+  whose live ranges overlap (slots of different kernels never interfere:
+  kernels run to completion, and the liveness proof shows no value crosses
+  the boundary).
+* **Coloring** — a greedy (optimal for interval graphs) per-dtype coloring
+  that :func:`repro.ir.passes.plan_scratch_slots` turns into the slab plan
+  shrinking the pool from ``shapes x slots`` buffers to ``ncolors`` slabs.
+  The plan is only emitted when :attr:`LivenessReport.safe_for_slab` — the
+  proof *licenses* the optimisation; an unproven program keeps the
+  conservative per-shape pool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from ...ir.nodes import TAProgram
+from .framework import DataflowPass, Finding, fixpoint, run_pass
+
+__all__ = ["PoolLivenessPass", "LivenessReport", "analyse_programs"]
+
+PoolId = Tuple[str, int]  # (dtype name, per-dtype slot index)
+
+
+def slot_pool_ids(program: TAProgram) -> Dict[str, PoolId]:
+    """Map each slot name to its shared-pool identity, mirroring exactly how
+    :func:`repro.ir.pycodegen.compile_sweep` builds ``__slotspec__``."""
+    per_dtype: Dict[str, int] = {}
+    out: Dict[str, PoolId] = {}
+    for name, dtype in program.slots:
+        idx = per_dtype.get(dtype, 0)
+        per_dtype[dtype] = idx + 1
+        out[name] = (dtype, idx)
+    return out
+
+
+class PoolLivenessPass(DataflowPass):
+    """Backward liveness of shared pool buffers across the kernel cycle.
+
+    The state is the set of pool identities whose *current content* will be
+    read before being overwritten.  A non-empty live-in at some kernel's
+    entry is precisely a cross-sweep stale read: the kernel consumes
+    whatever the previous writer of that pooled buffer left behind.
+    """
+
+    direction = "backward"
+    name = "pool-liveness"
+
+    def initial(self, program: TAProgram) -> FrozenSet[PoolId]:
+        return frozenset()
+
+    def join(self, a: FrozenSet[PoolId], b: FrozenSet[PoolId]) -> FrozenSet[PoolId]:
+        return a | b
+
+    def transfer(self, state, instr, index, program) -> FrozenSet[PoolId]:
+        ids = slot_pool_ids(program)
+        live = set(state)
+        if instr.op != "store" and instr.out.kind == "slot":
+            live.discard(ids[instr.out.name])
+        for arg in instr.args:
+            if arg.kind == "slot":
+                live.add(ids[arg.name])
+        return frozenset(live)
+
+
+@dataclass
+class LivenessReport:
+    """Everything the whole-program scratch analysis proved."""
+
+    #: E301/W302 findings over the typed IR
+    findings: List[Finding] = field(default_factory=list)
+    #: per sweep: slot name -> (first def index, last use index) in the kernel
+    ranges: List[Dict[str, Tuple[int, int]]] = field(default_factory=list)
+    #: interference edges (sweep, slot, slot), lexicographic slot order
+    edges: List[Tuple[int, str, str]] = field(default_factory=list)
+    #: per sweep, per slot (declaration order): the slab color
+    colors: List[Tuple[int, ...]] = field(default_factory=list)
+    #: dtype name -> number of slabs needed
+    colors_per_dtype: Dict[str, int] = field(default_factory=dict)
+    #: live-in pool buffers per sweep from the fixpoint (must all be empty)
+    live_in: List[FrozenSet[PoolId]] = field(default_factory=list)
+
+    @property
+    def safe_for_slab(self) -> bool:
+        """True iff every kernel writes every slot before reading it — the
+        proof obligation that makes slab sharing bit-identical."""
+        return not any(f.code == "E301" for f in self.findings) and not any(
+            self.live_in
+        )
+
+    @property
+    def total_slots(self) -> int:
+        return sum(len(c) for c in self.colors)
+
+    @property
+    def total_colors(self) -> int:
+        return sum(self.colors_per_dtype.values())
+
+    def to_dict(self) -> dict:
+        return {
+            "safe_for_slab": self.safe_for_slab,
+            "total_slots": self.total_slots,
+            "total_colors": self.total_colors,
+            "colors_per_dtype": dict(sorted(self.colors_per_dtype.items())),
+            "colors": [list(c) for c in self.colors],
+            "edges": [[s, a, b] for s, a, b in self.edges],
+            "ranges": [
+                {name: list(r) for name, r in sorted(ranges.items())}
+                for ranges in self.ranges
+            ],
+            "findings": [f.to_diagnostic().to_dict() for f in self.findings],
+        }
+
+
+def _kernel_scan(
+    program: TAProgram, sweep: int, producers: Dict[PoolId, int]
+) -> Tuple[Dict[str, Tuple[int, int]], List[Finding]]:
+    """Forward def/use scan of one kernel: live ranges plus E301/W302."""
+    findings: List[Finding] = []
+    ids = slot_pool_ids(program)
+    first_def: Dict[str, int] = {}
+    last_use: Dict[str, int] = {}
+    pending: Dict[str, str] = {}  # slot -> rendered instr of unread write
+    stale_reported: set = set()
+
+    for i, instr in enumerate(program.instrs):
+        line = instr.render()
+        for arg in instr.args:
+            if arg.kind != "slot":
+                continue
+            name = arg.name
+            if name not in first_def and name not in stale_reported:
+                producer = producers.get(ids[name])
+                origin = (
+                    f" (last written by sweep {producer}'s kernel)"
+                    if producer is not None and producer != sweep
+                    else ""
+                )
+                findings.append(
+                    Finding(
+                        "E301",
+                        "error",
+                        f"instruction {line!r} reads scratch slot {name} "
+                        "before any write in this kernel: the pooled buffer "
+                        f"holds stale data from another sweep{origin}",
+                        sweep=sweep,
+                        statement=line,
+                    )
+                )
+                stale_reported.add(name)
+            last_use[name] = i
+            pending.pop(name, None)
+        if instr.op != "store" and instr.out.kind == "slot":
+            name = instr.out.name
+            prev = pending.get(name)
+            if prev is not None:
+                findings.append(
+                    Finding(
+                        "W302",
+                        "warning",
+                        f"dead statement: {prev!r} writes scratch slot {name} "
+                        f"but {line!r} overwrites it before any read",
+                        sweep=sweep,
+                        statement=prev,
+                    )
+                )
+            first_def.setdefault(name, i)
+            pending[name] = line
+    for name, line in pending.items():
+        findings.append(
+            Finding(
+                "W302",
+                "warning",
+                f"dead statement: {line!r} writes scratch slot {name} "
+                "whose value is never read",
+                sweep=sweep,
+                statement=line,
+            )
+        )
+    ranges = {
+        name: (d, max(last_use.get(name, d), d)) for name, d in first_def.items()
+    }
+    for name in last_use:
+        # stale-read slots have uses but no def; range starts at first use
+        if name not in ranges:
+            ranges[name] = (0, last_use[name])
+    return ranges, findings
+
+
+def analyse_programs(programs: Sequence[TAProgram]) -> LivenessReport:
+    """Run the whole-program scratch analysis over one timestep's kernels."""
+    report = LivenessReport()
+
+    # which sweep's kernel last writes each pooled buffer, in cycle order —
+    # the "producer" a stale read would observe
+    producers: Dict[PoolId, int] = {}
+    for j, program in enumerate(programs):
+        ids = slot_pool_ids(program)
+        for instr in program.instrs:
+            if instr.op != "store" and instr.out.kind == "slot":
+                producers[ids[instr.out.name]] = j
+
+    for j, program in enumerate(programs):
+        ranges, findings = _kernel_scan(program, j, producers)
+        report.ranges.append(ranges)
+        report.findings.extend(findings)
+
+    # cross-sweep fixpoint: live-in buffers at each kernel entry must be empty
+    if programs:
+        results = fixpoint(PoolLivenessPass(), programs)
+        # a backward pass's state at the *start* of the program (program
+        # order) is pre[0]: what must be live when the kernel begins
+        report.live_in = [
+            r.pre[0] if r.pre else frozenset() for r in results
+        ]
+
+    # interference graph: same kernel, same dtype, overlapping live ranges
+    for j, program in enumerate(programs):
+        dtypes = dict(program.slots)
+        names = [n for n, _ in program.slots]
+        ranges = report.ranges[j]
+        for x in range(len(names)):
+            for y in range(x + 1, len(names)):
+                a, b = names[x], names[y]
+                if dtypes[a] != dtypes[b]:
+                    continue
+                if a not in ranges or b not in ranges:
+                    continue
+                (alo, ahi), (blo, bhi) = ranges[a], ranges[b]
+                if alo <= bhi and blo <= ahi:
+                    report.edges.append((j, a, b))
+
+    # greedy coloring per dtype (optimal on interval graphs), in first-def
+    # order; colors are global across sweeps so equal colors share one slab
+    adjacency: Dict[Tuple[int, str], set] = {}
+    for j, a, b in report.edges:
+        adjacency.setdefault((j, a), set()).add(b)
+        adjacency.setdefault((j, b), set()).add(a)
+    colors_per_dtype: Dict[str, int] = {}
+    for j, program in enumerate(programs):
+        assignment: Dict[str, int] = {}
+        ranges = report.ranges[j]
+        order = sorted(
+            (n for n, _ in program.slots),
+            key=lambda n: ranges.get(n, (len(program.instrs), 0))[0],
+        )
+        dtypes = dict(program.slots)
+        for name in order:
+            taken = {
+                assignment[n]
+                for n in adjacency.get((j, name), ())
+                if n in assignment
+            }
+            color = 0
+            while color in taken:
+                color += 1
+            assignment[name] = color
+            colors_per_dtype[dtypes[name]] = max(
+                colors_per_dtype.get(dtypes[name], 0), color + 1
+            )
+        report.colors.append(tuple(assignment[n] for n, _ in program.slots))
+    report.colors_per_dtype = colors_per_dtype
+    return report

@@ -13,18 +13,29 @@ A :class:`Counterexample` is the negative verdict: two conflicting statement
 instances, each named ``(t, tile, point)``, plus the dependence they violate.
 The shadow-memory oracle (:mod:`repro.verify.oracle`) replays counterexamples
 on small grids to confirm they manifest as real races.
+
+A :class:`BoundsCertificate` is the parametric-bounds analysis' peer verdict
+(:mod:`repro.verify.absint.bounds`): for every access of every sweep it
+records the verified in-bounds inequality — symbolic in grid extent, halo,
+tile extents, wavefront height and lag — together with the admissible
+parameter family it quantifies over.  The negative verdict is a
+:class:`BoundsCounterexample`: one concrete ``(schedule, t, tile, index)``
+instance whose access escapes the padded buffer.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 __all__ = [
     "InstanceRef",
     "Counterexample",
     "CheckedDependence",
     "LegalityCertificate",
+    "CheckedBound",
+    "BoundsCounterexample",
+    "BoundsCertificate",
 ]
 
 Box = Tuple[Tuple[int, int], ...]
@@ -255,6 +266,214 @@ class LegalityCertificate:
             f"angle={self.wavefront_angle}, skew={self.tile_skew}, "
             f"edges={len(self.dependences)}, max_distance=({dist}), "
             f"legal={self.check()})"
+        )
+
+    def __repr__(self) -> str:
+        return self.summary()
+
+
+# -- parametric bounds certificates ----------------------------------------------
+
+
+@dataclass(frozen=True)
+class CheckedBound:
+    """One access with its in-bounds verification condition evaluated.
+
+    For a spatial access at *offset* into a field with *halo*, the executed
+    window along *dim* is ``[lo, hi) ⊆ [0, N)`` (executors clip every box to
+    the interior and skip empty ones), so the padded-buffer index range is
+    ``[halo + lo + offset, halo + hi + offset) ⊆ [offset, N + halo + offset)
+    + halo``; staying inside the padded extent ``N + 2*halo`` for **every**
+    extent, tile shape, height and lag reduces to the two margins
+
+    * ``margin_lo = halo + offset >= 0`` (lower padded edge), and
+    * ``margin_hi = halo - offset >= 0`` (upper padded edge).
+
+    ``kind="time"`` entries record circular time-buffer accesses, in-bounds
+    for every timestep by the modulus (``margin``\\ s hold vacuously).
+    """
+
+    sweep: int
+    statement: str
+    function: str
+    role: str  # "read" | "write" | "inject" | "receive"
+    dim: str
+    offset: int
+    halo: int
+    margin_lo: int
+    margin_hi: int
+    vc: str  # the symbolic condition, rendered over the parameter family
+    kind: str = "space"
+
+    @property
+    def satisfied(self) -> bool:
+        return self.margin_lo >= 0 and self.margin_hi >= 0
+
+    def to_dict(self) -> dict:
+        return {
+            "sweep": self.sweep,
+            "statement": self.statement,
+            "function": self.function,
+            "role": self.role,
+            "dim": self.dim,
+            "offset": self.offset,
+            "halo": self.halo,
+            "margin_lo": self.margin_lo,
+            "margin_hi": self.margin_hi,
+            "vc": self.vc,
+            "kind": self.kind,
+            "satisfied": self.satisfied,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "CheckedBound":
+        return cls(
+            sweep=int(d["sweep"]),
+            statement=d["statement"],
+            function=d["function"],
+            role=d["role"],
+            dim=d["dim"],
+            offset=int(d["offset"]),
+            halo=int(d["halo"]),
+            margin_lo=int(d["margin_lo"]),
+            margin_hi=int(d["margin_hi"]),
+            vc=d["vc"],
+            kind=d.get("kind", "space"),
+        )
+
+
+@dataclass(frozen=True)
+class BoundsCounterexample:
+    """A concrete out-of-bounds instance: (schedule, t, tile, index).
+
+    ``index`` is the padded-buffer index the access resolves to at
+    ``instance.point`` — provably outside ``[0, extent)`` along ``dim``.
+    NumPy note: a negative index *wraps silently* (reading the wrong end of
+    the buffer, no exception), an index past the end clips the view and
+    surfaces as a shape-mismatch error — and the upcoming native backend
+    would segfault; either way execution is wrong, which is why the gate
+    rejects the bind before any timestep runs.
+    """
+
+    schedule: Dict
+    instance: InstanceRef
+    function: str
+    dim: str
+    offset: int
+    halo: int
+    index: Tuple[int, ...]
+    extent: Tuple[int, ...]
+    reason: str
+
+    def describe(self) -> str:
+        return (
+            f"out-of-bounds access on field {self.function!r}: "
+            f"{self.instance.describe()} reads offset {self.offset:+d} along "
+            f"{self.dim} (halo {self.halo}) at padded-buffer index "
+            f"{list(self.index)} outside extent {list(self.extent)} — "
+            f"{self.reason}"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "schedule": dict(self.schedule),
+            "instance": self.instance.to_dict(),
+            "function": self.function,
+            "dim": self.dim,
+            "offset": self.offset,
+            "halo": self.halo,
+            "index": list(self.index),
+            "extent": list(self.extent),
+            "reason": self.reason,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "BoundsCounterexample":
+        return cls(
+            schedule=dict(d["schedule"]),
+            instance=InstanceRef.from_dict(d["instance"]),
+            function=d["function"],
+            dim=d["dim"],
+            offset=int(d["offset"]),
+            halo=int(d["halo"]),
+            index=tuple(d["index"]),
+            extent=tuple(d["extent"]),
+            reason=d["reason"],
+        )
+
+
+@dataclass
+class BoundsCertificate:
+    """The parametric bounds analysis' verdict for (operator, schedule family).
+
+    ``params`` records the admissible family quantified over (each parameter
+    with its interval and meaning — see
+    :class:`repro.verify.absint.domain.ParamSpace`); ``checks`` holds one
+    :class:`CheckedBound` per (access, dimension).  Like
+    :class:`LegalityCertificate`, the certificate re-verifies from its own
+    recorded data (:meth:`check`) after a serialisation round-trip.
+    """
+
+    operator: str
+    schedule: Dict
+    sparse_mode: str
+    dims: Tuple[str, ...]
+    halos: Dict[str, int]
+    params: Dict
+    checks: Tuple[CheckedBound, ...] = ()
+    counterexample: Optional[BoundsCounterexample] = None
+
+    def check(self) -> bool:
+        return self.counterexample is None and all(c.satisfied for c in self.checks)
+
+    def violations(self) -> List[CheckedBound]:
+        return [c for c in self.checks if not c.satisfied]
+
+    @property
+    def min_margin(self) -> Optional[int]:
+        """The tightest halo margin over all spatial checks (0 means some
+        access touches the outermost halo layer — still safe, no slack)."""
+        margins = [
+            min(c.margin_lo, c.margin_hi) for c in self.checks if c.kind == "space"
+        ]
+        return min(margins) if margins else None
+
+    def to_dict(self) -> dict:
+        return {
+            "operator": self.operator,
+            "schedule": dict(self.schedule),
+            "sparse_mode": self.sparse_mode,
+            "dims": list(self.dims),
+            "halos": dict(sorted(self.halos.items())),
+            "params": dict(self.params),
+            "checks": [c.to_dict() for c in self.checks],
+            "counterexample": (
+                self.counterexample.to_dict() if self.counterexample else None
+            ),
+            "min_margin": self.min_margin,
+            "safe": self.check(),
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "BoundsCertificate":
+        ce = d.get("counterexample")
+        return cls(
+            operator=d["operator"],
+            schedule=dict(d["schedule"]),
+            sparse_mode=d["sparse_mode"],
+            dims=tuple(d["dims"]),
+            halos={k: int(v) for k, v in d["halos"].items()},
+            params=dict(d["params"]),
+            checks=tuple(CheckedBound.from_dict(x) for x in d["checks"]),
+            counterexample=BoundsCounterexample.from_dict(ce) if ce else None,
+        )
+
+    def summary(self) -> str:
+        return (
+            f"BoundsCertificate({self.operator}, "
+            f"schedule={self.schedule.get('kind')}, sparse={self.sparse_mode}, "
+            f"checks={len(self.checks)}, min_margin={self.min_margin}, "
+            f"safe={self.check()})"
         )
 
     def __repr__(self) -> str:

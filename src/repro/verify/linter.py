@@ -6,13 +6,17 @@ Static checks at two levels:
   declared halo (``E101``), non-pointwise writes (``E102``), intra-sweep
   aliasing reads at nonzero radius (``E401``), duplicate ``(field, time)``
   writes within a sweep (``E402``), and dtype narrowing through the store
-  (``W201``, via specimen evaluation — the same zero-size-array promotion
-  rules the fused emitter uses).
-* **kernel level** (fused engine): the three-address program of
-  ``kernel.__source__`` is parsed and its scratch slots tracked — a read of a
-  slot never written in this kernel observes stale pooled memory from some
-  earlier sweep (``E301``); a value stored to a slot and never consumed is a
-  dead statement (``W302``).
+  (``W201``, via the abstract NEP 50 promotion lattice of
+  :mod:`repro.verify.absint.dtypes` — the message names the statement and the
+  exact promotion chain that produced the wider dtype).
+* **kernel level** (fused engine): the structured three-address program
+  (``kernel.__program__``) is analysed by the whole-program scratch passes of
+  :mod:`repro.verify.absint.liveness` — a read of a slot never written in
+  this kernel observes stale pooled memory from some earlier sweep
+  (``E301``, naming the producing sweep); a value stored to a slot and never
+  consumed is a dead statement (``W302``).  :func:`analyse_kernel_source`
+  remains as the text-level fallback (and keeps synthetic kernel sources
+  testable without compiling one).
 
 Error-severity findings reject the fused bind: :meth:`Operator._build_sweeps`
 raises :class:`~repro.errors.KernelLintError` (an
@@ -26,13 +30,13 @@ Run from the command line as ``python -m repro.lint <example|--all> [--json]``
 
 from __future__ import annotations
 
+import dataclasses
 import re
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional
 
 import numpy as np
 
-from ..dsl.symbols import Expr, Indexed
 from ..ir.dependencies import read_accesses, written_access
 
 __all__ = [
@@ -77,6 +81,9 @@ class LintReport:
 
     name: str
     diagnostics: List[Diagnostic] = field(default_factory=list)
+    #: whole-program scratch analysis, when the fused kernels compiled
+    #: (a :class:`repro.verify.absint.liveness.LivenessReport`)
+    scratch: Optional[object] = None
 
     @property
     def errors(self) -> List[Diagnostic]:
@@ -97,6 +104,7 @@ class LintReport:
             "errors": len(self.errors),
             "warnings": len(self.warnings),
             "diagnostics": [d.to_dict() for d in self.diagnostics],
+            "scratch": self.scratch.to_dict() if self.scratch is not None else None,
         }
 
     def render(self) -> str:
@@ -205,15 +213,15 @@ def analyse_kernel_source(source: str, sweep: Optional[int] = None) -> List[Diag
 # -- equation-level checks ------------------------------------------------------
 
 
-def _specimen_dtype(rhs: Expr, reads: Sequence[Indexed]) -> Optional[np.dtype]:
-    """The dtype NumPy promotion gives *rhs*, via zero-size specimen arrays."""
-    env: Dict[Expr, np.ndarray] = {
-        a: np.empty(0, dtype=a.function.dtype) for a in reads
-    }
+def _abstract_dtype(rhs) -> "tuple[Optional[str], List[str]]":
+    """The dtype of *rhs* under the abstract NEP 50 promotion lattice, plus
+    the promotion chain (every step where the accumulated dtype widened)."""
+    from .absint.dtypes import expr_dtype
+
     try:
-        return np.asarray(rhs.evaluate(env)).dtype
-    except Exception:
-        return None  # unbound symbols etc.: other checks own that failure
+        return expr_dtype(rhs, lambda a: a.function.dtype)
+    except (TypeError, ValueError):
+        return None, []  # unbound symbols etc.: other checks own that failure
 
 
 def lint_equations(eqs, sweep: Optional[int] = None) -> List[Diagnostic]:
@@ -284,16 +292,20 @@ def lint_equations(eqs, sweep: Optional[int] = None) -> List[Diagnostic]:
                 )
             )
         produced.add(wkey)
-        expr_dtype = _specimen_dtype(eq.rhs, sorted(eq.rhs.atoms(Indexed), key=str))
-        out_dtype = np.dtype(eq.lhs.function.dtype)
-        if expr_dtype is not None and expr_dtype != out_dtype:
+        from .absint.dtypes import is_weak
+
+        elem, chain = _abstract_dtype(eq.rhs)
+        out_dtype = np.dtype(eq.lhs.function.dtype).name
+        # weak scalars adapt to the stored dtype under NEP 50: no narrowing
+        if elem is not None and not is_weak(elem) and elem != out_dtype:
+            trace = " ; ".join(chain) if chain else "leaf dtype, no promotions"
             diags.append(
                 Diagnostic(
                     "W201",
                     "warning",
-                    f"store narrows/casts: expression evaluates to "
-                    f"{expr_dtype} but {eq.lhs.function.name!r} holds "
-                    f"{out_dtype}",
+                    f"store narrows/casts: {eq} evaluates to {elem} but "
+                    f"{eq.lhs.function.name!r} holds {out_dtype} "
+                    f"(promotion chain: {trace})",
                     sweep=sweep,
                     statement=str(eq),
                     field=eq.lhs.function.name,
@@ -305,14 +317,41 @@ def lint_equations(eqs, sweep: Optional[int] = None) -> List[Diagnostic]:
 # -- entry points ----------------------------------------------------------------
 
 
+def _scratch_analysis(report: LintReport, entries) -> None:
+    """Whole-program scratch analysis over ``(sweep, program, source)`` rows.
+
+    Sweeps with a structured three-address program are analysed together by
+    the cross-sweep liveness passes (sweep indices in the findings are
+    remapped back to the caller's numbering); sweeps that only expose rendered
+    source fall back to the text-level :func:`analyse_kernel_source`.
+    """
+    compiled = [(j, p) for j, p, _ in entries if p is not None]
+    if compiled:
+        from .absint.liveness import analyse_programs
+
+        live = analyse_programs([p for _, p in compiled])
+        remap = {i: j for i, (j, _) in enumerate(compiled)}
+        live.findings = [
+            dataclasses.replace(
+                f, sweep=remap.get(f.sweep, f.sweep) if f.sweep is not None else None
+            )
+            for f in live.findings
+        ]
+        report.diagnostics.extend(f.to_diagnostic() for f in live.findings)
+        report.scratch = live
+    for j, p, source in entries:
+        if p is None and source is not None:
+            report.diagnostics.extend(analyse_kernel_source(source, sweep=j))
+
+
 def lint_bound_sweeps(bound_sweeps, name: str = "Kernel") -> LintReport:
     """Lint already-bound sweeps (the fused rung of the engine ladder)."""
     report = LintReport(name=name)
+    entries = []
     for j, sw in enumerate(bound_sweeps):
         report.diagnostics.extend(lint_equations(sw.eqs, sweep=j))
-        source = sw.kernel_source()
-        if source is not None:
-            report.diagnostics.extend(analyse_kernel_source(source, sweep=j))
+        entries.append((j, sw.kernel_program(), sw.kernel_source()))
+    _scratch_analysis(report, entries)
     return report
 
 
@@ -332,6 +371,7 @@ def lint_operator(op, dt: float = 1.0) -> LintReport:
     subs = {Symbol("dt"): Number(float(dt))}
     for sym, val in op.grid.spacing_map().items():
         subs[sym] = Number(float(val))
+    entries = []
     for j, sweep in enumerate(op.sweeps):
         eqs = [e.subs(subs) for e in sweep.eqs]
         report.diagnostics.extend(lint_equations(eqs, sweep=j))
@@ -359,7 +399,6 @@ def lint_operator(op, dt: float = 1.0) -> LintReport:
                 )
             )
             continue
-        source = sw.kernel_source()
-        if source is not None:
-            report.diagnostics.extend(analyse_kernel_source(source, sweep=j))
+        entries.append((j, sw.kernel_program(), sw.kernel_source()))
+    _scratch_analysis(report, entries)
     return report

@@ -1,0 +1,54 @@
+"""Static journal-schema self-check: emitted kinds vs declared vs replayed."""
+
+import pytest
+
+from repro.errors import JournalSchemaError
+from repro.jobs import journal as journal_mod
+from repro.jobs.journal import JOURNAL_KINDS, verify_journal_schema
+
+
+def test_schema_is_consistent():
+    result = verify_journal_schema()
+    assert set(result["emitted"]) == set(JOURNAL_KINDS)
+    replayed = {k for k, role in JOURNAL_KINDS.items() if role == "replayed"}
+    assert set(result["consumed"]) == replayed
+    # the batch header is consumed via replay.header, not for_kind()
+    assert "batch" in result["consumed"]
+
+
+def test_declared_roles_are_valid():
+    assert set(JOURNAL_KINDS.values()) <= {"replayed", "audit"}
+    # every kind is documented in the module docstring's record-kind list
+    for kind in JOURNAL_KINDS:
+        assert f"``{kind}``" in journal_mod.__doc__
+
+
+def test_undeclared_emitted_kind_raises(monkeypatch):
+    monkeypatch.delitem(JOURNAL_KINDS, "drain")
+    with pytest.raises(JournalSchemaError) as err:
+        verify_journal_schema()
+    assert "drain" in err.value.missing
+    assert err.value.unused == []
+
+
+def test_declared_but_never_emitted_kind_raises(monkeypatch):
+    monkeypatch.setitem(JOURNAL_KINDS, "phantom", "audit")
+    with pytest.raises(JournalSchemaError) as err:
+        verify_journal_schema()
+    assert "phantom" in err.value.unused
+
+
+def test_misdeclared_replay_role_raises(monkeypatch):
+    # claiming an audit-only kind is replayed must fail the reverse check
+    monkeypatch.setitem(JOURNAL_KINDS, "drain", "replayed")
+    with pytest.raises(JournalSchemaError) as err:
+        verify_journal_schema()
+    assert "drain" in err.value.unused
+
+
+def test_pool_construction_runs_cached_check(monkeypatch, tmp_path):
+    from repro.jobs.pool import JobPool
+
+    monkeypatch.setattr(journal_mod, "_schema_checked", False)
+    JobPool(workers=0, workdir=tmp_path, journal=False)
+    assert journal_mod._schema_checked

@@ -1,0 +1,234 @@
+"""Parametric bounds analysis: certificates, counterexamples, runtime match."""
+
+import numpy as np
+import pytest
+
+from repro.core import NaiveSchedule, WavefrontSchedule
+from repro.dsl import Eq, Grid, TimeFunction
+from repro.errors import BoundsProofError, EngineCompilationError
+from repro.ir import Operator
+from repro.verify import BoundsCertificate, prove_bounds
+from repro.verify.absint import build_param_space
+from ..conftest import make_acoustic_operator
+
+
+def _bad_operator(shape=(8, 8), so=2, reach=3, name="Bad"):
+    """A kernel reading ``reach`` points along x with only ``so`` halo — the
+    injected off-by-one(ish) halo violation."""
+    grid = Grid(shape=shape, extent=tuple(10.0 * (n - 1) for n in shape))
+    u = TimeFunction("u", grid, time_order=1, space_order=so)
+    far = u.indexify().shift(grid.dimensions[0], reach)
+    return Operator([Eq(u.forward, far)], name=name), u
+
+
+# -- positive verdicts: certificates hold wherever execution succeeds ------------
+
+
+@pytest.mark.parametrize("so", [2, 4, 8])
+@pytest.mark.parametrize("tile", [(4, 4), (8, 8), (8, 4)])
+def test_certificate_holds_wherever_execution_succeeds(so, tile):
+    """Property sweep over space order x tile shape: the parametric proof
+    covers every member of the family, so any concrete run that the
+    executor accepts must also be a run the certificate admits."""
+    grid = Grid(shape=(14, 12), extent=(130.0, 110.0))
+    op, u, *_ = make_acoustic_operator(grid, so=so, src_coords=False, rec_coords=False)
+    schedule = WavefrontSchedule(tile=tile, block=tile, height=2)
+    cert = prove_bounds(op, schedule)
+    assert cert.check(), cert.summary()
+    assert cert.counterexample is None and not cert.violations()
+    assert cert.min_margin is not None and cert.min_margin >= 0
+    # the concrete run the certificate generalises: must execute cleanly
+    u.data_with_halo[...] = 0.0
+    u.interior(0)[...] = np.random.default_rng(so).normal(size=grid.shape)
+    op.apply(time_M=3, dt=1.0, schedule=schedule)
+    assert np.isfinite(u.interior(3)).all()
+
+
+def test_space_margins_are_halo_vs_offset(grid2d):
+    """Executors clip every window to the interior, so the margin along each
+    dimension reduces to halo +/- offset — independent of tile parameters."""
+    op, *_ = make_acoustic_operator(grid2d, so=4)
+    cert = prove_bounds(op)
+    space_checks = [c for c in cert.checks if c.kind == "space"]
+    assert space_checks
+    for c in space_checks:
+        assert c.margin_lo == c.halo + c.offset
+        assert c.margin_hi == c.halo - c.offset
+        assert abs(c.offset) <= c.halo
+    # the tightest margin comes from the widest stencil reach
+    assert cert.min_margin == min(
+        min(c.margin_lo, c.margin_hi) for c in space_checks
+    )
+
+
+def test_family_covers_all_schedules(grid2d):
+    """The schedule-free proof quantifies over every schedule knob at once."""
+    op, *_ = make_acoustic_operator(grid2d, so=4)
+    space = build_param_space(op, halos={"u": 4})
+    for d in op.grid.dimensions:
+        assert f"N_{d.name}" in space
+        assert space.interval(f"N_{d.name}").lo == 1
+        assert space.interval(f"N_{d.name}").hi is None
+    assert "H" in space and "lag" in space and "T_0" in space and "B_0" in space
+    assert space.interval("halo_u").lo == space.interval("halo_u").hi == 4
+
+
+def test_certificate_roundtrip_and_tamper(grid2d):
+    op, *_ = make_acoustic_operator(grid2d)
+    cert = prove_bounds(op, WavefrontSchedule(tile=(8, 8), block=(4, 4), height=2))
+    d = cert.to_dict()
+    assert d["safe"] is True
+    back = BoundsCertificate.from_dict(d)
+    assert back.check() and back.to_dict() == d
+    # a tampered margin must fail re-validation without re-running analysis
+    rows = [r for r in d["checks"] if r["kind"] == "space"]
+    rows[0]["margin_hi"] = -1
+    assert not BoundsCertificate.from_dict(d).check()
+
+
+def test_certificates_cached_per_schedule_family(grid2d):
+    op, *_ = make_acoustic_operator(grid2d)
+    any_cert = op.bounds_certificate_for(None)
+    assert op.bounds_certificate_for(None) is any_cert
+    wf = WavefrontSchedule(tile=(8, 8), block=(4, 4), height=2)
+    wf_cert = op.bounds_certificate_for(wf)
+    assert op.bounds_certificate_for(wf) is wf_cert
+    assert wf_cert is not any_cert
+    assert op.analyzer_seconds > 0.0
+
+
+# -- negative verdicts: counterexample matches the runtime error -----------------
+
+
+def test_refuted_family_names_concrete_counterexample():
+    op, _ = _bad_operator()
+    cert = prove_bounds(op)
+    assert not cert.check()
+    ce = cert.counterexample
+    assert ce is not None
+    # the violated margin: margin_hi = halo - offset = 2 - 3 = -1
+    violations = cert.violations()
+    assert len(violations) == 1
+    bad = violations[0]
+    assert (bad.function, bad.dim, bad.offset) == ("u", "x", 3)
+    assert bad.margin_lo == 5 and bad.margin_hi == -1
+    # concrete minimal instance on the operator's own grid: the escaping
+    # point is the last interior x, and the flattened padded index is just
+    # past the padded extent — off by exactly the violated margin
+    assert ce.function == "u" and ce.dim == "x" and ce.offset == 3
+    assert ce.instance.t == 0
+    assert ce.index[0] == ce.extent[0] + bad.margin_hi * -1 - 1
+    assert ce.index[0] >= ce.extent[0]
+    assert "margin_hi" in ce.reason
+
+
+def test_counterexample_matches_runtime_failure():
+    """The statically predicted out-of-bounds access is the real one: the
+    interp engine (no bounds gate) fails on exactly that access."""
+    op, _ = _bad_operator()
+    cert = prove_bounds(op)
+    assert not cert.check()
+    with pytest.raises(ValueError, match="broadcast"):
+        op.apply(time_M=1, dt=0.1, engine="interp")
+
+
+def test_fused_bind_rejects_before_execution_and_degrades(monkeypatch):
+    """The bounds gate is the fused bind's second line of defence: even with
+    the equation-level linter blinded (its E101 covers the same halo
+    condition and fires first), a refuted certificate raises
+    BoundsProofError — which rides the ladder as a compilation failure."""
+    import repro.verify.linter as linter_mod
+    from repro.verify import LintReport
+
+    monkeypatch.setattr(
+        linter_mod,
+        "lint_bound_sweeps",
+        lambda bound, name="": LintReport(name=name, diagnostics=[]),
+    )
+    op, u = _bad_operator(so=4, reach=5, name="BadStrict")
+    with pytest.raises(BoundsProofError) as err:
+        op.apply(time_M=1, dt=0.1, strict_engine=True)
+    assert err.value.counterexample is not None
+    assert not err.value.certificate.check()
+    assert isinstance(err.value, EngineCompilationError)
+    assert not np.any(u.data)  # rejected before any timestep ran
+
+
+def test_lint_gate_fires_first_on_halo_violation():
+    """Unblinded, the same operator is rejected by E101 before the bounds
+    gate even runs — the two gates agree on halo violations."""
+    from repro.errors import KernelLintError
+
+    op, _ = _bad_operator(so=4, reach=5, name="BadLintFirst")
+    with pytest.raises(KernelLintError, match="E101"):
+        op.apply(time_M=1, dt=0.1, strict_engine=True)
+
+
+def test_wavefront_apply_rejects_hard_before_execution():
+    """Under a wavefront schedule the preflight re-proves with the *actual*
+    schedule and rejects hard — no sound rung to degrade to."""
+    op, u = _bad_operator(shape=(16, 16))
+    wf = WavefrontSchedule(tile=(8, 8), block=(4, 4), height=2)
+    with pytest.raises(BoundsProofError) as err:
+        op.apply(time_M=2, dt=0.1, schedule=wf)
+    ce = err.value.counterexample
+    assert ce is not None and ce.schedule.get("kind") == "wavefront"
+    assert not np.any(u.data)
+
+
+def test_injected_off_by_one_margin_is_minus_one():
+    """reach = halo + 1 is the tightest possible violation: exactly one
+    point escapes, and the certificate says so."""
+    for so in (2, 4):
+        op, _ = _bad_operator(so=so, reach=so + 1, name=f"OffByOne{so}")
+        cert = prove_bounds(op)
+        assert not cert.check()
+        assert min(c.margin_hi for c in cert.violations()) == -1
+        with pytest.raises(ValueError):
+            op.apply(time_M=1, dt=0.1, engine="interp")
+
+
+# -- golden rendering ------------------------------------------------------------
+
+GOLDEN_RENDER = """\
+Parametric bounds certificate
+quantity         value
+---------------  ---------------------------------------------------------------------------------------------------
+operator         Golden
+schedule family  any
+sparse mode      offgrid
+safe             True
+checks           5 (space=3, time=2)
+min halo margin  1
+halos            u=2
+parameters       B_0 in [1, inf]; H in [1, inf]; N_x in [1, inf]; T_0 in [1, inf]; halo_u in [2, 2]; lag in [0, inf]"""
+
+
+def test_golden_certificate_rendering():
+    from repro.analysis.report import render_bounds_certificate
+
+    grid = Grid(shape=(8,), extent=(70.0,))
+    u = TimeFunction("u", grid, time_order=1, space_order=2)
+    op = Operator([Eq(u.forward, 0.5 * u.dx)], name="Golden")
+    cert = op.bounds_certificate_for(None)
+    got = [line.rstrip() for line in render_bounds_certificate(cert).splitlines()]
+    assert got == GOLDEN_RENDER.splitlines()
+
+
+def test_refuted_rendering_shows_counterexample_and_margins():
+    from repro.analysis.report import render_bounds_certificate
+
+    op, _ = _bad_operator()
+    out = render_bounds_certificate(prove_bounds(op))
+    assert "counterexample:" in out
+    assert "violated margins:" in out
+    assert "u[x+3]" in out and "margin_hi=-1" in out
+
+
+def test_naive_schedule_family_proves_same_margins(grid2d):
+    op, *_ = make_acoustic_operator(grid2d)
+    any_cert = prove_bounds(op)
+    naive_cert = prove_bounds(op, NaiveSchedule())
+    assert naive_cert.check()
+    assert naive_cert.min_margin == any_cert.min_margin
+    assert naive_cert.schedule.get("kind") == "naive"

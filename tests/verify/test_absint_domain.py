@@ -1,0 +1,140 @@
+"""Abstract domains: interval lattice, affine forms, parameter spaces."""
+
+import pytest
+
+from repro.verify.absint import AffineForm, Interval, ParamSpace
+
+# -- Interval --------------------------------------------------------------------
+
+
+def test_interval_constructors():
+    assert Interval.point(3) == Interval(3, 3)
+    assert Interval.at_least(1) == Interval(1, None)
+    assert Interval.top() == Interval(None, None)
+    with pytest.raises(ValueError):
+        Interval(2, 1)
+
+
+def test_interval_arithmetic_exact():
+    a, b = Interval(1, 2), Interval(3, 4)
+    assert a + b == Interval(4, 6)
+    assert -a == Interval(-2, -1)
+    assert a - b == Interval(-3, -1)
+    assert a.scale(3) == Interval(3, 6)
+    assert a.scale(-1) == Interval(-2, -1)
+    assert a.scale(0) == Interval.point(0)
+    assert a.shift(10) == Interval(11, 12)
+
+
+def test_interval_infinities_absorb():
+    top = Interval.top()
+    assert top + Interval(1, 2) == top
+    assert Interval.at_least(0) + Interval.point(5) == Interval.at_least(5)
+    assert -Interval.at_least(3) == Interval(None, -3)
+    assert Interval.at_least(2).scale(-2) == Interval(None, -4)
+
+
+def test_interval_join_is_convex_hull():
+    assert Interval.point(3).join(Interval.point(5)) == Interval(3, 5)
+    assert Interval(0, 1).join(Interval.at_least(4)) == Interval.at_least(0)
+    assert Interval(0, 1).join(Interval.top()) == Interval.top()
+
+
+def test_interval_widening_jumps_unstable_bounds_to_infinity():
+    # a growing upper bound widens to +inf; the stable lower bound survives
+    assert Interval(0, 3).widen(Interval(0, 5)) == Interval(0, None)
+    # a shrinking lower bound widens to -inf
+    assert Interval(0, 3).widen(Interval(-1, 3)) == Interval(None, 3)
+    # a stable (contained) update widens to itself: chains terminate
+    assert Interval(0, 3).widen(Interval(1, 2)) == Interval(0, 3)
+    # widening is a one-step ascent to a fixpoint: widening again is stable
+    w = Interval(0, 3).widen(Interval(0, 5))
+    assert w.widen(Interval(0, 10**9)) == w
+
+
+def test_interval_predicates():
+    assert Interval(0, 5).contains(0) and Interval(0, 5).contains(5)
+    assert not Interval(0, 5).contains(6)
+    assert Interval.at_least(2).contains(10**12)
+    assert Interval.at_least(0).nonnegative
+    assert not Interval(-1, 5).nonnegative
+    assert not Interval.top().nonnegative  # unbounded below is not provably >= 0
+    assert Interval(1, None).describe() == "[1, +inf]"
+    assert Interval.top().to_list() == [None, None]
+
+
+# -- AffineForm ------------------------------------------------------------------
+
+
+def test_affine_form_normalisation():
+    # zero coefficients drop, names sort: structural equality is semantic
+    assert AffineForm.of(2, x=1, y=0) == AffineForm.of(2, x=1)
+    assert AffineForm.of(0, b=1, a=2).coeffs == (("a", 2), ("b", 1))
+    assert AffineForm.param("h") == AffineForm.of(0, h=1)
+
+
+def test_affine_form_arithmetic():
+    f = AffineForm.param("x") + AffineForm.of(3, y=2)
+    assert f == AffineForm.of(3, x=1, y=2)
+    assert f - AffineForm.param("x") == AffineForm.of(3, y=2)
+    # cancellation drops the coefficient entirely
+    assert (AffineForm.param("x") - AffineForm.param("x")) == AffineForm.of(0)
+    assert f.shift(-3) == AffineForm.of(0, x=1, y=2)
+    assert (-f) == AffineForm.of(-3, x=-1, y=-2)
+
+
+def test_affine_range_over_is_exact():
+    space = ParamSpace().declare("x", 0, 3).declare("y", 1, 2)
+    f = AffineForm.of(2, x=1, y=-1)  # 2 + x - y over [0,3] x [1,2]
+    got = f.range_over(space)
+    # brute-force image over the finite box
+    values = [2 + x - y for x in range(4) for y in (1, 2)]
+    assert got == Interval(min(values), max(values))
+
+
+def test_affine_range_over_unbounded_family():
+    space = ParamSpace().declare("N", 1, None).declare("h", 2, 2)
+    # halo + (N-1): the highest interior index in the padded buffer
+    f = AffineForm.of(-1, N=1, h=1)
+    assert f.range_over(space) == Interval(2, None)
+    assert f.range_over(space).nonnegative
+
+
+def test_affine_describe():
+    assert AffineForm.of(2, x=1, y=-1).describe() == "2 + x - y"
+    assert AffineForm.param("h", 3).describe() == "3*h"
+    assert AffineForm.of(0).describe() == "0"
+
+
+# -- ParamSpace ------------------------------------------------------------------
+
+
+def test_param_space_declare_and_lookup():
+    space = ParamSpace().declare("N_x", 1, None, "grid extent")
+    assert "N_x" in space and "N_y" not in space
+    assert space.interval("N_x") == Interval.at_least(1)
+    with pytest.raises(KeyError):
+        space.interval("N_y")
+
+
+def test_param_space_witness_is_minimal_member():
+    space = (
+        ParamSpace()
+        .declare("N", 4, None)
+        .declare("h", 2, 2)
+        .declare("free", None, None)
+        .declare("neg", None, -3)
+    )
+    w = space.witness()
+    assert w == {"N": 4, "h": 2, "free": 0, "neg": -3}
+    for name, v in w.items():
+        assert space.interval(name).contains(v)
+
+
+def test_param_space_dict_roundtrip():
+    space = ParamSpace().declare("T_0", 1, None, "tile extent").declare("h", 2, 2)
+    d = space.to_dict()
+    assert d["T_0"] == {"range": [1, None], "description": "tile extent"}
+    back = ParamSpace.from_dict(d)
+    assert back.to_dict() == d
+    assert list(back) == sorted(space)

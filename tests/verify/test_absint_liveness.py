@@ -1,0 +1,216 @@
+"""Whole-program scratch liveness: findings, interference, slab coloring."""
+
+import numpy as np
+import pytest
+
+from repro.core import NaiveSchedule, WavefrontSchedule
+from repro.dsl import Grid
+from repro.ir.nodes import TAInstr, TAOperand, TAProgram
+from repro.ir.passes import plan_scratch_slots
+from repro.verify import analyse_programs
+from repro.verify.absint import LivenessReport
+from ..conftest import make_acoustic_operator, run_and_capture
+
+
+def V(name):
+    return TAOperand("view", name, "float32")
+
+
+def S(name):
+    return TAOperand("slot", name, "float32")
+
+
+def O(name):
+    return TAOperand("out", name, "float32")
+
+
+def prog(instrs, slots, views=(("v0", "float32"),), outs=(("o0", "float32"),)):
+    return TAProgram(
+        instrs=tuple(instrs), slots=tuple(slots), views=tuple(views), outs=tuple(outs)
+    )
+
+
+# -- coloring: non-overlapping lifetimes share a slab ----------------------------
+
+
+def test_sequential_slots_share_one_color():
+    """s1's lifetime starts after s0's ends: the coloring folds two slots
+    into one slab — the pool shrink the slab plan licenses."""
+    p = prog(
+        [
+            TAInstr("multiply", (V("v0"), V("v0")), S("s0")),
+            TAInstr("add", (S("s0"), V("v0")), O("o0")),
+            TAInstr("multiply", (V("v0"), V("v0")), S("s1")),
+            TAInstr("add", (S("s1"), V("v0")), O("o0")),
+        ],
+        slots=[("s0", "float32"), ("s1", "float32")],
+    )
+    report = analyse_programs([p])
+    assert not report.findings
+    assert report.safe_for_slab
+    assert report.ranges[0] == {"s0": (0, 1), "s1": (2, 3)}
+    assert report.edges == []
+    assert report.colors == [(0, 0)]
+    assert report.total_slots == 2 and report.total_colors == 1
+    live, plan = plan_scratch_slots([p])
+    assert plan == [(0, 0)]
+
+
+def test_overlapping_slots_interfere_and_get_distinct_colors():
+    p = prog(
+        [
+            TAInstr("multiply", (V("v0"), V("v0")), S("s0")),
+            TAInstr("multiply", (V("v0"), V("v0")), S("s1")),
+            TAInstr("add", (S("s0"), S("s1")), O("o0")),
+        ],
+        slots=[("s0", "float32"), ("s1", "float32")],
+    )
+    report = analyse_programs([p])
+    assert report.safe_for_slab
+    assert report.edges == [(0, "s0", "s1")]
+    assert sorted(report.colors[0]) == [0, 1]
+    assert report.colors_per_dtype == {"float32": 2}
+
+
+def test_different_dtypes_never_interfere():
+    p = prog(
+        [
+            TAInstr("multiply", (V("v0"), V("v0")), S("s0")),
+            TAInstr("multiply", (V("v0"), V("v0")), TAOperand("slot", "s1", "float64")),
+            TAInstr("add", (S("s0"), TAOperand("slot", "s1", "float64")), O("o0")),
+        ],
+        slots=[("s0", "float32"), ("s1", "float64")],
+    )
+    report = analyse_programs([p])
+    assert report.edges == []
+    # one slab per dtype: slabs are keyed (dtype, color)
+    assert report.colors_per_dtype == {"float32": 1, "float64": 1}
+
+
+# -- findings: stale reads and dead stores ---------------------------------------
+
+
+def test_e301_stale_read_names_producing_sweep():
+    writer = prog(
+        [
+            TAInstr("multiply", (V("v0"), V("v0")), S("s0")),
+            TAInstr("add", (S("s0"), V("v0")), O("o0")),
+        ],
+        slots=[("s0", "float32")],
+    )
+    reader = prog(
+        [TAInstr("add", (S("s0"), V("v0")), O("o0"))],
+        slots=[("s0", "float32")],
+    )
+    report = analyse_programs([writer, reader])
+    stale = [f for f in report.findings if f.code == "E301"]
+    assert len(stale) == 1
+    assert stale[0].sweep == 1
+    assert "stale data" in stale[0].message
+    assert "sweep 0" in stale[0].message  # producer attribution
+    assert not report.safe_for_slab
+    # the cross-sweep fixpoint sees the buffer live into the reader's kernel
+    assert ("float32", 0) in report.live_in[1]
+    # no slab plan is licensed for an unproven program
+    _, plan = plan_scratch_slots([writer, reader])
+    assert plan is None
+
+
+def test_w302_overwrite_before_read():
+    p = prog(
+        [
+            TAInstr("multiply", (V("v0"), V("v0")), S("s0")),
+            TAInstr("add", (V("v0"), V("v0")), S("s0")),
+            TAInstr("add", (S("s0"), V("v0")), O("o0")),
+        ],
+        slots=[("s0", "float32")],
+    )
+    report = analyse_programs([p])
+    dead = [f for f in report.findings if f.code == "W302"]
+    assert len(dead) == 1
+    assert "overwrites it before any read" in dead[0].message
+    assert report.safe_for_slab  # warnings do not forfeit the slab proof
+
+
+def test_w302_never_read():
+    p = prog(
+        [
+            TAInstr("multiply", (V("v0"), V("v0")), S("s0")),
+            TAInstr("add", (V("v0"), V("v0")), O("o0")),
+        ],
+        slots=[("s0", "float32")],
+    )
+    report = analyse_programs([p])
+    dead = [f for f in report.findings if f.code == "W302"]
+    assert len(dead) == 1
+    assert "never read" in dead[0].message
+
+
+def test_report_serialises():
+    p = prog(
+        [
+            TAInstr("multiply", (V("v0"), V("v0")), S("s0")),
+            TAInstr("add", (S("s0"), V("v0")), O("o0")),
+        ],
+        slots=[("s0", "float32")],
+    )
+    d = analyse_programs([p]).to_dict()
+    assert d["safe_for_slab"] is True
+    assert d["total_slots"] == 1 and d["total_colors"] == 1
+    assert d["ranges"] == [{"s0": [0, 1]}]
+    assert d["findings"] == []
+
+
+# -- the slab plan on a real operator: pool shrink, bit-identical ----------------
+
+
+@pytest.fixture
+def grid24():
+    return Grid(shape=(24, 24), extent=(230.0, 230.0))
+
+
+def test_slab_plan_shrinks_pool_bit_identically(grid24):
+    """Acceptance: the liveness proof licenses slab sharing on the fused
+    acoustic operator — one slab per (dtype, color) instead of one buffer
+    per (tile shape, dtype, slot) — and results are bit-identical."""
+    nt, dt = 6, 1.0
+    wf = WavefrontSchedule(tile=(8, 8), block=(4, 4), height=2)
+
+    op, u, m, src, rec = make_acoustic_operator(grid24, nt=nt)
+    ref_u, ref_rec = run_and_capture(
+        op, u, rec, nt, dt, NaiveSchedule(), "precomputed", engine="interp"
+    )
+    got_u, got_rec = run_and_capture(op, u, rec, nt, dt, wf, "precomputed")
+    np.testing.assert_array_equal(got_u, ref_u)
+    np.testing.assert_array_equal(got_rec, ref_rec)
+
+    # slab mode engaged: every checkout went through a slab, none through
+    # the legacy per-(shape, dtype, slot) path
+    assert op._pool.slab_count > 0
+    assert op._pool.buffer_count == 0
+    bound = next(iter(op._sweep_cache.values()))
+    assert all(sw._slot_colors is not None for sw in bound)
+
+
+def test_unproven_program_keeps_legacy_pool(grid24, monkeypatch):
+    """With the proof withheld the executor falls back to the conservative
+    per-shape pool — more buffers than slabs, same numbers."""
+    nt, dt = 6, 1.0
+    wf = WavefrontSchedule(tile=(8, 8), block=(4, 4), height=2)
+
+    monkeypatch.setattr(
+        LivenessReport, "safe_for_slab", property(lambda self: False)
+    )
+    op, u, m, src, rec = make_acoustic_operator(grid24, nt=nt)
+    legacy_u, legacy_rec = run_and_capture(op, u, rec, nt, dt, wf, "precomputed")
+    assert op._pool.slab_count == 0
+    assert op._pool.buffer_count > 0
+
+    monkeypatch.undo()
+    op2, u2, m2, src2, rec2 = make_acoustic_operator(grid24, nt=nt)
+    slab_u, slab_rec = run_and_capture(op2, u2, rec2, nt, dt, wf, "precomputed")
+    # the wavefront's many tile shapes each cost legacy buffers; slabs are
+    # bounded by the number of colors — a strict shrink
+    assert op2._pool.slab_count < op._pool.buffer_count
+    np.testing.assert_array_equal(slab_u, legacy_u)
+    np.testing.assert_array_equal(slab_rec, legacy_rec)

@@ -175,13 +175,38 @@ def test_cli_single_example(capsys):
     assert main(["acoustic"]) == 0
     out = capsys.readouterr().out
     assert "acoustic" in out and "OK" in out
-    assert "certificate: legal under wavefront" in out
+    # one certificate line per schedule of the shared CLI sweep
+    from repro.lint import SCHEDULES
+
+    for kind in SCHEDULES:
+        assert f"certificate[{kind}]: legal" in out
 
 
 def test_cli_json_output(capsys):
-    from repro.lint import main
+    from repro.lint import JSON_SCHEMA_VERSION, main
 
     assert main(["tti", "--json", "--no-prove"]) == 0
     data = json.loads(capsys.readouterr().out)
-    assert data["tti"]["ok"] is True
-    assert "certificate" not in data["tti"]
+    assert data["version"] == JSON_SCHEMA_VERSION
+    assert data["tool"] == "repro.lint"
+    assert data["results"]["tti"]["ok"] is True
+    assert "certificate" not in data["results"]["tti"]
+
+
+def test_cli_json_schedules_and_stability(capsys):
+    """--json proves every schedule of the shared set and the envelope is
+    byte-stable across runs (sorted keys, versioned)."""
+    from repro.lint import SCHEDULES, main
+
+    assert main(["acoustic", "--json"]) == 0
+    first = capsys.readouterr().out
+    data = json.loads(first)
+    assert data["schedules"] == list(SCHEDULES)
+    certs = data["results"]["acoustic"]["certificates"]
+    assert set(certs) == set(SCHEDULES)
+    for cert in certs.values():
+        assert cert["legal"] is True
+    # legacy key still points at the wavefront certificate
+    assert data["results"]["acoustic"]["certificate"] == certs["wavefront"]
+    assert main(["acoustic", "--json"]) == 0
+    assert capsys.readouterr().out == first

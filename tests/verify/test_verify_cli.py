@@ -1,0 +1,139 @@
+"""``python -m repro.verify``: exit codes, JSON envelope, warning baseline."""
+
+import json
+
+import pytest
+
+import repro.verify.__main__ as cli
+from repro.lint import SCHEDULES
+
+
+def test_single_example_human_output(capsys):
+    assert cli.main(["acoustic"]) == 0
+    out = capsys.readouterr().out
+    assert "acoustic: OK" in out
+    assert "bounds [acoustic, any]" in out
+    assert "scratch: slab-safe=True" in out
+    assert "analyzer" in out
+
+
+def test_requires_example_or_all(capsys):
+    with pytest.raises(SystemExit):
+        cli.main([])
+
+
+def test_json_envelope_schema(capsys):
+    assert cli.main(["acoustic", "--json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["version"] == cli.JSON_SCHEMA_VERSION
+    assert data["tool"] == "repro.verify"
+    entry = data["results"]["acoustic"]
+    assert entry["ok"] is True
+    assert entry["analyzer_seconds"] > 0
+    assert set(entry["bounds"]) == {"any", *SCHEDULES}
+    for cert in entry["bounds"].values():
+        assert cert["safe"] is True
+    assert entry["lint"]["errors"] == 0
+    # scratch analysis travels with the lint report
+    assert entry["lint"]["scratch"]["safe_for_slab"] is True
+
+
+def test_json_output_is_sorted(capsys):
+    assert cli.main(["acoustic", "--json"]) == 0
+    out = capsys.readouterr().out
+    data = json.loads(out)
+    assert json.dumps(data, indent=2, sort_keys=True) == out.rstrip("\n")
+
+
+# -- baseline regression logic ---------------------------------------------------
+
+
+def _payload(*warnings):
+    return {
+        "version": 1,
+        "tool": "repro.verify",
+        "results": {
+            "demo": {
+                "lint": {
+                    "diagnostics": [
+                        {
+                            "severity": "warning",
+                            "code": code,
+                            "sweep": sweep,
+                            "statement": stmt,
+                        }
+                        for code, sweep, stmt in warnings
+                    ]
+                }
+            }
+        },
+    }
+
+
+def test_warning_keys_are_stable_identities():
+    payload = _payload(("W201", 0, "eq"), ("W302", 1, "dead"))
+    keys = cli._warning_keys(payload)
+    assert keys == {
+        ("demo", "W201", 0, "eq"),
+        ("demo", "W302", 1, "dead"),
+    }
+    # errors are gated directly via "ok", never via the baseline
+    payload["results"]["demo"]["lint"]["diagnostics"].append(
+        {"severity": "error", "code": "E101", "sweep": 0, "statement": "x"}
+    )
+    assert cli._warning_keys(payload) == keys
+
+
+def test_missing_baseline_warns_but_passes(capsys):
+    assert cli.main(["acoustic", "--json", "--baseline", "/nonexistent.json"]) == 0
+    err = capsys.readouterr().err
+    assert "not found" in err
+
+
+def test_new_warning_vs_baseline_fails(tmp_path, capsys, monkeypatch):
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text(json.dumps(_payload()))  # committed: zero warnings
+
+    def fake_verify(kind):
+        entry = _payload(("W201", 0, "eq"))["results"]["demo"]
+        entry.update({"bounds": {}, "analyzer_seconds": 0.0, "ok": True})
+        return entry
+
+    monkeypatch.setattr(cli, "verify_example", fake_verify)
+    monkeypatch.setattr("repro.lint.EXAMPLES", ("demo",))
+    assert cli.main(["--all", "--json", "--baseline", str(baseline)]) == 1
+    captured = capsys.readouterr()
+    assert "new warning vs baseline" in captured.err
+
+
+def test_known_warning_in_baseline_passes(tmp_path, capsys, monkeypatch):
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text(json.dumps(_payload(("W201", 0, "eq"))))
+
+    def fake_verify(kind):
+        entry = _payload(("W201", 0, "eq"))["results"]["demo"]
+        entry.update({"bounds": {}, "analyzer_seconds": 0.0, "ok": True})
+        return entry
+
+    monkeypatch.setattr(cli, "verify_example", fake_verify)
+    monkeypatch.setattr("repro.lint.EXAMPLES", ("demo",))
+    assert cli.main(["--all", "--json", "--baseline", str(baseline)]) == 0
+    # a *fixed* warning must not fail either: the baseline is an upper bound
+    baseline.write_text(
+        json.dumps(_payload(("W201", 0, "eq"), ("W302", 1, "dead")))
+    )
+    assert cli.main(["--all", "--json", "--baseline", str(baseline)]) == 0
+
+
+def test_committed_baseline_matches_current_tree(capsys):
+    """The repo's checked-in verify_baseline.json gates CI: the current tree
+    must pass against it."""
+    from pathlib import Path
+
+    repo_baseline = Path(__file__).resolve().parents[2] / "verify_baseline.json"
+    assert repo_baseline.exists()
+    assert cli.main(["--all", "--json", "--baseline", str(repo_baseline)]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert set(data["results"]) == {"acoustic", "tti", "elastic"}
+    for entry in data["results"].values():
+        assert entry["ok"] is True
