@@ -20,6 +20,13 @@ attempts, and the ``warm_over_cold`` throughput ratio (mean cold-attempt
 seconds over mean warm-attempt seconds — how much a daemon's second job
 gains from hot kernel/step caches) alongside ``pool_over_serial``.
 
+A second section measures the cost of the observability layer itself:
+paired warm-pool runs of the same batch with the metrics registry + phase
+accountant on (the default) and off (``metrics=False``), interleaved to
+cancel machine drift, summarised as the median of per-pair wall-clock
+ratios (robust to one noisy pair).  The slow-marked pytest gate holds the
+median overhead to <= 3% on the warm path.
+
 Run directly::
 
     PYTHONPATH=src python benchmarks/bench_jobs.py
@@ -54,6 +61,12 @@ POOL_WORKERS = 4
 BATCH_SEED = 1234
 FAULT_RATES = (0.0, 0.1, 0.2)
 RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_jobs.json"
+
+# metrics-overhead section: paired on/off runs, fault-free warm path
+OVERHEAD_PAIRS = 5
+OVERHEAD_JOBS = 8
+OVERHEAD_NT = 64
+OVERHEAD_GATE = 1.03
 
 
 def usable_cores() -> int:
@@ -132,6 +145,50 @@ def run_bench() -> dict:
         "python": platform.python_version(),
         "numpy": np.__version__,
         "fault_rates": cells,
+        "metrics_overhead": run_overhead(),
+    }
+
+
+def _timed_batch(specs, metrics) -> float:
+    t0 = time.perf_counter()
+    report = run_batch(
+        specs, workers=POOL_WORKERS, batch_seed=BATCH_SEED, metrics=metrics
+    )
+    wall = time.perf_counter() - t0
+    assert report.ok
+    return wall
+
+
+def run_overhead() -> dict:
+    """Median-of-ratios wall-clock cost of the metrics layer on the warm
+    path: OVERHEAD_PAIRS interleaved (metrics on, metrics off) runs of the
+    same fault-free batch through the multiprocess pool."""
+    specs = [
+        JobSpec(f"ovh-{i:02d}", nt=OVERHEAD_NT, seed=500 + i, checkpoint_every=8)
+        for i in range(OVERHEAD_JOBS)
+    ]
+    ratios, on_walls, off_walls = [], [], []
+    for pair in range(OVERHEAD_PAIRS):
+        # alternate which side runs first so drift cancels across pairs
+        if pair % 2 == 0:
+            on = _timed_batch(specs, metrics=None)
+            off = _timed_batch(specs, metrics=False)
+        else:
+            off = _timed_batch(specs, metrics=False)
+            on = _timed_batch(specs, metrics=None)
+        on_walls.append(on)
+        off_walls.append(off)
+        ratios.append(on / off)
+    return {
+        "pairs": OVERHEAD_PAIRS,
+        "jobs": OVERHEAD_JOBS,
+        "nt": OVERHEAD_NT,
+        "pool_workers": POOL_WORKERS,
+        "on_wall_seconds": on_walls,
+        "off_wall_seconds": off_walls,
+        "ratios": ratios,
+        "median_ratio": float(np.median(ratios)),
+        "gate": OVERHEAD_GATE,
     }
 
 
@@ -164,6 +221,12 @@ def print_report(report):
             "         pool phases: "
             + "  ".join(f"{k}={ph.get(k, 0.0):.3f}s" for k in PHASE_KEYS)
         )
+    ovh = report.get("metrics_overhead")
+    if ovh:
+        print(
+            f"metrics overhead: median {ovh['median_ratio']:.4f}x over "
+            f"{ovh['pairs']} paired runs (gate <= {ovh['gate']:.2f}x)"
+        )
 
 
 @pytest.mark.slow
@@ -192,6 +255,19 @@ def test_pool_throughput_gate():
     assert (
         pool["throughput_jobs_per_s"] >= 2.0 * serial["throughput_jobs_per_s"]
     )
+
+
+@pytest.mark.slow
+def test_metrics_overhead_gate():
+    """Acceptance: the metrics registry + phase accountant cost <= 3% of
+    warm-path wall clock (median of paired on/off ratios).  The artefact
+    records the measurement either way."""
+    ovh = run_overhead()
+    if RESULT_PATH.exists():
+        report = json.loads(RESULT_PATH.read_text())
+        report["metrics_overhead"] = ovh
+        write_report(report)
+    assert ovh["median_ratio"] <= OVERHEAD_GATE, ovh["ratios"]
 
 
 def run_smoke() -> int:

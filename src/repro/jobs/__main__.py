@@ -7,6 +7,8 @@ Usage::
     python -m repro.jobs --jobs 8 --example mixed --schedule naive --json
     python -m repro.jobs --jobs 64 --stream --lane bulk --tenant-quota 8
     python -m repro.jobs --resume path/to/batchdir --verify    # crashed batch
+    python -m repro.jobs --jobs 8 --trace --metrics-port 0 --workdir b0
+    python -m repro.jobs.status b0                             # live pool health
 
 Each job is one shot of a miniature survey: the paper's small verification
 propagator with a seed-perturbed source position.  ``--fault-rate`` /
@@ -31,6 +33,8 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
+from pathlib import Path
 from typing import List
 
 import numpy as np
@@ -170,11 +174,38 @@ def main(argv: List[str] = None) -> int:
         "--verify", action="store_true",
         help="re-run every spec serially fault-free and require bit-identical receivers",
     )
+    parser.add_argument(
+        "--trace", action="store_true",
+        help="collect per-attempt span trees and merge them into one "
+        "batch-wide Chrome trace (trace.json in the workdir, or ./trace.json "
+        "with a temporary workdir)",
+    )
+    parser.add_argument(
+        "--metrics-port", type=int, default=None, metavar="PORT",
+        help="serve /metrics (Prometheus), /metrics.json and /healthz on "
+        "this port while the batch runs (0 = ephemeral; the bound port is "
+        "written to <workdir>/metrics.port)",
+    )
+    parser.add_argument(
+        "--serve-grace", type=float, default=0.0, metavar="SECONDS",
+        help="keep the metrics endpoint up this long after the batch ends "
+        "(lets a scraper catch the final state; default: 0)",
+    )
+    parser.add_argument(
+        "--status-interval", type=float, default=0.5, metavar="SECONDS",
+        help="cadence of the live metrics.json snapshot in the workdir "
+        "(0 disables the cadence; default: 0.5)",
+    )
     parser.add_argument("--json", action="store_true", help="JSON report on stdout")
     args = parser.parse_args(argv)
 
     if args.resume is not None:
-        pool = JobPool.resume(args.resume, workers=args.workers)
+        pool = JobPool.resume(
+            args.resume,
+            workers=args.workers,
+            trace=args.trace,
+            status_interval=args.status_interval,
+        )
     else:
         chaos = None
         if (
@@ -211,6 +242,8 @@ def main(argv: List[str] = None) -> int:
             heartbeat_interval=args.heartbeat_interval,
             heartbeat_timeout=args.heartbeat_timeout,
             poison_threshold=args.poison_threshold,
+            trace=args.trace,
+            status_interval=args.status_interval,
         )
         specs = build_specs(args)
         if args.stream:
@@ -218,7 +251,42 @@ def main(argv: List[str] = None) -> int:
         else:
             for spec in specs:
                 pool.submit(spec)
-    report = pool.run()
+
+    server = None
+    if args.metrics_port is not None and pool.metrics is not None:
+        from ..telemetry.metrics import MetricsServer
+
+        server = MetricsServer(pool.metrics, port=args.metrics_port)
+        try:
+            (pool.workdir / "metrics.port").write_text(f"{server.port}\n")
+        except OSError:
+            pass
+        print(f"metrics endpoint: {server.url}/metrics", file=sys.stderr)
+
+    # the pool's temp workdir dies with run(); persistent paths keep theirs
+    persistent_dir = args.resume or args.workdir
+    try:
+        report = pool.run()
+    finally:
+        if server is not None and args.serve_grace > 0:
+            try:
+                time.sleep(args.serve_grace)
+            except KeyboardInterrupt:
+                pass
+        if server is not None:
+            server.close()
+
+    trace_path = None
+    if args.trace:
+        from ..telemetry.merge import write_batch_trace
+
+        trace_path = (
+            Path(persistent_dir) / "trace.json"
+            if persistent_dir is not None
+            else Path("trace.json")
+        )
+        write_batch_trace(report, trace_path, pool.telemetry)
+        print(f"merged batch trace: {trace_path}", file=sys.stderr)
 
     verified = None
     if args.verify:
@@ -237,6 +305,8 @@ def main(argv: List[str] = None) -> int:
         payload = report.to_dict()
         payload["verified"] = verified
         payload["ok"] = ok
+        if trace_path is not None:
+            payload["trace_path"] = str(trace_path)
         print(json.dumps(payload, indent=2))
     else:
         for result in report.results:

@@ -34,6 +34,10 @@ __all__ = ["CircuitBreaker"]
 
 CLOSED, OPEN, HALF_OPEN = "closed", "open", "half_open"
 
+#: gauge encoding of the state series: the live value of
+#: ``repro_breaker_state{engine=...}`` at any instant
+STATE_CODES = {CLOSED: 0, OPEN: 1, HALF_OPEN: 2}
+
 
 class CircuitBreaker:
     """Consecutive-failure circuit breaker for one tracked engine.
@@ -73,6 +77,8 @@ class CircuitBreaker:
         self._probe_inflight = False
         #: (clock, transition) log: ("open", ...), ("half_open", ...), ("closed", ...)
         self.transitions: List[tuple] = []
+        self._m_state = None
+        self._m_transitions = None
 
     # -- state -------------------------------------------------------------------
     @property
@@ -87,6 +93,28 @@ class CircuitBreaker:
     def _transition(self, state: str) -> None:
         self._state = state
         self.transitions.append((self._clock(), state))
+        if self._m_state is not None:
+            self._m_state.set(STATE_CODES[state], engine=self.engine)
+            self._m_transitions.inc(engine=self.engine, state=state)
+
+    def bind_metrics(self, registry) -> None:
+        """Publish this breaker's state into *registry* (a
+        :class:`~repro.telemetry.metrics.MetricsRegistry`): the
+        ``breaker_state`` gauge (0=closed, 1=open, 2=half_open) tracks the
+        live state, ``breaker_transitions_total{engine,state}`` counts
+        every transition — together they are the Prometheus view of the
+        :attr:`transitions` log."""
+        self._m_state = registry.gauge(
+            "breaker_state",
+            "circuit-breaker state: 0=closed, 1=open, 2=half_open",
+            ("engine",),
+        )
+        self._m_transitions = registry.counter(
+            "breaker_transitions_total",
+            "circuit-breaker state transitions",
+            ("engine", "state"),
+        )
+        self._m_state.set(STATE_CODES[self._state], engine=self.engine)
 
     # -- ladder hooks ------------------------------------------------------------
     def allow(self, engine: str) -> bool:

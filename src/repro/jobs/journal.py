@@ -12,7 +12,11 @@ batch exactly where it died.
 Record format — one JSON object per line, canonical key order, with a
 SHA-256 trailer over the rest of the record::
 
-    {"kind": "admit", "seq": 3, ..., "sha256": "<hex>"}
+    {"kind": "admit", "seq": 3, "ts": 1723111845.031337, ..., "sha256": "<hex>"}
+
+``ts`` is the wall-clock append time (unix seconds, covered by the digest)
+— it is what lets ``python -m repro.jobs.status`` reconstruct timings and
+throughput of a finished or crashed batch from the journal alone.
 
 Record kinds, in the order a batch emits them:
 
@@ -47,6 +51,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import IO, List, Optional
@@ -245,6 +250,11 @@ class BatchJournal:
     journaled before it is performed is recoverable after SIGKILL.  Opening
     with ``truncate_to`` (resume) cuts a torn tail back to the last
     verified record before the first append lands.
+
+    *metrics* (a :class:`~repro.telemetry.metrics.MetricsRegistry`)
+    instruments the durability cost: the ``journal_append_seconds``
+    histogram times each append inclusive of flush+fsync, and
+    ``journal_records_total{kind}`` counts what was written.
     """
 
     def __init__(
@@ -253,12 +263,22 @@ class BatchJournal:
         fsync: bool = True,
         seq_start: int = 0,
         truncate_to: Optional[int] = None,
+        metrics=None,
     ):
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self.fsync = bool(fsync)
         self._seq = int(seq_start)
         self.records_written = 0
+        self._m_append = self._m_records = None
+        if metrics is not None:
+            self._m_append = metrics.histogram(
+                "journal_append_seconds",
+                "write-ahead journal append latency (flush + fsync included)",
+            )
+            self._m_records = metrics.counter(
+                "journal_records_total", "journal records appended", ("kind",)
+            )
         self._fh: Optional[IO[bytes]] = open(self.path, "ab")
         if truncate_to is not None:
             self._fh.truncate(int(truncate_to))
@@ -272,7 +292,9 @@ class BatchJournal:
         """Durably append one record; returns it (without the trailer)."""
         if self._fh is None:
             raise ValueError("journal is closed")
-        record = {"kind": kind, "seq": self._seq, **payload}
+        t0 = time.perf_counter()
+        record = {"kind": kind, "seq": self._seq, "ts": round(time.time(), 6)}
+        record.update(payload)
         record["sha256"] = record_digest(record)
         self._fh.write(_canonical(record) + b"\n")
         self._fh.flush()
@@ -281,6 +303,9 @@ class BatchJournal:
         self._seq += 1
         self.records_written += 1
         record.pop("sha256")
+        if self._m_append is not None:
+            self._m_append.observe(time.perf_counter() - t0)
+            self._m_records.inc(kind=kind)
         return record
 
     def close(self) -> None:

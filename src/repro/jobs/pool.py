@@ -88,6 +88,7 @@ import os
 import signal
 import time
 from collections import deque
+from contextlib import nullcontext
 from multiprocessing import connection as mp_connection
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Union
@@ -101,18 +102,26 @@ from ..errors import (
     WorkerCrashError,
 )
 from ..runtime.integrity import file_digest, verify_digest, write_digest
+from ..telemetry.metrics import MetricsRegistry, PhaseAccountant, write_json_atomic
 from .breaker import CircuitBreaker
 from .chaos import ChaosConfig, ChaosPlan
 from . import journal as _journal_mod
 from .journal import JOURNAL_NAME, JOURNAL_VERSION, BatchJournal, load_journal
 from .retry import RetryPolicy
-from .spec import AttemptRecord, BatchReport, JobResult, JobSpec
+from .spec import LANES, AttemptRecord, BatchReport, JobResult, JobSpec
 from .warm import WarmState, WarmWorker
 from . import worker as worker_mod
 
-__all__ = ["JobPool", "run_batch", "DEFAULT_CAPACITY"]
+__all__ = ["JobPool", "run_batch", "DEFAULT_CAPACITY", "METRICS_NAME", "PROM_NAME"]
 
 DEFAULT_CAPACITY = 256
+
+#: live metrics snapshot, atomically refreshed in the batch workdir on the
+#: ``status_interval`` cadence (what ``python -m repro.jobs.status`` reads)
+METRICS_NAME = "metrics.json"
+
+#: final Prometheus text exposition, written once at batch end
+PROM_NAME = "metrics.prom"
 
 
 class _Job:
@@ -123,6 +132,8 @@ class _Job:
         self.spec = spec
         self.dir = job_dir
         self.jitter_rng = jitter_rng
+        #: admission clock reading — the admission-wait histogram's anchor
+        self.queued_ts = time.perf_counter()
         self.attempt_no = 0
         self.attempts: List[AttemptRecord] = []
         self.first_started: Optional[float] = None
@@ -268,6 +279,22 @@ class JobPool:
         check.
     poison_threshold:
         Consecutive daemon-crash outcomes before a job is quarantined.
+    metrics:
+        Service-level instrumentation: ``None`` (default) creates a private
+        :class:`~repro.telemetry.metrics.MetricsRegistry`; pass a registry
+        to share one across pools; pass ``False`` to disable the metrics
+        layer *and* supervisor phase accounting entirely (the overhead
+        benchmark's off-path).
+    trace:
+        Propagate a trace context to every attempt and collect serialized
+        span trees back with results (``AttemptRecord.trace``), mergeable
+        into one batch-wide Chrome trace by
+        :func:`repro.telemetry.merge.merge_batch_trace`.  Implies a
+        telemetry buffer (one is created when none was passed).
+    status_interval:
+        Cadence (seconds) of the atomically-refreshed ``metrics.json``
+        live-status snapshot in the batch workdir; ``0`` disables the
+        cadence (the final snapshot is still written).
     """
 
     def __init__(
@@ -289,6 +316,9 @@ class JobPool:
         heartbeat_interval: float = 0.25,
         heartbeat_timeout: Optional[float] = 60.0,
         poison_threshold: int = 3,
+        metrics=None,
+        trace: bool = False,
+        status_interval: float = 0.5,
     ):
         if workers < 0:
             raise ValueError("workers must be >= 0 (0 = serial in-process)")
@@ -316,6 +346,11 @@ class JobPool:
         )
         self.batch_seed = int(batch_seed)
         self.telemetry = telemetry
+        self.trace = bool(trace)
+        if self.trace and self.telemetry is None:
+            from ..telemetry import Telemetry
+
+            self.telemetry = Telemetry()
         self.poll_interval = float(poll_interval)
         self.pressure_fraction = float(pressure_fraction)
         self._tmp = None
@@ -363,13 +398,29 @@ class JobPool:
         self._draining = False
         self._drain_signal: Optional[int] = None
         self._terminals = 0
+        # -- observability layer: registry + exclusive phase accounting ----
+        # (metrics=False turns the whole layer off — the overhead
+        # benchmark's baseline path)
+        if metrics is False:
+            self.metrics: Optional[MetricsRegistry] = None
+            self._acct: Optional[PhaseAccountant] = None
+        else:
+            self.metrics = metrics if metrics is not None else MetricsRegistry()
+            self._acct = PhaseAccountant()
+        self.status_interval = float(status_interval)
+        self._last_status = 0.0
+        self._jobs_phase_added = 0.0
+        self._init_metrics()
+        if self.breaker is not None and self.metrics is not None:
+            self.breaker.bind_metrics(self.metrics)
         self._journal: Optional[BatchJournal] = None
         if journal:
             # a fresh pool owns its journal outright: truncate whatever an
             # earlier batch left in this workdir (resume() reattaches
             # instead, past the verified prefix)
             self._journal = BatchJournal(
-                self.workdir / JOURNAL_NAME, fsync=journal_fsync, truncate_to=0
+                self.workdir / JOURNAL_NAME, fsync=journal_fsync, truncate_to=0,
+                metrics=self.metrics,
             )
             self._journal_append(
                 "batch",
@@ -394,9 +445,193 @@ class JobPool:
         """Durably journal one record (no-op when journaling is off)."""
         if self._journal is None:
             return
-        self._journal.append(kind, **payload)
+        with self._phase("journal"):
+            self._journal.append(kind, **payload)
         if self.telemetry is not None:
             self.telemetry.counters.add("journal_records")
+
+    # -- observability -----------------------------------------------------------------
+    @property
+    def batch_id(self) -> str:
+        """Stable batch identity: the workdir name (survives resume)."""
+        return self.workdir.name
+
+    def _phase(self, name: str):
+        """Exclusive supervisor wall-time bucket (no-op with metrics off)."""
+        return self._acct.phase(name) if self._acct is not None else nullcontext()
+
+    def _init_metrics(self) -> None:
+        """Create (get-or-create — registries are shareable) every
+        instrument the supervisor records into, once, so the hot paths pay
+        a plain attribute access instead of a registry lookup."""
+        if self.metrics is None:
+            return
+        m = self.metrics
+        self._m_admitted = m.counter(
+            "jobs_admitted_total", "jobs admitted into the batch",
+            ("lane", "tenant"),
+        )
+        self._m_completed = m.counter(
+            "jobs_completed_total", "jobs that reached completed"
+        )
+        self._m_terminal = m.counter(
+            "jobs_terminal_total", "jobs per terminal status", ("status",)
+        )
+        self._m_retried = m.counter("jobs_retried_total", "attempt retries scheduled")
+        self._m_queue_depth = m.gauge(
+            "queue_depth", "ready-to-dispatch jobs per priority lane", ("lane",)
+        )
+        self._m_tenant_active = m.gauge(
+            "tenant_active_jobs", "admitted-but-unfinished jobs per tenant",
+            ("tenant",),
+        )
+        self._m_tenant_quota = m.gauge(
+            "tenant_quota", "per-tenant admission quota (0 = unlimited)"
+        )
+        self._m_admission_wait = m.histogram(
+            "admission_wait_seconds",
+            "queue-entry to first dispatch, per lane", ("lane",),
+        )
+        self._m_attempt = m.histogram(
+            "attempt_seconds", "attempt latency per outcome", ("outcome",)
+        )
+        self._m_workers_alive = m.gauge("workers_alive", "live warm daemons")
+        self._m_workers_busy = m.gauge("workers_busy", "daemons with a job in flight")
+        self._m_spawned = m.counter(
+            "workers_spawned_total", "daemons preforked (initial + replacements)"
+        )
+        self._m_hb_age = m.gauge(
+            "worker_heartbeat_age_seconds",
+            "seconds since a busy daemon's last liveness beat", ("worker",),
+        )
+        self._m_shm_bytes = m.counter(
+            "shm_bytes_published_total", "shared-memory bytes published per batch"
+        )
+        self._m_sup_seconds = m.gauge(
+            "supervisor_seconds",
+            "exclusive supervisor wall-time per bucket", ("bucket",),
+        )
+        self._m_points = m.counter(
+            "jobs_points_updated_total", "grid points updated by completed attempts"
+        )
+        self._m_stencil = m.counter(
+            "jobs_stencil_seconds_total", "stencil seconds of completed attempts"
+        )
+        for lane in LANES:
+            self._m_queue_depth.set(0, lane=lane)
+        self._m_tenant_quota.set(self.tenant_quota or 0)
+
+    def _refresh_gauges(self) -> None:
+        """Recompute every level-style gauge from supervisor state (cheap:
+        admitted jobs are bounded by ``capacity``)."""
+        if self.metrics is None:
+            return
+        depth = {lane: 0 for lane in LANES}
+        for priority, _, _job in self._ready:
+            depth[LANES[priority]] += 1
+        for lane, n in depth.items():
+            self._m_queue_depth.set(n, lane=lane)
+        for tenant, n in self._tenant_active.items():
+            self._m_tenant_active.set(n, tenant=tenant)
+        self._m_workers_alive.set(sum(1 for w in self._pool if w.alive))
+        self._m_workers_busy.set(sum(1 for w in self._pool if w.busy))
+        now_mono = time.monotonic()
+        for w in self._pool:
+            if w.busy:
+                self._m_hb_age.set(
+                    max(0.0, now_mono - w.last_beat), worker=w.worker_id
+                )
+        if self._acct is not None:
+            for bucket, secs in self._acct.flush().items():
+                self._m_sup_seconds.set(secs, bucket=bucket)
+
+    def _status_summary(self) -> dict:
+        summary = {
+            "jobs": len(self._jobs),
+            "terminal": self._terminals,
+            "completed": sum(1 for j in self._jobs if j.result and j.result.ok),
+            "active": self._active(),
+            "ready": len(self._ready),
+            "delayed": len(self._delayed),
+            "streams_open": sum(1 for s in self._streams if not s.exhausted),
+            "workers": {
+                "configured": self.workers,
+                "alive": sum(1 for w in self._pool if w.alive),
+                "busy": sum(1 for w in self._pool if w.busy),
+                "spawned": self.workers_spawned,
+                "hung": self.hung_workers,
+            },
+            "draining": self._draining,
+            "resumed": self.resumed,
+            "elapsed_seconds": time.perf_counter() - self._epoch,
+        }
+        if self.breaker is not None:
+            summary["breaker"] = {
+                "engine": self.breaker.engine,
+                "state": self.breaker.state,
+                "transitions": len(self.breaker.transitions),
+            }
+        return summary
+
+    def _write_status(self, final: bool = False) -> None:
+        """Atomically refresh ``metrics.json`` in the batch dir (and, at
+        batch end, the Prometheus exposition next to it).  Best-effort: a
+        full disk must not take the batch down."""
+        if self.metrics is None:
+            return
+        self._refresh_gauges()
+        try:
+            self.metrics.write_json(
+                self.workdir / METRICS_NAME,
+                extra={
+                    "batch_id": self.batch_id,
+                    "final": final,
+                    "status": self._status_summary(),
+                },
+            )
+            if final:
+                # prom is text, not JSON — same tmp+replace idiom by hand
+                tmp = self.workdir / (PROM_NAME + ".tmp")
+                tmp.write_text(self.metrics.exposition())
+                os.replace(tmp, self.workdir / PROM_NAME)
+        except OSError:
+            pass
+
+    def _maybe_status(self) -> None:
+        """Refresh the live ``metrics.json`` when the cadence is due."""
+        if self.metrics is None or self.status_interval <= 0:
+            return
+        now = time.perf_counter()
+        if now - self._last_status >= self.status_interval:
+            self._last_status = now
+            self._write_status()
+
+    def _trace_epoch(self) -> float:
+        """The batch-relative zero every merged span is measured from."""
+        if self.telemetry is not None and self.telemetry.epoch is not None:
+            return self.telemetry.epoch
+        return self._epoch
+
+    def _attach_trace(self, record: AttemptRecord, meta: dict) -> None:
+        """Pop the attempt's serialized span payload out of *meta* (it must
+        not bloat ``result.npz``), stamp it with the handshake clock
+        offset, and hang it on the attempt record for the merger."""
+        if not isinstance(meta, dict):
+            return
+        payload = meta.pop("telemetry", None)
+        if payload is None:
+            return
+        ctx = payload.setdefault("context", {})
+        dispatch = ctx.get("dispatch_perf")
+        recv = ctx.get("recv_perf")
+        if isinstance(dispatch, float) and isinstance(recv, float):
+            # equate the pipe-write and pipe-read instants: child time t is
+            # batch-relative t + offset, error bounded by the pipe latency
+            ctx["clock_offset_s"] = (dispatch - self._trace_epoch()) - recv
+        else:
+            # serial mode: recorder and supervisor share one clock
+            ctx["clock_offset_s"] = -self._trace_epoch()
+        record.trace = payload
 
     # -- admission ---------------------------------------------------------------------
     def _active(self) -> int:
@@ -460,6 +695,8 @@ class JobPool:
         self._by_id[spec.job_id] = job
         self._tenant_active[spec.tenant] = self._tenant_load(spec.tenant) + 1
         self._push_ready(job)
+        if self.metrics is not None:
+            self._m_admitted.inc(lane=spec.lane, tenant=spec.tenant)
         self._emit(
             "queued", job, lane=spec.lane, tenant=spec.tenant, streamed=streamed
         )
@@ -479,26 +716,27 @@ class JobPool:
         specs it never produced are lost.
         """
         admitted = False
-        while self._streams and self._active() < self.capacity:
-            stream: _Stream = self._streams[0]
-            try:
-                spec = stream.next_spec()
-            except Exception as exc:  # noqa: BLE001 — caller-owned iterator
-                self._stream_failed(stream, exc)
-                self._streams.popleft()
-                continue
-            if spec is None:
-                self._streams.popleft()
-                continue
-            if (
-                self.tenant_quota is not None
-                and self._tenant_load(spec.tenant) >= self.tenant_quota
-            ):
-                stream.held = spec  # park it; the stream stalls until drain
-                break
-            self._admit(spec, streamed=True)
-            stream.admitted += 1
-            admitted = True
+        with self._phase("admission"):
+            while self._streams and self._active() < self.capacity:
+                stream: _Stream = self._streams[0]
+                try:
+                    spec = stream.next_spec()
+                except Exception as exc:  # noqa: BLE001 — caller-owned iterator
+                    self._stream_failed(stream, exc)
+                    self._streams.popleft()
+                    continue
+                if spec is None:
+                    self._streams.popleft()
+                    continue
+                if (
+                    self.tenant_quota is not None
+                    and self._tenant_load(spec.tenant) >= self.tenant_quota
+                ):
+                    stream.held = spec  # park it; the stream stalls until drain
+                    break
+                self._admit(spec, streamed=True)
+                stream.admitted += 1
+                admitted = True
         return admitted
 
     def _stream_failed(self, stream: _Stream, exc: BaseException) -> None:
@@ -528,7 +766,7 @@ class JobPool:
         )
         if self.telemetry is not None:
             self.telemetry.counters.add(f"jobs_{kind}")
-            self.telemetry.event(f"job.{kind}", phase="other", job=job.spec.job_id, **info)
+            self.telemetry.event(f"job.{kind}", phase="jobs", job=job.spec.job_id, **info)
 
     def _emit_pool(self, kind: str, **info) -> None:
         """A batch-scoped event attributable to no single job or worker."""
@@ -542,7 +780,7 @@ class JobPool:
         )
         if self.telemetry is not None:
             self.telemetry.counters.add(f"jobs_{kind}")
-            self.telemetry.event(f"job.{kind}", phase="other", **info)
+            self.telemetry.event(f"job.{kind}", phase="jobs", **info)
 
     def _emit_worker(self, kind: str, worker_id: int, **info) -> None:
         self.events.append(
@@ -556,7 +794,7 @@ class JobPool:
         )
         if self.telemetry is not None:
             self.telemetry.counters.add(f"jobs_{kind}")
-            self.telemetry.event(f"job.{kind}", phase="other", worker=worker_id, **info)
+            self.telemetry.event(f"job.{kind}", phase="jobs", worker=worker_id, **info)
 
     # -- terminal transitions ----------------------------------------------------------
     def _finish(self, job: _Job, result: JobResult, kind: str, **info) -> None:
@@ -578,6 +816,8 @@ class JobPool:
         )
         self._emit(kind, job, **info)
         self._terminals += 1
+        if self.metrics is not None:
+            self._m_terminal.inc(status=result.status)
         self._chaos_kill_supervisor()
 
     def _chaos_kill_supervisor(self) -> None:
@@ -600,6 +840,24 @@ class JobPool:
         record.warm = bool(meta.get("warm", False))
         record.phases = dict(meta.get("phases", {}))
         record.caches = dict(meta.get("caches", {}))
+        # peel the span payload off *before* the result goes durable: traces
+        # are trace-file material, not result.npz material
+        self._attach_trace(record, meta)
+        if self.metrics is not None:
+            self._m_attempt.observe(
+                max(0.0, now - record.started), outcome="completed"
+            )
+            self._m_completed.inc()
+            work = meta.get("work") or {}
+            if work.get("points_updated"):
+                self._m_points.inc(float(work["points_updated"]))
+            if work.get("stencil_seconds"):
+                self._m_stencil.inc(float(work["stencil_seconds"]))
+        if self.workers == 0 and self.telemetry is not None:
+            # serial mode: the attempt ran on this process's clock — fold its
+            # phase seconds into the pool buffer so batch coverage holds
+            for ph_name, secs in (meta.get("phase_seconds") or {}).items():
+                self.telemetry.add_phase(ph_name, float(secs))
         self._count_warmth(record)
         self._breaker_feedback(job, meta)
         # make the result durable *before* journaling the outcome: the
@@ -647,6 +905,10 @@ class JobPool:
         if job.attempts and not job.attempts[-1].outcome:
             job.attempts[-1].ended = now
             job.attempts[-1].outcome = "timeout"
+            if self.metrics is not None:
+                self._m_attempt.observe(
+                    max(0.0, now - job.attempts[-1].started), outcome="timeout"
+                )
         self._journal_append(
             "outcome",
             job=job.spec.job_id,
@@ -673,6 +935,8 @@ class JobPool:
         record.ended = now
         record.outcome = outcome
         record.error = f"{type(error).__name__}: {error}"
+        if self.metrics is not None:
+            self._m_attempt.observe(max(0.0, now - record.started), outcome=outcome)
         self._journal_append(
             "outcome",
             job=job.spec.job_id,
@@ -725,9 +989,13 @@ class JobPool:
         budget = None
         if job.spec.deadline is not None and job.first_started is not None:
             budget = job.spec.deadline - job.elapsed(now)
-        delay = self.retry.delay(job.attempt_no, job.jitter_rng, budget=budget)
+        delay = self.retry.delay(
+            job.attempt_no, job.jitter_rng, budget=budget, metrics=self.metrics
+        )
         self._seq += 1
         heapq.heappush(self._delayed, (now + delay, self._seq, job))
+        if self.metrics is not None:
+            self._m_retried.inc()
         self._emit("retried", job, attempt=job.attempt_no, delay=delay, error=record.error)
 
     def _breaker_feedback(self, job: _Job, meta: dict) -> None:
@@ -756,6 +1024,8 @@ class JobPool:
             heartbeat_interval=self.heartbeat_interval,
         )
         self._pool.append(worker)
+        if self.metrics is not None:
+            self._m_spawned.inc()
         self._emit_worker("worker_spawned", worker.worker_id, pid=worker.proc.pid)
         return worker
 
@@ -764,6 +1034,8 @@ class JobPool:
         killed); shared segments stay valid — only the mapping died."""
         if worker in self._pool:
             self._pool.remove(worker)
+        if self.metrics is not None:
+            self._m_hb_age.remove(worker=worker.worker_id)
         worker.kill()  # no-op if already dead; reaps the process either way
         self._emit_worker(
             "worker_crashed" if crashed else "worker_retired",
@@ -830,6 +1102,11 @@ class JobPool:
         if worker is None:
             return False
         if job.first_started is None:
+            if self.metrics is not None:
+                self._m_admission_wait.observe(
+                    max(0.0, time.perf_counter() - job.queued_ts),
+                    lane=job.spec.lane,
+                )
             job.first_started = now
         spec = self._effective_spec(job, now)
         job.dispatched_engine = spec.engine
@@ -857,8 +1134,9 @@ class JobPool:
             resume=resume,
             step=step,
         )
+        ctx = {"batch": self.batch_id, "trace": True} if self.trace else None
         try:
-            worker.dispatch(spec, str(job.dir), job.attempt_no, resume, entry)
+            worker.dispatch(spec, str(job.dir), job.attempt_no, resume, entry, ctx)
         except (BrokenPipeError, OSError):
             # the daemon died between polls; retire it and try the next one
             self._retire(worker, crashed=True)
@@ -1012,10 +1290,13 @@ class JobPool:
         self._replenish()
         while self._ready and not self._draining:
             _, _, job = self._ready[0]
-            if not self._dispatch(job, now):
+            with self._phase("dispatch"):
+                dispatched = self._dispatch(job, now)
+            if not dispatched:
                 break
             heapq.heappop(self._ready)
             changed = True
+        self._maybe_status()
         return changed
 
     def _busy_conns(self) -> List:
@@ -1071,6 +1352,13 @@ class JobPool:
         rest to ``interrupted``."""
         t0 = time.perf_counter()
         previous_handlers = self._install_signal_handlers()
+        if self._acct is not None:
+            self._acct.push("supervise")
+        batch_span = (
+            self.telemetry.begin("batch", phase="jobs", batch=self.batch_id)
+            if self.telemetry is not None
+            else None
+        )
         try:
             if self.workers == 0:
                 self._run_serial()
@@ -1091,10 +1379,11 @@ class JobPool:
                         break
                     if not self._poll(time.perf_counter()):
                         conns = self._busy_conns()
-                        if conns:  # wake on the first daemon report
-                            mp_connection.wait(conns, timeout=self.poll_interval)
-                        else:
-                            time.sleep(self.poll_interval)
+                        with self._phase("idle"):
+                            if conns:  # wake on the first daemon report
+                                mp_connection.wait(conns, timeout=self.poll_interval)
+                            else:
+                                time.sleep(self.poll_interval)
             self._finish_interrupted()
             self._journal_append(
                 "batch_end",
@@ -1108,13 +1397,29 @@ class JobPool:
             # the journal stays open: the pool outlives run() (submitting
             # into freed capacity and running again is supported), and every
             # append is already flushed/fsynced — closing is GC's job
-            for worker in self._pool:  # never leak daemons
-                worker.shutdown()
-            self._pool.clear()
-            if self._registry is not None:  # never leak /dev/shm segments
-                self._registry.close()
-                self._registry = None
-            self._handles = {}
+            with self._phase("drain"):
+                for worker in self._pool:  # never leak daemons
+                    worker.shutdown()
+                self._pool.clear()
+                if self._registry is not None:  # never leak /dev/shm segments
+                    self._registry.close()
+                    self._registry = None
+                self._handles = {}
+            if batch_span is not None:
+                self.telemetry.end(batch_span)
+            if self._acct is not None:
+                self._acct.pop()  # close the supervise root
+                if self.telemetry is not None:
+                    # charge the supervisor's own exclusive time (everything
+                    # but the attempts' execute bucket, which the attempt
+                    # phases already cover) to the "jobs" cost centre — as a
+                    # delta, so repeated run() calls never double-charge
+                    total = sum(
+                        s for b, s in self._acct.seconds.items() if b != "execute"
+                    )
+                    self.telemetry.add_phase("jobs", total - self._jobs_phase_added)
+                    self._jobs_phase_added = total
+            self._write_status(final=True)
             if self._tmp is not None:
                 self._tmp.cleanup()
                 self._tmp = None
@@ -1130,6 +1435,11 @@ class JobPool:
             resumed=self.resumed,
             hung_workers=self.hung_workers,
             stream_errors=list(self._stream_errors),
+            supervisor_seconds=(
+                dict(self._acct.seconds) if self._acct is not None else {}
+            ),
+            batch_id=self.batch_id,
+            metrics=self.metrics.snapshot() if self.metrics is not None else None,
         )
 
     def _publish_shared(self) -> None:
@@ -1142,8 +1452,12 @@ class JobPool:
         if self._registry is not None:
             return
         self._registry = SharedArrayRegistry()
+        published = 0
         for key, array in worker_mod.model_arrays().items():
             self._registry.publish(key, array)
+            published += int(array.nbytes)
+        if self.metrics is not None and published:
+            self._m_shm_bytes.inc(published)
         self._handles = self._registry.handles()
         self._journal_append("shm", names=list(self._registry.segment_names()))
 
@@ -1192,15 +1506,18 @@ class JobPool:
                 )
                 self._emit("started", job, attempt=job.attempt_no, engine=spec.engine)
                 try:
-                    rec, meta = worker_mod.execute_attempt(
-                        spec,
-                        job.dir,
-                        attempt=job.attempt_no,
-                        resume=resume,
-                        chaos=entry,
-                        breaker=self.breaker,
-                        warm=warm,
-                    )
+                    with self._phase("execute"):
+                        rec, meta = worker_mod.execute_attempt(
+                            spec,
+                            job.dir,
+                            attempt=job.attempt_no,
+                            resume=resume,
+                            chaos=entry,
+                            breaker=self.breaker,
+                            warm=warm,
+                            trace=self.trace,
+                            ctx={"batch": self.batch_id} if self.trace else None,
+                        )
                 except Exception as exc:
                     now = time.perf_counter()
                     if job.over_deadline(now):
@@ -1210,13 +1527,15 @@ class JobPool:
                     if not job.terminal and self._delayed:
                         ready_time, _, delayed_job = heapq.heappop(self._delayed)
                         assert delayed_job is job
-                        time.sleep(max(0.0, ready_time - time.perf_counter()))
+                        with self._phase("idle"):
+                            time.sleep(max(0.0, ready_time - time.perf_counter()))
                     continue
                 now = time.perf_counter()
                 if job.over_deadline(now):
                     self._timeout(job, now)
                 else:
                     self._complete(job, rec, meta, now)
+                self._maybe_status()
             if not self._draining:
                 self._pump_streams()
 
@@ -1230,6 +1549,9 @@ class JobPool:
         poll_interval: float = 0.02,
         start_method: Optional[str] = None,
         journal_fsync: bool = True,
+        metrics=None,
+        trace: bool = False,
+        status_interval: float = 0.5,
     ) -> "JobPool":
         """Reconstruct an interrupted batch from its journal; :meth:`run`
         the returned pool to drive it to completion.
@@ -1281,12 +1603,16 @@ class JobPool:
             heartbeat_interval=header.get("heartbeat_interval", 0.25),
             heartbeat_timeout=header.get("heartbeat_timeout", 60.0),
             poison_threshold=header.get("poison_threshold", 3),
+            metrics=metrics,
+            trace=trace,
+            status_interval=status_interval,
         )
         pool._journal = BatchJournal(
             batch_dir / JOURNAL_NAME,
             fsync=journal_fsync,
             seq_start=len(replay.records),
             truncate_to=replay.good_bytes,
+            metrics=pool.metrics,
         )
         pool.resumed = True
         outcomes = replay.by_job("outcome")

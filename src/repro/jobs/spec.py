@@ -185,6 +185,11 @@ class AttemptRecord:
     #: kernel/step cache activity of the attempt, e.g.
     #: ``{"kernel_hits": 4, "kernel_misses": 0, "step_hits": 16, ...}``
     caches: dict = dc_field(default_factory=dict)
+    #: serialized span-tree payload of the attempt (tracing on), already
+    #: stamped with its clock offset — consumed by
+    #: :func:`repro.telemetry.merge.merge_batch_trace`; deliberately kept
+    #: out of :meth:`to_dict` (it is trace-file material, not report JSON)
+    trace: Optional[dict] = None
 
     @property
     def seconds(self) -> float:
@@ -270,6 +275,15 @@ class BatchReport:
     #: rendered StreamAdmissionErrors — spec streams that raised mid-pull
     #: (their admitted jobs were drained; un-admitted jobs never existed)
     stream_errors: List[str] = dc_field(default_factory=list)
+    #: exclusive supervisor wall-time buckets (admission/journal/dispatch/
+    #: execute/idle/drain under a ``supervise`` root) from the pool's
+    #: :class:`~repro.telemetry.metrics.PhaseAccountant`
+    supervisor_seconds: Dict[str, float] = dc_field(default_factory=dict)
+    #: stable batch identity (the workdir name; survives resume)
+    batch_id: str = ""
+    #: final :meth:`~repro.telemetry.metrics.MetricsRegistry.snapshot` of
+    #: the batch's metrics registry (None when instrumentation is off)
+    metrics: Optional[dict] = None
 
     @property
     def completed(self) -> int:
@@ -331,11 +345,21 @@ class BatchReport:
 
     def phase_totals(self) -> Dict[str, float]:
         """Summed per-attempt phase seconds over completed attempts, keyed
-        by :data:`PHASE_KEYS` (zeros where workers never reported)."""
+        by :data:`PHASE_KEYS` (zeros where workers never reported), plus
+        the supervisor-side buckets as ``supervisor.<bucket>`` keys.
+
+        The supervisor's ``execute`` bucket (serial in-process attempt
+        time) is excluded — it is the same wall-time the attempt phases
+        already account for.  In serial mode the sum reconciles the batch
+        wall to ≥95%; with parallel daemons it may legitimately exceed the
+        wall (attempt seconds accrue concurrently)."""
         totals = {k: 0.0 for k in PHASE_KEYS}
         for a in self._completed_attempts():
             for k in PHASE_KEYS:
                 totals[k] += float(a.phases.get(k, 0.0))
+        for bucket, secs in self.supervisor_seconds.items():
+            if bucket != "execute":
+                totals[f"supervisor.{bucket}"] = float(secs)
         return totals
 
     def warm_over_cold(self) -> Optional[float]:
@@ -366,6 +390,8 @@ class BatchReport:
             "quarantined": self.quarantined,
             "interrupted": self.interrupted,
             "stream_errors": list(self.stream_errors),
+            "supervisor_seconds": dict(self.supervisor_seconds),
+            "batch_id": self.batch_id,
             "completion_rate": self.completion_rate,
             "throughput_jobs_per_s": self.throughput,
             "warm_attempts": self.warm_attempts,

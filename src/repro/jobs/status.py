@@ -1,0 +1,307 @@
+"""Live (and post-hoc) status view of a batch directory.
+
+``python -m repro.jobs.status BATCH_DIR`` renders pool health from the
+``metrics.json`` snapshot the supervisor atomically refreshes on its status
+cadence — lanes, workers, breaker state, tenant occupancy, attempt latency
+quantiles and achieved stencil throughput — and falls back to (or is forced
+onto, with ``--journal``) a replay of the write-ahead journal, whose
+timestamped records reconstruct admission/terminal timings and per-tenant
+throughput for a batch that is finished, crashed, or was run with metrics
+off.
+
+Because ``metrics.json`` is written with a temp-file + ``os.replace``, a
+reader never sees a torn snapshot: this command is safe to run in a loop
+(``watch -n1 python -m repro.jobs.status BATCH_DIR``) against a live batch.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from .journal import JOURNAL_NAME, load_journal
+from .pool import METRICS_NAME
+
+__all__ = ["load_status", "journal_stats", "render_status", "main"]
+
+#: gauge value -> breaker state name (see repro.jobs.breaker.STATE_CODES)
+_BREAKER_STATES = {0: "closed", 1: "open", 2: "half_open"}
+
+
+def load_status(batch_dir) -> Optional[dict]:
+    """The latest ``metrics.json`` snapshot of *batch_dir*, or None."""
+    path = Path(batch_dir) / METRICS_NAME
+    try:
+        return json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+
+
+def _series(snapshot: dict, name: str) -> List[dict]:
+    family = (snapshot.get("metrics") or {}).get(name)
+    return list(family.get("series", [])) if family else []
+
+
+def _value(snapshot: dict, name: str, **labels) -> Optional[float]:
+    for entry in _series(snapshot, name):
+        if all(entry["labels"].get(k) == str(v) for k, v in labels.items()):
+            return entry.get("value")
+    return None
+
+
+def _quantile(entry: dict, q: float) -> Optional[float]:
+    """Quantile of one snapshot histogram series (cumulative buckets keyed
+    by edge repr / ``+Inf``) — the JSON mirror of ``Histogram.quantile``."""
+    buckets = entry.get("buckets") or {}
+    total = entry.get("count", 0)
+    if not buckets or not total:
+        return None
+    edges = sorted(
+        (math.inf if k == "+Inf" else float(k), v) for k, v in buckets.items()
+    )
+    rank = q * total
+    prev_edge, prev_cum = 0.0, 0.0
+    finite = [e for e, _ in edges if math.isfinite(e)]
+    for edge, cum in edges:
+        if cum >= rank:
+            if not math.isfinite(edge):  # overflow bucket: saturate
+                return finite[-1] if finite else None
+            span = cum - prev_cum
+            frac = (rank - prev_cum) / span if span > 0 else 1.0
+            return prev_edge + (edge - prev_edge) * min(1.0, max(0.0, frac))
+        prev_edge, prev_cum = (edge if math.isfinite(edge) else prev_edge), cum
+    return finite[-1] if finite else None
+
+
+def journal_stats(batch_dir) -> Optional[dict]:
+    """Timings and per-tenant throughput replayed from the journal's
+    timestamped records; None when there is no readable journal."""
+    path = Path(batch_dir) / JOURNAL_NAME
+    if not path.exists():
+        return None
+    try:
+        replay = load_journal(path)
+    except Exception:
+        return None
+    if not replay.records:
+        return None
+    ts = [r["ts"] for r in replay.records if isinstance(r.get("ts"), (int, float))]
+    elapsed = (max(ts) - min(ts)) if len(ts) > 1 else 0.0
+    tenants: Dict[str, dict] = {}
+    lanes: Dict[str, int] = {}
+    job_tenant: Dict[str, str] = {}
+    for rec in replay.for_kind("admit"):
+        spec = rec.get("spec") or {}
+        tenant = spec.get("tenant", "default")
+        lane = spec.get("lane", "batch")
+        job_tenant[rec.get("job", "")] = tenant
+        tenants.setdefault(tenant, {"admitted": 0, "completed": 0, "failed": 0})
+        tenants[tenant]["admitted"] += 1
+        lanes[lane] = lanes.get(lane, 0) + 1
+    statuses: Dict[str, int] = {}
+    for rec in replay.for_kind("terminal"):
+        status = rec.get("status", "?")
+        statuses[status] = statuses.get(status, 0) + 1
+        tenant = job_tenant.get(rec.get("job", ""))
+        if tenant in tenants:
+            key = "completed" if status == "completed" else "failed"
+            tenants[tenant][key] += 1
+    for stats in tenants.values():
+        stats["throughput_per_s"] = (
+            stats["completed"] / elapsed if elapsed > 0 else None
+        )
+    kinds: Dict[str, int] = {}
+    for rec in replay.records:
+        kinds[rec.get("kind", "?")] = kinds.get(rec.get("kind", "?"), 0) + 1
+    return {
+        "records": len(replay.records),
+        "kinds": kinds,
+        "elapsed_seconds": elapsed,
+        "statuses": statuses,
+        "tenants": tenants,
+        "lanes_admitted": lanes,
+        "ended": bool(replay.for_kind("batch_end")),
+        "resumes": len(replay.for_kind("resume")),
+        "corrupt_tail": str(replay.corruption) if replay.corruption else None,
+    }
+
+
+def _fmt_seconds(v: Optional[float]) -> str:
+    return "-" if v is None else f"{v * 1e3:.2f}ms" if v < 1 else f"{v:.2f}s"
+
+
+def render_status(snapshot: Optional[dict], journal: Optional[dict]) -> str:
+    """Human-readable pool-health view from whichever sources exist."""
+    lines: List[str] = []
+    if snapshot is not None:
+        status = snapshot.get("status") or {}
+        state = "final" if snapshot.get("final") else "live"
+        lines.append(
+            f"batch {snapshot.get('batch_id', '?')} [{state}] — "
+            f"{status.get('completed', 0)}/{status.get('jobs', 0)} completed, "
+            f"{status.get('terminal', 0)} terminal, "
+            f"{status.get('active', 0)} active "
+            f"({status.get('elapsed_seconds', 0.0):.2f}s elapsed)"
+        )
+        workers = status.get("workers") or {}
+        if workers:
+            lines.append(
+                f"workers: {workers.get('alive', 0)} alive / "
+                f"{workers.get('busy', 0)} busy of {workers.get('configured', 0)} "
+                f"configured ({workers.get('spawned', 0)} spawned, "
+                f"{workers.get('hung', 0)} hung)"
+            )
+        flags = [
+            flag
+            for flag, on in (
+                ("draining", status.get("draining")),
+                ("resumed", status.get("resumed")),
+            )
+            if on
+        ]
+        if flags:
+            lines.append("flags: " + ", ".join(flags))
+        depth = {
+            e["labels"].get("lane", "?"): e.get("value", 0)
+            for e in _series(snapshot, "repro_queue_depth")
+        }
+        if depth:
+            lines.append(
+                "queue depth: "
+                + "  ".join(f"{lane}={int(n)}" for lane, n in sorted(depth.items()))
+                + f"  (ready {status.get('ready', 0)}, delayed "
+                f"{status.get('delayed', 0)})"
+            )
+        quota = _value(snapshot, "repro_tenant_quota")
+        occupancy = _series(snapshot, "repro_tenant_active_jobs")
+        if occupancy:
+            cap = f"/{int(quota)}" if quota else ""
+            lines.append(
+                "tenants: "
+                + "  ".join(
+                    f"{e['labels'].get('tenant', '?')}={int(e.get('value', 0))}{cap}"
+                    for e in sorted(occupancy, key=lambda e: str(e["labels"]))
+                )
+            )
+        breaker = status.get("breaker")
+        if breaker is None:
+            series = _series(snapshot, "repro_breaker_state")
+            if series:
+                entry = series[0]
+                breaker = {
+                    "engine": entry["labels"].get("engine", "?"),
+                    "state": _BREAKER_STATES.get(
+                        int(entry.get("value", 0)), "?"
+                    ),
+                }
+        if breaker:
+            line = (
+                f"breaker[{breaker.get('engine', '?')}]: "
+                f"{breaker.get('state', '?')}"
+            )
+            if "transitions" in breaker:
+                line += f" ({breaker['transitions']} transition(s))"
+            lines.append(line)
+        for entry in _series(snapshot, "repro_attempt_seconds"):
+            outcome = entry["labels"].get("outcome", "?")
+            lines.append(
+                f"attempt latency [{outcome}]: n={entry.get('count', 0)} "
+                f"p50={_fmt_seconds(_quantile(entry, 0.5))} "
+                f"p90={_fmt_seconds(_quantile(entry, 0.9))} "
+                f"p99={_fmt_seconds(_quantile(entry, 0.99))}"
+            )
+        points = _value(snapshot, "repro_jobs_points_updated_total")
+        stencil_s = _value(snapshot, "repro_jobs_stencil_seconds_total")
+        if points and stencil_s:
+            lines.append(
+                f"stencil throughput: {points / stencil_s / 1e9:.4f} GPts/s "
+                f"({points:.3g} points over {stencil_s:.3f}s of stencil time)"
+            )
+        retries = _value(snapshot, "repro_jobs_retried_total")
+        if retries:
+            lines.append(f"retries: {int(retries)}")
+        shm = _value(snapshot, "repro_shm_bytes_published_total")
+        if shm:
+            lines.append(f"shared memory published: {shm / 1e6:.2f} MB")
+        sup = {
+            e["labels"].get("bucket", "?"): e.get("value", 0.0)
+            for e in _series(snapshot, "repro_supervisor_seconds")
+        }
+        if sup:
+            lines.append(
+                "supervisor seconds: "
+                + "  ".join(f"{k}={v:.3f}" for k, v in sorted(sup.items()))
+            )
+    if journal is not None:
+        lines.append(
+            f"journal: {journal['records']} verified record(s), "
+            f"{journal['elapsed_seconds']:.2f}s span"
+            + (", batch ended" if journal["ended"] else ", in flight")
+            + (
+                f", {journal['resumes']} resume(s)"
+                if journal["resumes"]
+                else ""
+            )
+        )
+        if journal["corrupt_tail"]:
+            lines.append(f"journal corruption: {journal['corrupt_tail']}")
+        if journal["statuses"]:
+            lines.append(
+                "terminal statuses: "
+                + "  ".join(
+                    f"{k}={v}" for k, v in sorted(journal["statuses"].items())
+                )
+            )
+        for tenant, stats in sorted(journal["tenants"].items()):
+            tput = stats.get("throughput_per_s")
+            lines.append(
+                f"tenant {tenant}: {stats['completed']}/{stats['admitted']} "
+                f"completed"
+                + (f", {stats['failed']} failed" if stats["failed"] else "")
+                + (f", {tput:.2f} jobs/s" if tput else "")
+            )
+    if not lines:
+        lines.append("no metrics.json and no journal — nothing to report")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.jobs.status",
+        description="Render pool health of a (live or finished) batch directory.",
+    )
+    parser.add_argument("batch_dir", help="batch working directory")
+    parser.add_argument(
+        "--journal", action="store_true",
+        help="ignore metrics.json and reconstruct everything from the journal",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="machine-readable dump of both sources instead of the rendering",
+    )
+    args = parser.parse_args(argv)
+    batch_dir = Path(args.batch_dir)
+    if not batch_dir.exists():
+        print(f"no such batch directory: {batch_dir}", file=sys.stderr)
+        return 1
+    snapshot = None if args.journal else load_status(batch_dir)
+    journal = journal_stats(batch_dir)
+    if snapshot is None and journal is None:
+        print(
+            f"{batch_dir}: neither {METRICS_NAME} nor {JOURNAL_NAME} is readable",
+            file=sys.stderr,
+        )
+        return 1
+    if args.json:
+        print(json.dumps({"snapshot": snapshot, "journal": journal}, indent=2))
+    else:
+        print(render_status(snapshot, journal))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

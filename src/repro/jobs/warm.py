@@ -148,9 +148,14 @@ def warm_main(
     a :data:`SHUTDOWN` sentinel (or pipe EOF) arrives.
 
     Messages in: ``("job", spec, job_dir, attempt, resume, chaos_entry,
-    dispatch_ts)``.  Messages out: ``("ok", job_id, attempt, receivers,
-    meta)``, ``("err", job_id, attempt, exception)``, or ``("hb",
-    worker_id)`` liveness beats while executing.  Failures are pickled to
+    dispatch_ts, ctx)`` — *ctx* is ``None`` or a trace context (batch id,
+    ``trace`` flag, worker id, and the parent's ``perf_counter`` reading at
+    dispatch); the daemon stamps its own clock at receipt (``recv_perf``)
+    and echoes both back inside the attempt's telemetry payload, which is
+    how the supervisor computes the per-attempt clock offset
+    (:mod:`repro.telemetry.merge`).  Messages out: ``("ok", job_id,
+    attempt, receivers, meta)``, ``("err", job_id, attempt, exception)``,
+    or ``("hb", worker_id)`` liveness beats while executing.  Failures are pickled to
     the job's forensics file before the pipe send, so the supervisor can
     still reconstruct the failure if the daemon dies between the two.
 
@@ -191,8 +196,9 @@ def warm_main(
                 break
             if msg[0] == SHUTDOWN:
                 break
-            _, spec, job_dir, attempt, resume, chaos, dispatch_ts = msg
+            _, spec, job_dir, attempt, resume, chaos, dispatch_ts, ctx = msg
             recv_ts = time.monotonic()
+            recv_perf = time.perf_counter()  # clock-offset handshake stamp
             if chaos is not None and getattr(chaos, "poison", False):
                 os._exit(66)  # hard crash: no report, no cleanup — poison
             if (
@@ -204,9 +210,13 @@ def warm_main(
                 time.sleep(chaos.hang_seconds)
             beat.begin()
             try:
+                trace_ctx = None
+                if ctx is not None and ctx.get("trace"):
+                    trace_ctx = {**ctx, "recv_perf": recv_perf}
+                    trace_ctx.pop("trace", None)
                 rec, meta = worker_mod.execute_attempt(
                     spec, job_dir, attempt=attempt, resume=resume, chaos=chaos,
-                    warm=warm,
+                    warm=warm, trace=trace_ctx is not None, ctx=trace_ctx,
                 )
                 meta.setdefault("phases", {})["spawn"] = max(
                     0.0, recv_ts - dispatch_ts
@@ -279,11 +289,19 @@ class WarmWorker:
 
     # -- dispatch / results ----------------------------------------------------------
     def dispatch(self, spec: JobSpec, job_dir: str, attempt: int,
-                 resume: bool, chaos) -> None:
+                 resume: bool, chaos, ctx: Optional[dict] = None) -> None:
         """Send one job at the daemon; raises ``BrokenPipeError``/``OSError``
-        when the daemon is already dead (the pool treats that as a crash)."""
+        when the daemon is already dead (the pool treats that as a crash).
+
+        *ctx* (tracing on) is stamped with this worker's id and the parent's
+        ``perf_counter`` reading immediately before the pipe write — the
+        parent half of the clock-offset handshake."""
+        if ctx is not None:
+            ctx = {**ctx, "worker": self.worker_id,
+                   "dispatch_perf": time.perf_counter()}
         self.conn.send(
-            ("job", spec, str(job_dir), attempt, resume, chaos, time.monotonic())
+            ("job", spec, str(job_dir), attempt, resume, chaos,
+             time.monotonic(), ctx)
         )
         self.jobs_dispatched += 1
         self.last_beat = time.monotonic()

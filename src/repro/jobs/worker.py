@@ -139,6 +139,8 @@ def execute_attempt(
     chaos: Optional[ChaosEntry] = None,
     breaker=None,
     warm=None,
+    trace: bool = False,
+    ctx: Optional[dict] = None,
 ) -> Tuple[Optional[np.ndarray], dict]:
     """Run one attempt of *spec* in the current process.
 
@@ -152,7 +154,16 @@ def execute_attempt(
     the wavefront tile geometry persist across jobs, and the meta gains the
     warm/cold attribution (worker id, warmth flag, per-phase seconds, cache
     hit/miss tallies) the pool's benchmark and telemetry report.
+
+    With *trace* on, the attempt's whole telemetry buffer is serialized
+    (:func:`repro.telemetry.merge.telemetry_payload`) into
+    ``meta["telemetry"]`` under the identity in *ctx* (job, attempt,
+    worker, plus the pipe-handshake clock stamps) so the supervisor can
+    stitch it into the batch-wide trace.
     """
+    import time as _time
+
+    t_entry = _time.perf_counter()
     job_dir = Path(job_dir)
     prop, dt = build_problem(spec, shared=warm.shared if warm else None)
     store = FileCheckpointStore(_checkpoint_dir(job_dir), keep=2)
@@ -191,6 +202,7 @@ def execute_attempt(
             breaker=breaker,
             step_cache=warm.step_cache(spec) if warm else None,
         )
+    t_after = _time.perf_counter()
     fallbacks = [
         {"failed": ev.attrs.get("failed"), "degraded_to": ev.attrs.get("degraded_to")}
         for ev in telemetry.events
@@ -198,6 +210,15 @@ def execute_attempt(
     ]
     ph = telemetry.phase_seconds
     counters = telemetry.counters
+    # attribute the attempt's bookends so the batch wall reconciles:
+    # problem construction + store wiring (before the forward's telemetry
+    # starts) is compile-class work; anything after the root span closed
+    # (result marshalling) is io-class
+    setup = max(0.0, (telemetry.epoch or t_after) - t_entry)
+    root = telemetry.root_span()
+    tail = 0.0
+    if root is not None:
+        tail = max(0.0, t_after - (root.start + root.dur))
     meta = {
         "engine": plan.sweeps[0].engine,
         "fallbacks": fallbacks,
@@ -210,14 +231,14 @@ def execute_attempt(
         "worker": warm.worker_id if warm else None,
         "warm": bool(warm and warm.jobs_done > 0),
         "phases": {
-            "compile": ph.get("precompute", 0.0),
+            "compile": ph.get("precompute", 0.0) + setup,
             "compute": (
                 ph.get("stencil", 0.0)
                 + ph.get("injection", 0.0)
                 + ph.get("receivers", 0.0)
                 + ph.get("other", 0.0)
             ),
-            "io": ph.get("checkpoint+guard", 0.0),
+            "io": ph.get("checkpoint+guard", 0.0) + tail,
         },
         "caches": {
             "kernel_hits": int(counters["kernel_cache_hits"]),
@@ -225,7 +246,22 @@ def execute_attempt(
             "step_hits": int(counters["step_cache_hits"]),
             "step_misses": int(counters["step_cache_misses"]),
         },
+        # raw per-phase seconds + work counters: the metrics registry's
+        # GPts/s feed (always cheap — a handful of floats)
+        "phase_seconds": {k: v for k, v in ph.items() if v},
+        "work": {
+            "points_updated": int(counters["points_updated"]),
+            "stencil_seconds": ph.get("stencil", 0.0),
+        },
     }
+    if trace:
+        from ..telemetry.merge import telemetry_payload
+
+        context = dict(ctx or {})
+        context.setdefault("job", spec.job_id)
+        context.setdefault("attempt", attempt)
+        context.setdefault("worker", warm.worker_id if warm else None)
+        meta["telemetry"] = telemetry_payload(telemetry, **context)
     if warm is not None:
         warm.jobs_done += 1
     return rec, meta

@@ -22,6 +22,19 @@ from .export import (
     to_chrome_trace,
     write_chrome_trace,
 )
+from .merge import (
+    merge_batch_trace,
+    telemetry_payload,
+    validate_chrome_trace,
+    validate_payload,
+    write_batch_trace,
+)
+from .metrics import (
+    MetricsRegistry,
+    MetricsServer,
+    PhaseAccountant,
+    validate_exposition,
+)
 from .spans import DETAIL_LEVELS, PHASES, Span, Telemetry
 
 __all__ = [
@@ -37,4 +50,13 @@ __all__ = [
     "render_phase_table",
     "to_chrome_trace",
     "write_chrome_trace",
+    "telemetry_payload",
+    "validate_payload",
+    "merge_batch_trace",
+    "write_batch_trace",
+    "validate_chrome_trace",
+    "MetricsRegistry",
+    "MetricsServer",
+    "PhaseAccountant",
+    "validate_exposition",
 ]

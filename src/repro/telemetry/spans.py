@@ -25,7 +25,9 @@ Phases are the paper-facing cost centres: ``precompute`` (masks, wavelet
 decomposition, kernel binding, preflight, step-plan geometry), ``stencil``
 (sweep evaluation), ``injection`` (grid-aligned or raw source scatter),
 ``receivers`` (gather + trace reconstruction), ``checkpoint+guard`` (the
-runtime monitor: health scans, snapshots, fault hooks) and ``other``.
+runtime monitor: health scans, snapshots, fault hooks), ``jobs`` (batch
+supervisor work — admission, journaling, dispatch, drain — recorded by
+:mod:`repro.jobs.pool`, not the executors) and ``other``.
 
 The clock is injectable (``Telemetry(clock=...)``) so tests can drive spans
 deterministically; it defaults to :func:`time.perf_counter`.
@@ -49,6 +51,7 @@ PHASES = (
     "injection",
     "receivers",
     "checkpoint+guard",
+    "jobs",
     "other",
 )
 
