@@ -31,8 +31,11 @@ or through pytest (slow-marked)::
 
 ``--guards`` times the fused engine with the runtime health guard attached
 at its default cadence (NaN/Inf scan of the written views every
-``DEFAULT_CHECK_EVERY`` sweep instances) against unguarded runs, and merges
-the per-schedule overhead into ``BENCH_engine.json`` under ``"guards"``.
+``DEFAULT_CHECK_EVERY`` sweep instances) against unguarded runs, plus a
+paired on/off series of the ABFT silent-corruption guard (growth proof,
+per-tile amplitude scans, entry micro-snapshots — median-of-ratios
+estimator), and merges the per-schedule overhead into
+``BENCH_engine.json`` under ``"guards"`` (ABFT under ``"guards"/"abft"``).
 
 ``--verify`` times the schedule-legality prover (cold ``prove_schedule``
 plus the cached ``certificate_for`` replay every wavefront ``apply`` hits)
@@ -238,13 +241,48 @@ def time_guards(prop, dt, schedule, repeats=REPEATS):
     return out
 
 
+def time_abft(prop, dt, schedule, repeats=REPEATS):
+    """Paired on/off wall-clock of the ABFT silent-corruption guard.
+
+    Same interleaved-round discipline, but the estimator is the *median of
+    paired on/off ratios* (each round's guarded run divided by its own
+    unguarded partner) — on a shared vCPU that isolates the detection cost
+    from the multi-second noise waves far better than an unpaired
+    min-over-min.  A fresh :class:`ABFTGuard` per round pays the whole cost
+    honestly: growth-certificate proof, per-tile amplitude scans and
+    entry micro-snapshots included.
+    """
+    from repro.runtime import ABFTGuard
+
+    prop.forward(nt=NT, dt=dt, schedule=schedule, engine="fused")  # warm
+    series = {"off": [], "on": []}
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        prop.forward(nt=NT, dt=dt, schedule=schedule, engine="fused")
+        series["off"].append(time.perf_counter() - t0)
+        guard = ABFTGuard()
+        t0 = time.perf_counter()
+        prop.forward(nt=NT, dt=dt, schedule=schedule, engine="fused", abft=guard)
+        series["on"].append(time.perf_counter() - t0)
+    ratios = [on / off for off, on in zip(series["off"], series["on"])]
+    return {
+        "off": min(series["off"]),
+        "on": min(series["on"]),
+        "overhead": float(np.median(ratios)) - 1.0,
+        "checks": int(guard.stats["checks"]),
+        "micro_snapshot_bytes": int(guard.stats["micro_snapshot_bytes"]),
+    }
+
+
 def run_guards_bench(repeats=REPEATS):
     from repro.runtime.health import DEFAULT_CHECK_EVERY
 
     prop, dt = build()
     results = {}
+    abft = {}
     for sched_name, sched in schedules().items():
         results[sched_name] = time_guards(prop, dt, sched, repeats=repeats)
+        abft[sched_name] = time_abft(prop, dt, sched, repeats=repeats)
     return {
         "check_every": DEFAULT_CHECK_EVERY,
         "timing": "min over N interleaved rounds, fused engine",
@@ -253,6 +291,17 @@ def run_guards_bench(repeats=REPEATS):
             for s, row in results.items()
         },
         "overhead": {s: row["overhead"] for s, row in results.items()},
+        "abft": {
+            "timing": "median of paired on/off ratios over N interleaved rounds",
+            "seconds": {
+                s: {k: row[k] for k in ("off", "on")} for s, row in abft.items()
+            },
+            "overhead": {s: row["overhead"] for s, row in abft.items()},
+            "checks": {s: row["checks"] for s, row in abft.items()},
+            "micro_snapshot_bytes": {
+                s: row["micro_snapshot_bytes"] for s, row in abft.items()
+            },
+        },
     }
 
 
@@ -277,6 +326,19 @@ def print_guards_report(guards):
             f"{sched:<12} {row['unguarded']*1e3:>10.2f}ms "
             f"{row['guarded']*1e3:>10.2f}ms {ov:>9.2%}"
         )
+    abft = guards.get("abft")
+    if abft:
+        print("# abft guard overhead — paired on/off, fused engine")
+        print(
+            f"{'schedule':<12} {'off':>12} {'on':>12} {'overhead':>10} "
+            f"{'checks':>8} {'snap MB':>9}"
+        )
+        for sched, row in abft["seconds"].items():
+            print(
+                f"{sched:<12} {row['off']*1e3:>10.2f}ms {row['on']*1e3:>10.2f}ms "
+                f"{abft['overhead'][sched]:>9.2%} {abft['checks'][sched]:>8} "
+                f"{abft['micro_snapshot_bytes'][sched]/1e6:>8.2f}M"
+            )
 
 
 def run_verify_bench(repeats=REPEATS):
@@ -492,11 +554,13 @@ def print_telemetry_report(telemetry):
 
 @pytest.mark.slow
 def test_guard_overhead_within_budget():
-    """Acceptance: the default-cadence health guard costs < 5% wall-clock on
-    the wavefront (WTB) acoustic so=8 workload."""
+    """Acceptance: the default-cadence health guard *and* the ABFT
+    silent-corruption guard each cost < 5% wall-clock on the wavefront
+    (WTB) acoustic so=8 workload."""
     guards = run_guards_bench()
     merge_guards_report(guards)
     assert guards["overhead"]["wavefront"] < 0.05
+    assert guards["abft"]["overhead"]["wavefront"] < 0.05
 
 
 @pytest.mark.slow

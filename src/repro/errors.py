@@ -28,7 +28,9 @@ __all__ = [
     "InvalidTimeRange",
     "PlanValidationError",
     "InjectedFault",
+    "SilentCorruptionError",
     "CheckpointCorruptError",
+    "StorageExhaustedError",
     "JobError",
     "QueueSaturatedError",
     "JobTimeoutError",
@@ -183,6 +185,23 @@ class InjectedFault(ReproError):
     """Raised by the fault-injection harness at its programmed ``(t, tile)``."""
 
 
+class SilentCorruptionError(NumericalBlowup):
+    """An ABFT invariant caught finite-valued silent data corruption.
+
+    Raised by :class:`repro.runtime.abft.ABFTGuard` when the amplitude at a
+    containment-unit boundary (a time tile under wavefront blocking, a
+    timestep otherwise) exceeds the certified growth bound — values that are
+    perfectly finite and therefore invisible to the NaN/Inf scan.  Carries
+    ``bound`` (the certified admissible amplitude), ``observed`` (the
+    amplitude actually measured) and ``detector`` (``"growth"`` for the
+    amplitude invariant, ``"checksum"`` for a shared-memory block-checksum
+    mismatch).  Subclasses :class:`NumericalBlowup` so existing blow-up
+    handling (retry classification, forensics) applies; the executors
+    additionally catch it for tile-granular re-execution from the entry
+    micro-snapshot before letting it escape.
+    """
+
+
 class CheckpointCorruptError(ReproError, RuntimeError):
     """A persisted checkpoint is truncated, unreadable or inconsistent.
 
@@ -192,6 +211,20 @@ class CheckpointCorruptError(ReproError, RuntimeError):
     ``path`` (the offending file) and ``reason``.  The batch-execution
     workers catch this, discard the store and restart the job from scratch
     rather than wedging a retry loop on a poisoned snapshot.
+    """
+
+
+class StorageExhaustedError(ReproError, RuntimeError):
+    """Persistent storage ran out of space mid-run (``ENOSPC``).
+
+    Raised instead of a raw ``OSError`` by the write paths that must not
+    crash a batch: :meth:`repro.jobs.journal.BatchJournal.append` and
+    :meth:`repro.runtime.checkpoint.FileCheckpointStore.save`.  Carries
+    ``path`` (the file being written) and ``op`` (``"journal_append"`` or
+    ``"checkpoint_save"``).  The runtime monitor reacts by suspending the
+    checkpoint cadence (execution continues without snapshots); the pool
+    journals a best-effort ``storage_degraded`` record, stops journaling and
+    drains the batch cleanly instead of dying in the supervisor loop.
     """
 
 

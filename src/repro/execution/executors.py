@@ -23,7 +23,7 @@ from ..core.scheduler import (
     time_tiles,
 )
 from ..dsl.grid import Grid
-from ..errors import InvalidTimeRange, PlanValidationError
+from ..errors import InvalidTimeRange, PlanValidationError, SilentCorruptionError
 from .evalbox import BoundSweep, Box, box_is_empty, box_points, clip_box, full_box
 
 __all__ = ["ExecutionPlan", "run_schedule", "run_naive", "run_spatial", "run_wavefront"]
@@ -128,14 +128,27 @@ def run_naive(
     if monitor is not None:
         time_m = monitor.begin(plan, time_m, time_M)
     for t in range(time_m, time_M):
-        for j in range(plan.nsweeps):
-            _execute_instance(plan, j, t, None)
+        # containment unit = one timestep; the loop body runs once unless the
+        # ABFT check detects corruption and the monitor restores the entry
+        # micro-snapshot for re-execution
+        reexec = 0
+        while True:
             if monitor is not None:
-                monitor.after_instance(plan, j, t, None)
-        for rec in plan.all_receivers():
-            rec.finalize(t)
-        if monitor is not None:
-            monitor.after_step(plan, t)
+                monitor.tile_entry(plan, t, t + 1)
+            try:
+                for j in range(plan.nsweeps):
+                    _execute_instance(plan, j, t, None)
+                    if monitor is not None:
+                        monitor.after_instance(plan, j, t, None)
+                for rec in plan.all_receivers():
+                    rec.finalize(t)
+                if monitor is not None:
+                    monitor.after_step(plan, t)
+                break
+            except SilentCorruptionError:
+                reexec += 1
+                if monitor is None or not monitor.contain(plan, t, reexec):
+                    raise
 
 
 def _blocked_boxes(grid: Grid, block: Tuple[int, ...]):
@@ -178,20 +191,30 @@ def run_spatial(
         time_m = monitor.begin(plan, time_m, time_M)
     boxes = list(_blocked_boxes(plan.grid, schedule.block))
     for t in range(time_m, time_M):
-        for j in range(plan.nsweeps):
-            for box in boxes:
-                plan.sweeps[j].evaluate(t, box)
+        reexec = 0
+        while True:
+            if monitor is not None:
+                monitor.tile_entry(plan, t, t + 1)
+            try:
+                for j in range(plan.nsweeps):
+                    for box in boxes:
+                        plan.sweeps[j].evaluate(t, box)
+                        if monitor is not None:
+                            monitor.after_instance(plan, j, t, box)
+                    injections, receivers = plan._sparse_for(j)
+                    for inj in injections:
+                        inj.apply(t, None)
+                    for rec in receivers:
+                        rec.gather(t, None)
+                for rec in plan.all_receivers():
+                    rec.finalize(t)
                 if monitor is not None:
-                    monitor.after_instance(plan, j, t, box)
-            injections, receivers = plan._sparse_for(j)
-            for inj in injections:
-                inj.apply(t, None)
-            for rec in receivers:
-                rec.gather(t, None)
-        for rec in plan.all_receivers():
-            rec.finalize(t)
-        if monitor is not None:
-            monitor.after_step(plan, t)
+                    monitor.after_step(plan, t)
+                break
+            except SilentCorruptionError:
+                reexec += 1
+                if monitor is None or not monitor.contain(plan, t, reexec):
+                    raise
 
 
 def _wavefront_steps(
@@ -274,23 +297,38 @@ def run_wavefront(
                 steps = step_plans[key] = _wavefront_steps(plan, schedule, height)
         else:  # ablation: rebuild the tile geometry for every time tile
             steps = _wavefront_steps(plan, schedule, height)
-        # steps hold only non-empty clipped boxes, so the hot loop skips the
-        # emptiness/full-grid handling of the generic _execute_instance path
-        for dt, j, box, _tile in steps:
-            t = t0 + dt
-            sweeps[j].evaluate(t, box)
-            injections, receivers = sparse[j]
-            for inj in injections:
-                inj.apply(t, box)
-            for rec in receivers:
-                rec.gather(t, box)
+        # containment unit = the whole time tile: corruption detected at the
+        # tile exit rolls the live region back to the tile entry and replays
+        # just these steps — the tile-granular recovery the micro-snapshots
+        # exist for
+        reexec = 0
+        while True:
             if monitor is not None:
-                monitor.after_instance(plan, j, t, box)
-        for t in range(t0, t1):
-            for rec in plan.all_receivers():
-                rec.finalize(t)
-        if monitor is not None:
-            monitor.after_tile(plan, t0, t1)
+                monitor.tile_entry(plan, t0, t1)
+            try:
+                # steps hold only non-empty clipped boxes, so the hot loop
+                # skips the emptiness/full-grid handling of the generic
+                # _execute_instance path
+                for dt, j, box, _tile in steps:
+                    t = t0 + dt
+                    sweeps[j].evaluate(t, box)
+                    injections, receivers = sparse[j]
+                    for inj in injections:
+                        inj.apply(t, box)
+                    for rec in receivers:
+                        rec.gather(t, box)
+                    if monitor is not None:
+                        monitor.after_instance(plan, j, t, box)
+                for t in range(t0, t1):
+                    for rec in plan.all_receivers():
+                        rec.finalize(t)
+                if monitor is not None:
+                    monitor.after_tile(plan, t0, t1)
+                break
+            except SilentCorruptionError:
+                reexec += 1
+                if monitor is None or not monitor.contain(plan, t0, reexec):
+                    raise
 
 
 def run_schedule(
@@ -302,33 +340,42 @@ def run_schedule(
     health=None,
     checkpoint=None,
     faults=None,
+    abft=None,
     monitor=None,
     telemetry=None,
 ) -> None:
     """Dispatch on schedule kind.  *step_cache* only affects wavefront runs.
 
     ``health`` (:class:`~repro.runtime.health.HealthGuard`), ``checkpoint``
-    (:class:`~repro.runtime.checkpoint.CheckpointConfig`) and ``faults``
-    (:class:`~repro.runtime.faults.FaultInjector`) attach the resilience
-    layer; they are bundled into a
+    (:class:`~repro.runtime.checkpoint.CheckpointConfig`), ``faults``
+    (:class:`~repro.runtime.faults.FaultInjector`) and ``abft``
+    (:class:`~repro.runtime.abft.ABFTGuard`) attach the resilience layer;
+    they are bundled into a
     :class:`~repro.runtime.monitor.RuntimeMonitor` (or pass *monitor*
     directly).  ``telemetry`` (:class:`~repro.telemetry.Telemetry`) attaches
     the tracing/counter layer.  All default to off and cost nothing when
     absent.
     """
     if monitor is None and (
-        health is not None or checkpoint is not None or faults is not None
+        health is not None
+        or checkpoint is not None
+        or faults is not None
+        or abft is not None
     ):
         from ..runtime.monitor import RuntimeMonitor
 
-        monitor = RuntimeMonitor(health=health, checkpoint=checkpoint, faults=faults)
-    guard_base = None
+        monitor = RuntimeMonitor(
+            health=health, checkpoint=checkpoint, faults=faults, abft=abft
+        )
+    guard_base = abft_base = None
     if monitor is not None and telemetry is not None:
         # checkpoint saves / fired faults emit telemetry events through the
         # monitor; guard activity is folded in as a delta after the run
         monitor.telemetry = telemetry
         if monitor.health is not None:
             guard_base = dict(monitor.health.stats)
+        if monitor.abft is not None:
+            abft_base = dict(monitor.abft.stats)
     try:
         if isinstance(schedule, NaiveSchedule):
             run_naive(plan, time_m, time_M, monitor=monitor, telemetry=telemetry)
@@ -357,6 +404,15 @@ def run_schedule(
             telemetry.counters.add(
                 "guard_checks", stats["checks"] - guard_base["checks"]
             )
+        if abft_base is not None:
+            stats = monitor.abft.stats
+            for key, counter in (
+                ("checks", "abft_checks"),
+                ("detections", "abft_detections"),
+                ("micro_snapshots", "abft_micro_snapshots"),
+                ("micro_snapshot_bytes", "abft_micro_snapshot_bytes"),
+            ):
+                telemetry.counters.add(counter, stats[key] - abft_base[key])
 
 
 # -- instrumented traversals ------------------------------------------------------
@@ -422,50 +478,66 @@ def _instr_naive(plan, time_m, time_M, monitor, tel) -> None:
         sspan = tel.begin("step", t=t)
         last = sspan.start
         depth = len(tel._stack)
-        for j in range(plan.nsweeps):
-            inst_start = last
-            plan.sweeps[j].evaluate(t, full)
-            now = clock()
-            ph["stencil"] += now - last
-            last = now
-            counts.instances[j] += 1
-            counts.points[j] += gpts
-            injections, receivers = sparse[j]
-            if injections:
-                for inj in injections:
-                    inj.apply(t, None)
-                    counts.inj_points += injected_points(inj, t, None)
-                now = clock()
-                ph["injection"] += now - last
-                last = now
-            if receivers:
-                for rec in receivers:
-                    rec.gather(t, None)
-                    counts.rec_points += gathered_points(rec, t, None)
-                now = clock()
-                ph["receivers"] += now - last
-                last = now
+        reexec = 0
+        while True:
             if monitor is not None:
-                monitor.after_instance(plan, j, t, None)
+                monitor.tile_entry(plan, t, t + 1)
                 now = clock()
                 ph["checkpoint+guard"] += now - last
                 last = now
-            if trace:
-                tel.record(
-                    names[j], "stencil", inst_start, last - inst_start, depth,
-                    {"t": t, "sweep": j},
-                )
-        for rec in plan.all_receivers():
-            rec.finalize(t)
-            counts.rec_rows += 1
-        now = clock()
-        ph["receivers"] += now - last
-        last = now
-        if monitor is not None:
-            monitor.after_step(plan, t)
-            now = clock()
-            ph["checkpoint+guard"] += now - last
-            last = now
+            try:
+                for j in range(plan.nsweeps):
+                    inst_start = last
+                    plan.sweeps[j].evaluate(t, full)
+                    now = clock()
+                    ph["stencil"] += now - last
+                    last = now
+                    counts.instances[j] += 1
+                    counts.points[j] += gpts
+                    injections, receivers = sparse[j]
+                    if injections:
+                        for inj in injections:
+                            inj.apply(t, None)
+                            counts.inj_points += injected_points(inj, t, None)
+                        now = clock()
+                        ph["injection"] += now - last
+                        last = now
+                    if receivers:
+                        for rec in receivers:
+                            rec.gather(t, None)
+                            counts.rec_points += gathered_points(rec, t, None)
+                        now = clock()
+                        ph["receivers"] += now - last
+                        last = now
+                    if monitor is not None:
+                        monitor.after_instance(plan, j, t, None)
+                        now = clock()
+                        ph["checkpoint+guard"] += now - last
+                        last = now
+                    if trace:
+                        tel.record(
+                            names[j], "stencil", inst_start, last - inst_start,
+                            depth, {"t": t, "sweep": j},
+                        )
+                for rec in plan.all_receivers():
+                    rec.finalize(t)
+                    counts.rec_rows += 1
+                now = clock()
+                ph["receivers"] += now - last
+                last = now
+                if monitor is not None:
+                    monitor.after_step(plan, t)
+                    now = clock()
+                    ph["checkpoint+guard"] += now - last
+                    last = now
+                break
+            except SilentCorruptionError:
+                reexec += 1
+                if monitor is None or not monitor.contain(plan, t, reexec):
+                    raise
+                now = clock()
+                ph["checkpoint+guard"] += now - last
+                last = now
         tel.end(sspan)
         last = sspan.end
     counts.flush(tel)
@@ -498,54 +570,73 @@ def _instr_spatial(plan, time_m, time_M, schedule, monitor, tel) -> None:
         sspan = tel.begin("step", t=t)
         last = sspan.start
         depth = len(tel._stack)
-        st_acc = mon_acc = 0.0  # local accumulators, folded in per step
-        for j in range(plan.nsweeps):
-            for b, box in enumerate(boxes):
-                inst_start = last
-                plan.sweeps[j].evaluate(t, box)
+        reexec = 0
+        while True:
+            if monitor is not None:
+                monitor.tile_entry(plan, t, t + 1)
                 now = clock()
-                st_acc += now - last
+                ph["checkpoint+guard"] += now - last
                 last = now
-                counts.instances[j] += 1
-                counts.points[j] += bpts[b]
-                if monitor is not None:
-                    monitor.after_instance(plan, j, t, box)
-                    now = clock()
-                    mon_acc += now - last
-                    last = now
-                if trace:
-                    tel.record(
-                        names[j], "stencil", inst_start, last - inst_start, depth,
-                        {"t": t, "sweep": j, "block": b, "box": box},
-                    )
-            injections, receivers = sparse[j]
-            if injections:
-                for inj in injections:
-                    inj.apply(t, None)
-                    counts.inj_points += injected_points(inj, t, None)
-                now = clock()
-                ph["injection"] += now - last
-                last = now
-            if receivers:
-                for rec in receivers:
-                    rec.gather(t, None)
-                    counts.rec_points += gathered_points(rec, t, None)
+            st_acc = mon_acc = 0.0  # local accumulators, folded in per step
+            try:
+                for j in range(plan.nsweeps):
+                    for b, box in enumerate(boxes):
+                        inst_start = last
+                        plan.sweeps[j].evaluate(t, box)
+                        now = clock()
+                        st_acc += now - last
+                        last = now
+                        counts.instances[j] += 1
+                        counts.points[j] += bpts[b]
+                        if monitor is not None:
+                            monitor.after_instance(plan, j, t, box)
+                            now = clock()
+                            mon_acc += now - last
+                            last = now
+                        if trace:
+                            tel.record(
+                                names[j], "stencil", inst_start,
+                                last - inst_start, depth,
+                                {"t": t, "sweep": j, "block": b, "box": box},
+                            )
+                    injections, receivers = sparse[j]
+                    if injections:
+                        for inj in injections:
+                            inj.apply(t, None)
+                            counts.inj_points += injected_points(inj, t, None)
+                        now = clock()
+                        ph["injection"] += now - last
+                        last = now
+                    if receivers:
+                        for rec in receivers:
+                            rec.gather(t, None)
+                            counts.rec_points += gathered_points(rec, t, None)
+                        now = clock()
+                        ph["receivers"] += now - last
+                        last = now
+                ph["stencil"] += st_acc
+                ph["checkpoint+guard"] += mon_acc
+                for rec in plan.all_receivers():
+                    rec.finalize(t)
+                    counts.rec_rows += 1
                 now = clock()
                 ph["receivers"] += now - last
                 last = now
-        ph["stencil"] += st_acc
-        ph["checkpoint+guard"] += mon_acc
-        for rec in plan.all_receivers():
-            rec.finalize(t)
-            counts.rec_rows += 1
-        now = clock()
-        ph["receivers"] += now - last
-        last = now
-        if monitor is not None:
-            monitor.after_step(plan, t)
-            now = clock()
-            ph["checkpoint+guard"] += now - last
-            last = now
+                if monitor is not None:
+                    monitor.after_step(plan, t)
+                    now = clock()
+                    ph["checkpoint+guard"] += now - last
+                    last = now
+                break
+            except SilentCorruptionError:
+                # raised by the boundary check in after_step, i.e. after the
+                # accumulators were already folded in above
+                reexec += 1
+                if monitor is None or not monitor.contain(plan, t, reexec):
+                    raise
+                now = clock()
+                ph["checkpoint+guard"] += now - last
+                last = now
         tel.end(sspan)
         last = sspan.end
     counts.flush(tel)
@@ -680,64 +771,82 @@ def _instr_wavefront(
         tspan = tel.begin("tile", t0=t0, t1=t1)
         last = tspan.start
         depth = len(tel._stack)
-        # plain local accumulators in the hot loop — string-keyed dict
-        # writes per instance are both slower and hash-seed-sensitive
-        st_acc = inj_acc = rec_acc = mon_acc = 0.0
-        for dt, j, box, tile_id in steps:
-            t = t0 + dt
-            inst_start = last
-            sweeps[j].evaluate(t, box)
-            now = clock()
-            st_acc += now - last
-            last = now
-            entry = sp_cache[j].get(box)
-            if entry is None:
-                entry = _entry(j, box)
-            pts, inj_ops, rec_ops = entry
-            counts.instances[j] += 1
-            counts.points[j] += pts
-            if inj_ops:
-                for inj, n, ta, tb in inj_ops:
-                    inj.apply(t, box)
-                    if ta <= t < tb:
-                        counts.inj_points += n
+        reexec = 0
+        while True:
+            if monitor is not None:
+                monitor.tile_entry(plan, t0, t1)
                 now = clock()
-                inj_acc += now - last
+                ph["checkpoint+guard"] += now - last
                 last = now
-            if rec_ops:
-                for rec, n, ta, tb in rec_ops:
-                    rec.gather(t, box)
-                    if ta <= t < tb:
-                        counts.rec_points += n
+            # plain local accumulators in the hot loop — string-keyed dict
+            # writes per instance are both slower and hash-seed-sensitive
+            st_acc = inj_acc = rec_acc = mon_acc = 0.0
+            try:
+                for dt, j, box, tile_id in steps:
+                    t = t0 + dt
+                    inst_start = last
+                    sweeps[j].evaluate(t, box)
+                    now = clock()
+                    st_acc += now - last
+                    last = now
+                    entry = sp_cache[j].get(box)
+                    if entry is None:
+                        entry = _entry(j, box)
+                    pts, inj_ops, rec_ops = entry
+                    counts.instances[j] += 1
+                    counts.points[j] += pts
+                    if inj_ops:
+                        for inj, n, ta, tb in inj_ops:
+                            inj.apply(t, box)
+                            if ta <= t < tb:
+                                counts.inj_points += n
+                        now = clock()
+                        inj_acc += now - last
+                        last = now
+                    if rec_ops:
+                        for rec, n, ta, tb in rec_ops:
+                            rec.gather(t, box)
+                            if ta <= t < tb:
+                                counts.rec_points += n
+                        now = clock()
+                        rec_acc += now - last
+                        last = now
+                    if monitor is not None:
+                        monitor.after_instance(plan, j, t, box)
+                        now = clock()
+                        mon_acc += now - last
+                        last = now
+                    if trace:
+                        tel.record(
+                            names[j], "stencil", inst_start, last - inst_start,
+                            depth, {"t": t, "sweep": j, "tile": tile_id, "box": box},
+                        )
+                for t in range(t0, t1):
+                    for rec in plan.all_receivers():
+                        rec.finalize(t)
+                        counts.rec_rows += 1
                 now = clock()
                 rec_acc += now - last
                 last = now
-            if monitor is not None:
-                monitor.after_instance(plan, j, t, box)
+                ph["stencil"] += st_acc
+                ph["injection"] += inj_acc
+                ph["receivers"] += rec_acc
+                ph["checkpoint+guard"] += mon_acc
+                if monitor is not None:
+                    monitor.after_tile(plan, t0, t1)
+                    now = clock()
+                    ph["checkpoint+guard"] += now - last
+                    last = now
+                break
+            except SilentCorruptionError:
+                # raised by the boundary check in after_tile, i.e. after the
+                # accumulators were already folded in above
+                reexec += 1
+                if monitor is None or not monitor.contain(plan, t0, reexec):
+                    raise
                 now = clock()
-                mon_acc += now - last
+                ph["checkpoint+guard"] += now - last
                 last = now
-            if trace:
-                tel.record(
-                    names[j], "stencil", inst_start, last - inst_start, depth,
-                    {"t": t, "sweep": j, "tile": tile_id, "box": box},
-                )
-        for t in range(t0, t1):
-            for rec in plan.all_receivers():
-                rec.finalize(t)
-                counts.rec_rows += 1
-        now = clock()
-        rec_acc += now - last
-        last = now
-        ph["stencil"] += st_acc
-        ph["injection"] += inj_acc
-        ph["receivers"] += rec_acc
-        ph["checkpoint+guard"] += mon_acc
-        if monitor is not None:
-            monitor.after_tile(plan, t0, t1)
-            now = clock()
-            ph["checkpoint+guard"] += now - last
-            last = now
         tel.end(tspan)
         last = tspan.end
     counts.flush(tel)

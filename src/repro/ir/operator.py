@@ -182,6 +182,28 @@ class Operator:
             self.bounds_certificates[key] = cert
         return cert
 
+    def growth_certificate_for(self, plan, dt: float = 1.0):
+        """Prove (once per *dt*, then cache) the per-step amplitude-growth
+        bound of this operator's bound sweeps, returning the
+        :class:`~repro.verify.certificate.GrowthCertificate` the ABFT guard
+        and the derived :class:`~repro.runtime.health.HealthGuard` ceiling
+        share.  The bound depends on the model data and the hoisted *dt*
+        constants, both fixed per (operator, dt), so caching by dt is sound."""
+        import time as _time
+
+        certs = self.__dict__.setdefault("_growth_certs", {})
+        key = float(dt)
+        cert = certs.get(key)
+        if cert is None:
+            from ..verify.absint.growth import prove_growth
+
+            t0 = _time.perf_counter()
+            cert = certs[key] = prove_growth(
+                plan.sweeps, operator=self.name, dt=dt
+            )
+            self.analyzer_seconds += _time.perf_counter() - t0
+        return cert
+
     # -- sweep attachment ------------------------------------------------------------
     def _sweep_index_for(self, field_name: str, time_offset: int) -> int:
         for j, sweep in enumerate(self.sweeps):
@@ -422,6 +444,7 @@ class Operator:
         health=None,
         checkpoint=None,
         faults=None,
+        abft=None,
         preflight: bool = True,
         strict_engine: bool = False,
         telemetry=None,
@@ -446,9 +469,18 @@ class Operator:
         :class:`~repro.runtime.health.HealthGuard`, a
         :class:`~repro.runtime.checkpoint.CheckpointConfig` (periodic
         snapshots, bit-identical resume) and a
-        :class:`~repro.runtime.faults.FaultInjector`; ``breaker`` hooks a
+        :class:`~repro.runtime.faults.FaultInjector`; ``abft`` attaches an
+        :class:`~repro.runtime.abft.ABFTGuard` (silent-corruption detection
+        at containment-unit boundaries with tile-granular micro-snapshot
+        recovery; configured here against the bound plan unless it already
+        carries a growth certificate); ``breaker`` hooks a
         :class:`~repro.jobs.CircuitBreaker` onto the engine ladder so
         repeatedly failing rungs are skipped instead of re-attempted.
+
+        A :class:`~repro.runtime.health.HealthGuard` passed without an
+        explicit ``max_abs`` gets one derived from the operator's certified
+        CFL amplification bound and the plan's total source amplitude — the
+        guard then catches runaway-but-finite states, not just NaN/Inf.
 
         ``telemetry`` attaches a :class:`~repro.telemetry.Telemetry` buffer:
         binding/preflight/prover time lands in the ``precompute`` phase, the
@@ -545,6 +577,25 @@ class Operator:
                 now = tel.now()
                 tel.add_phase("precompute", now - last)
                 last = now
+        if abft is not None or (
+            health is not None and getattr(health, "max_abs_derived", False)
+        ):
+            if abft is not None:
+                if abft.certificate is None:
+                    abft.certificate = self.growth_certificate_for(plan, dt)
+                abft.configure(plan, operator=self.name, dt=dt)
+            if health is not None and getattr(health, "max_abs_derived", False):
+                from ..runtime.abft import amplitude_ceiling
+
+                health.max_abs = amplitude_ceiling(
+                    plan,
+                    time_M - time_m,
+                    step_gain=self.growth_certificate_for(plan, dt).step_gain,
+                )
+            if tel is not None:
+                now = tel.now()
+                tel.add_phase("precompute", now - last)
+                last = now
         run_schedule(
             plan,
             time_m,
@@ -554,6 +605,7 @@ class Operator:
             health=health,
             checkpoint=checkpoint,
             faults=faults,
+            abft=abft,
             telemetry=tel,
         )
         if tel is not None:

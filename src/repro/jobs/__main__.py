@@ -12,8 +12,8 @@ Usage::
 
 Each job is one shot of a miniature survey: the paper's small verification
 propagator with a seed-perturbed source position.  ``--fault-rate`` /
-``--break-rate`` / ``--kill-workers`` / ``--hang-workers`` /
-``--poison-jobs`` / ``--kill-supervisor-after`` arm the chaos harness;
+``--sdc-rate`` / ``--break-rate`` / ``--kill-workers`` / ``--hang-workers``
+/ ``--poison-jobs`` / ``--kill-supervisor-after`` arm the chaos harness;
 ``--verify`` re-runs every completed job's spec serially, fault-free,
 in-process and checks the pool's receivers are **bit-identical** — the
 chaos gate CI runs.
@@ -119,6 +119,11 @@ def main(argv: List[str] = None) -> int:
         help="fraction of jobs that get one injected in-run fault",
     )
     parser.add_argument(
+        "--sdc-rate", type=float, default=0.0,
+        help="fraction of jobs that get one injected finite bit-flip "
+        "(silent data corruption the ABFT guard must detect and recover)",
+    )
+    parser.add_argument(
         "--break-rate", type=float, default=0.0,
         help="fraction of jobs whose fused compiler is broken on attempt 0",
     )
@@ -210,6 +215,7 @@ def main(argv: List[str] = None) -> int:
         chaos = None
         if (
             args.fault_rate
+            or args.sdc_rate
             or args.break_rate
             or args.kill_workers
             or args.hang_workers
@@ -218,6 +224,7 @@ def main(argv: List[str] = None) -> int:
         ):
             chaos = ChaosConfig(
                 fault_rate=args.fault_rate,
+                sdc_rate=args.sdc_rate,
                 break_rate=args.break_rate,
                 kill_workers=args.kill_workers,
                 hang_workers=args.hang_workers,

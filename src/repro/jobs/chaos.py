@@ -17,6 +17,14 @@ Three kinds of injected trouble:
   (attached automatically) catches it at the same instance — *before* the
   next checkpoint, so a snapshot can never capture injected corruption and
   retry-from-checkpoint stays bit-identical.
+* **silent data corruption** (``sdc_rate``) — an armed ``bitflip`` fault
+  rewrites the exponent field of one just-written value to a seeded
+  high-but-finite pattern (:func:`~repro.runtime.faults.flip_finite`): no
+  NaN, no Inf, nothing the health guard can see.  An
+  :class:`~repro.runtime.abft.ABFTGuard` (attached automatically) catches
+  the violated amplitude invariant at the next containment-unit boundary
+  and re-executes just that tile from its entry micro-snapshot — the batch
+  completes bit-identical to a fault-free run.
 * **engine breakage** (``break_rate``) — the worker runs under
   :func:`~repro.runtime.faults.break_engine`, making the fused compiler
   raise; exercises the engine ladder and feeds the pool's circuit breaker.
@@ -72,6 +80,9 @@ class ChaosConfig:
     fault_rate: float = 0.0
     #: fault kinds drawn from (uniformly, per faulting job)
     kinds: Tuple[str, ...] = ("raise", "nan")
+    #: fraction of jobs that get one injected finite bit-flip (silent data
+    #: corruption) on attempt 0; detected by the auto-attached ABFT guard
+    sdc_rate: float = 0.0
     #: fraction of jobs whose attempt 0 runs with a broken fused compiler
     break_rate: float = 0.0
     #: number of attempt-0 workers the supervisor SIGKILLs (after their
@@ -93,6 +104,8 @@ class ChaosConfig:
     def __post_init__(self):
         if not 0.0 <= self.fault_rate <= 1.0:
             raise ValueError("fault_rate must be in [0, 1]")
+        if not 0.0 <= self.sdc_rate <= 1.0:
+            raise ValueError("sdc_rate must be in [0, 1]")
         if not 0.0 <= self.break_rate <= 1.0:
             raise ValueError("break_rate must be in [0, 1]")
         if self.kill_workers < 0:
@@ -106,13 +119,14 @@ class ChaosConfig:
         if self.kill_supervisor_after is not None and self.kill_supervisor_after < 1:
             raise ValueError("kill_supervisor_after must be >= 1 (or None)")
         for kind in self.kinds:
-            if kind not in ("raise", "nan", "inf"):
+            if kind not in ("raise", "nan", "inf", "bitflip"):
                 raise ValueError(f"unknown fault kind {kind!r}")
 
     @property
     def active(self) -> bool:
         return (
             self.fault_rate > 0
+            or self.sdc_rate > 0
             or self.break_rate > 0
             or self.kill_workers > 0
             or self.hang_workers > 0
@@ -142,6 +156,12 @@ class ChaosEntry:
         """Corruption faults need a cadence-1 health guard to be caught."""
         return self.fault is not None and self.fault.get("kind") in ("nan", "inf")
 
+    @property
+    def needs_abft(self) -> bool:
+        """Finite bit-flips are invisible to the NaN/Inf guard; only the
+        ABFT amplitude invariant detects them."""
+        return self.fault is not None and self.fault.get("kind") == "bitflip"
+
 
 @dataclass
 class ChaosPlan:
@@ -166,6 +186,13 @@ class ChaosPlan:
             t = int(rng.integers(max(1, nt // 10), max(2, nt)))
             entry.fault = {"t": t, "kind": kind, "message": "chaos fault"}
         entry.break_fused = bool(rng.random() < self.config.break_rate)
+        # the sdc draw comes after the legacy draws so adding it does not
+        # reshuffle fault decisions of pre-existing chaos configurations;
+        # an in-run fault on the same job takes precedence (one armed fault
+        # per attempt keeps attribution unambiguous)
+        if rng.random() < self.config.sdc_rate and entry.fault is None:
+            t = int(rng.integers(max(1, nt // 10), max(2, nt)))
+            entry.fault = {"t": t, "kind": "bitflip", "message": "chaos sdc"}
         # hang/poison target the first N submission indices: budgets, not
         # rates, so a test or smoke names exactly how many lanes suffer
         if job_index < self.config.hang_workers:

@@ -32,6 +32,10 @@ Record kinds, in the order a batch emits them:
   durable ``result.npz``.
 * ``terminal`` — a job reached a terminal status.
 * ``stream_failed`` — a user-supplied spec stream raised while pulled.
+* ``sdc``    — silent data corruption detected (ABFT guard or shm
+  checksum): job, attempt, detection/recovery events.  Forensics only.
+* ``storage_degraded`` — checkpoint or journal storage hit ENOSPC; the
+  batch continues degraded (no further checkpoints / journaling suspended).
 * ``drain``  — graceful shutdown began (SIGTERM/SIGINT).
 * ``resume`` — a later supervisor took over this journal.
 * ``batch_end`` — the drive loop finished (possibly drained).
@@ -48,6 +52,7 @@ when the batch header itself is unreadable.
 
 from __future__ import annotations
 
+import errno
 import hashlib
 import json
 import os
@@ -56,7 +61,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import IO, List, Optional
 
-from ..errors import JournalCorruptError, JournalSchemaError
+from ..errors import JournalCorruptError, JournalSchemaError, StorageExhaustedError
 
 __all__ = [
     "JOURNAL_NAME",
@@ -85,6 +90,8 @@ JOURNAL_KINDS = {
     "outcome": "replayed",
     "terminal": "replayed",
     "stream_failed": "audit",
+    "sdc": "audit",
+    "storage_degraded": "audit",
     "drain": "audit",
     "resume": "audit",
     "batch_end": "audit",
@@ -296,10 +303,20 @@ class BatchJournal:
         record = {"kind": kind, "seq": self._seq, "ts": round(time.time(), 6)}
         record.update(payload)
         record["sha256"] = record_digest(record)
-        self._fh.write(_canonical(record) + b"\n")
-        self._fh.flush()
-        if self.fsync:
-            os.fsync(self._fh.fileno())
+        try:
+            self._fh.write(_canonical(record) + b"\n")
+            self._fh.flush()
+            if self.fsync:
+                os.fsync(self._fh.fileno())
+        except OSError as exc:
+            if exc.errno != errno.ENOSPC:
+                raise
+            raise StorageExhaustedError(
+                f"no space left on device while appending to journal "
+                f"{self.path.name}",
+                path=str(self.path),
+                op="journal_append",
+            ) from exc
         self._seq += 1
         self.records_written += 1
         record.pop("sha256")

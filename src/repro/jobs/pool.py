@@ -43,6 +43,18 @@ Every fault domain of the process-per-attempt design is preserved:
   attempt-0 job right after its first checkpoint lands — or SIGKILL the
   *supervisor itself* (``kill_supervisor_after``), the crash :meth:`resume`
   exists to survive.
+* **silent data corruption** — a daemon whose ABFT guard (or shared-memory
+  checksum gate) raises :class:`~repro.errors.SilentCorruptionError` has
+  the attempt classified ``sdc``: the retry backs off flat (corruption is
+  environmental, not the job's fault), never counts toward poison
+  quarantine, and stops trusting the shared model segments — a corrupted
+  ``/dev/shm`` block costs one attempt.  Corruption the guard *recovered
+  in-run* (tile re-execution from its entry micro-snapshot) completes
+  normally but is still journaled as an ``sdc`` audit record and counted
+  (``sdc_detections_total``, ``sdc_tiles_reexecuted_total``).
+* **storage exhaustion** — ``ENOSPC`` on the journal or checkpoint path
+  degrades the batch (best-effort ``storage_degraded`` record, journaling
+  off, clean drain) instead of killing the supervisor mid-flight.
 
 And — new in this revision — the *supervisor* is no longer a single point
 of failure:
@@ -98,6 +110,8 @@ from ..errors import (
     PoisonJobError,
     QueueSaturatedError,
     RetryExhaustedError,
+    SilentCorruptionError,
+    StorageExhaustedError,
     StreamAdmissionError,
     WorkerCrashError,
 )
@@ -148,6 +162,9 @@ class _Job:
         #: next dispatch must resume from checkpoint even though no failure
         #: outcome was ever journaled
         self.force_resume = False
+        #: an attempt ended in silent data corruption: later attempts stop
+        #: trusting the shared-memory model segments and recompute locally
+        self.distrust_shm = False
 
     @property
     def terminal(self) -> bool:
@@ -218,6 +235,18 @@ def _durable_result(job_dir: Path, digest: Optional[str]):
         return worker_mod.read_result(job_dir)
     except Exception:
         return None
+
+
+def _classify_failure(error: BaseException) -> str:
+    """Attempt-outcome label of a daemon-reported failure.
+
+    ``"sdc"`` (a :class:`~repro.errors.SilentCorruptionError` the worker's
+    ABFT guard or shm checksum gate raised) is kept distinct from the
+    generic ``"fault"``: sdc retries back off flat (corruption is
+    environmental, not the job's fault), never count toward poison
+    quarantine, and make later attempts distrust the shared-memory model
+    segments."""
+    return "sdc" if isinstance(error, SilentCorruptionError) else "fault"
 
 
 def _resume_step(job_dir: Path) -> Optional[int]:
@@ -398,6 +427,8 @@ class JobPool:
         self._draining = False
         self._drain_signal: Optional[int] = None
         self._terminals = 0
+        #: the StorageExhaustedError that degraded this batch (None = healthy)
+        self.storage_degraded: Optional[StorageExhaustedError] = None
         # -- observability layer: registry + exclusive phase accounting ----
         # (metrics=False turns the whole layer off — the overhead
         # benchmark's baseline path)
@@ -442,13 +473,47 @@ class JobPool:
             )
 
     def _journal_append(self, kind: str, **payload) -> None:
-        """Durably journal one record (no-op when journaling is off)."""
+        """Durably journal one record (no-op when journaling is off).
+
+        ``ENOSPC`` surfaces as :class:`~repro.errors.StorageExhaustedError`
+        and must not take the supervisor loop down: the batch degrades —
+        one best-effort ``storage_degraded`` record, journaling off, a
+        clean drain — instead of dying mid-flight with daemons running."""
         if self._journal is None:
             return
-        with self._phase("journal"):
-            self._journal.append(kind, **payload)
+        try:
+            with self._phase("journal"):
+                self._journal.append(kind, **payload)
+        except StorageExhaustedError as exc:
+            self._on_storage_exhausted(exc)
+            return
         if self.telemetry is not None:
             self.telemetry.counters.add("journal_records")
+
+    def _on_storage_exhausted(self, exc: StorageExhaustedError) -> None:
+        """Degrade gracefully when persistent storage fills up: journal a
+        best-effort ``storage_degraded`` record (it may well fail too — the
+        recursion is cut by the ``storage_degraded`` flag), stop journaling
+        entirely, and drain the batch cleanly so in-flight attempts finish
+        and everything else reports ``interrupted`` (resumable once space
+        frees)."""
+        if self.storage_degraded is not None:
+            self._journal = None
+            return
+        self.storage_degraded = exc
+        context = getattr(exc, "context", {}) or {}
+        self._journal_append(
+            "storage_degraded",
+            op=context.get("op"),
+            path=context.get("path"),
+            error=str(exc),
+        )
+        self._journal = None
+        if self.metrics is not None:
+            self._m_storage_degraded.inc()
+        self._emit_pool("storage_degraded", error=str(exc), op=context.get("op"))
+        if not self._draining:
+            self.request_drain()
 
     # -- observability -----------------------------------------------------------------
     @property
@@ -511,6 +576,22 @@ class JobPool:
             "supervisor_seconds",
             "exclusive supervisor wall-time per bucket", ("bucket",),
         )
+        self._m_sdc = m.counter(
+            "sdc_detections_total",
+            "silent-data-corruption detections", ("detector",),
+        )
+        self._m_sdc_recovered = m.counter(
+            "sdc_recoveries_total",
+            "attempts that recovered in-run from silent corruption",
+        )
+        self._m_sdc_tiles = m.counter(
+            "sdc_tiles_reexecuted_total",
+            "containment units re-executed after an ABFT violation",
+        )
+        self._m_storage_degraded = m.counter(
+            "storage_degraded_total",
+            "batches degraded by ENOSPC on the journal/checkpoint path",
+        )
         self._m_points = m.counter(
             "jobs_points_updated_total", "grid points updated by completed attempts"
         )
@@ -563,6 +644,7 @@ class JobPool:
             },
             "draining": self._draining,
             "resumed": self.resumed,
+            "storage_degraded": self.storage_degraded is not None,
             "elapsed_seconds": time.perf_counter() - self._epoch,
         }
         if self.breaker is not None:
@@ -873,6 +955,32 @@ class JobPool:
             engine=record.engine,
             digest=digest,
         )
+        # an ABFT guard that detected corruption *and recovered in-run*
+        # leaves the outcome "completed" — the detection must still reach
+        # the journal and the metrics, or recovered corruption is invisible
+        abft = meta.get("abft") if isinstance(meta, dict) else None
+        if isinstance(abft, dict) and abft.get("detections"):
+            detections = int(abft["detections"])
+            tiles = int(abft.get("tiles_reexecuted", 0))
+            self._journal_append(
+                "sdc",
+                job=job.spec.job_id,
+                attempt=record.attempt,
+                recovered=True,
+                detector="growth",
+                detections=detections,
+                tiles_reexecuted=tiles,
+                micro_snapshot_bytes=int(abft.get("micro_snapshot_bytes", 0)),
+            )
+            if self.metrics is not None:
+                self._m_sdc.inc(detections, detector="growth")
+                self._m_sdc_recovered.inc()
+                if tiles:
+                    self._m_sdc_tiles.inc(tiles)
+            self._emit(
+                "sdc_recovered", job, attempt=record.attempt,
+                detections=detections, tiles_reexecuted=tiles,
+            )
         job.consecutive_crashes = 0
         self._finish(
             job,
@@ -944,6 +1052,25 @@ class JobPool:
             outcome=outcome,
             error=record.error,
         )
+        if outcome == "sdc":
+            # unrecovered silent corruption: journal the audit record, count
+            # it, and stop trusting the shared model segments for this job —
+            # the retry recomputes them locally (bit-identical)
+            detector = (getattr(error, "context", {}) or {}).get(
+                "detector", "growth"
+            )
+            job.distrust_shm = True
+            self._journal_append(
+                "sdc",
+                job=job.spec.job_id,
+                attempt=record.attempt,
+                recovered=False,
+                detector=detector,
+                error=record.error,
+            )
+            if self.metrics is not None:
+                self._m_sdc.inc(detector=detector)
+            self._emit("sdc", job, attempt=record.attempt, detector=detector)
         job.consecutive_crashes = (
             job.consecutive_crashes + 1 if outcome == "crash" else 0
         )
@@ -990,7 +1117,8 @@ class JobPool:
         if job.spec.deadline is not None and job.first_started is not None:
             budget = job.spec.deadline - job.elapsed(now)
         delay = self.retry.delay(
-            job.attempt_no, job.jitter_rng, budget=budget, metrics=self.metrics
+            job.attempt_no, job.jitter_rng, budget=budget, metrics=self.metrics,
+            outcome=outcome,
         )
         self._seq += 1
         heapq.heappush(self._delayed, (now + delay, self._seq, job))
@@ -1135,6 +1263,8 @@ class JobPool:
             step=step,
         )
         ctx = {"batch": self.batch_id, "trace": True} if self.trace else None
+        if job.distrust_shm:
+            ctx = {**(ctx or {}), "distrust_shm": True}
         try:
             worker.dispatch(spec, str(job.dir), job.attempt_no, resume, entry, ctx)
         except (BrokenPipeError, OSError):
@@ -1163,7 +1293,7 @@ class JobPool:
             self._complete(job, rec, meta, now)
         else:
             _, _job_id, _attempt, error = msg
-            self._fail_attempt(job, error, "fault", now)
+            self._fail_attempt(job, error, _classify_failure(error), now)
 
     def _crash(self, worker: WarmWorker, now: float) -> None:
         """The daemon died with a job in flight and nothing in the pipe."""
@@ -1523,7 +1653,7 @@ class JobPool:
                     if job.over_deadline(now):
                         self._timeout(job, now)
                         break
-                    self._fail_attempt(job, exc, "fault", now)
+                    self._fail_attempt(job, exc, _classify_failure(exc), now)
                     if not job.terminal and self._delayed:
                         ready_time, _, delayed_job = heapq.heappop(self._delayed)
                         assert delayed_job is job

@@ -55,8 +55,17 @@ class RetryPolicy:
         rng: np.random.Generator,
         budget: Optional[float] = None,
         metrics=None,
+        outcome: Optional[str] = None,
     ) -> float:
         """Backoff before retry *attempt* (>= 1), consuming one jitter draw.
+
+        *outcome* is the failed attempt's classification: ``"sdc"``
+        (silently corrupted state detected by the ABFT guard) retries at the
+        flat base delay instead of escalating exponentially — corruption is
+        environmental, not evidence the job itself misbehaves, so punishing
+        it with growing backoff only delays an attempt that is expected to
+        succeed.  The jitter draw is consumed identically either way, so
+        the per-job backoff stream stays aligned across outcome mixes.
 
         *budget* is the job's remaining deadline allowance in seconds: the
         returned delay is capped at it (floor 0), so a job never sleeps
@@ -73,7 +82,10 @@ class RetryPolicy:
         """
         if attempt < 1:
             raise ValueError("attempt must be >= 1 (the first retry)")
-        raw = min(self.max_delay, self.base * self.factor ** (attempt - 1))
+        if outcome == "sdc":
+            raw = self.base
+        else:
+            raw = min(self.max_delay, self.base * self.factor ** (attempt - 1))
         delay = raw * (1.0 + self.jitter * float(rng.random()))
         if budget is not None:
             delay = min(delay, max(0.0, float(budget)))

@@ -39,6 +39,7 @@ __all__ = [
     "attach_array",
     "segment_exists",
     "unlink_stale",
+    "verify_handles",
 ]
 
 
@@ -73,17 +74,31 @@ class SharedArrayHandle:
     """Picklable zero-copy reference to one published array.
 
     Carries everything needed to rebuild a read-only numpy view in another
-    process: the POSIX segment name plus the array's shape and dtype.
+    process: the POSIX segment name plus the array's shape and dtype — and
+    the CRC-32 block checksum recorded at publish time, so an attacher can
+    prove the segment's bytes are still the bytes the supervisor wrote (a
+    flipped bit in ``/dev/shm`` otherwise poisons every job of the batch).
     """
 
     key: str
     name: str
     shape: Tuple[int, ...]
     dtype: str
+    #: CRC-32 of the published bytes (None for handles from older pickles)
+    checksum: Optional[int] = None
 
     @property
     def nbytes(self) -> int:
         return int(np.prod(self.shape, dtype=np.int64)) * np.dtype(self.dtype).itemsize
+
+    def verify(self, array: np.ndarray) -> bool:
+        """True iff *array*'s bytes still match the published checksum
+        (vacuously true for handles that never carried one)."""
+        if self.checksum is None:
+            return True
+        from ..runtime.abft import array_checksum
+
+        return array_checksum(array) == self.checksum
 
 
 class AttachedArrays:
@@ -159,11 +174,17 @@ class SharedArrayRegistry:
     def publish(self, key: str, array: np.ndarray) -> SharedArrayHandle:
         if key in self._handles:
             raise ValueError(f"duplicate shared-array key {key!r}")
+        from ..runtime.abft import array_checksum
+
         arr = np.ascontiguousarray(array)
         shm = shared_memory.SharedMemory(create=True, size=max(1, arr.nbytes))
         np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)[...] = arr
         handle = SharedArrayHandle(
-            key=key, name=shm.name, shape=tuple(arr.shape), dtype=arr.dtype.str
+            key=key,
+            name=shm.name,
+            shape=tuple(arr.shape),
+            dtype=arr.dtype.str,
+            checksum=array_checksum(arr),
         )
         self._segments[key] = shm
         self._handles[key] = handle
@@ -196,6 +217,24 @@ class SharedArrayRegistry:
 
     def __exit__(self, *exc) -> None:
         self.close()
+
+
+def verify_handles(
+    handles: Mapping[str, SharedArrayHandle], attached: AttachedArrays
+) -> Tuple[str, ...]:
+    """Keys whose attached segments fail their published checksum.
+
+    Warm daemons run this at attempt start: a corrupted model array then
+    fails *one attempt* with a structured
+    :class:`~repro.errors.SilentCorruptionError` (classified ``sdc`` by the
+    pool, which re-ships private copies on the retry) instead of silently
+    poisoning every job that maps the segment.
+    """
+    return tuple(
+        key
+        for key, handle in handles.items()
+        if key in attached.arrays and not handle.verify(attached.arrays[key])
+    )
 
 
 def segment_exists(name: str) -> bool:

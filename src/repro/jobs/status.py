@@ -117,7 +117,16 @@ def journal_stats(batch_dir) -> Optional[dict]:
     kinds: Dict[str, int] = {}
     for rec in replay.records:
         kinds[rec.get("kind", "?")] = kinds.get(rec.get("kind", "?"), 0) + 1
+    sdc_recs = replay.for_kind("sdc")
     return {
+        "sdc": {
+            "records": len(sdc_recs),
+            "recovered": sum(1 for r in sdc_recs if r.get("recovered")),
+            "tiles_reexecuted": sum(
+                int(r.get("tiles_reexecuted", 0)) for r in sdc_recs
+            ),
+        },
+        "storage_degraded": len(replay.for_kind("storage_degraded")),
         "records": len(replay.records),
         "kinds": kinds,
         "elapsed_seconds": elapsed,
@@ -160,6 +169,7 @@ def render_status(snapshot: Optional[dict], journal: Optional[dict]) -> str:
             for flag, on in (
                 ("draining", status.get("draining")),
                 ("resumed", status.get("resumed")),
+                ("storage degraded", status.get("storage_degraded")),
             )
             if on
         ]
@@ -224,6 +234,20 @@ def render_status(snapshot: Optional[dict], journal: Optional[dict]) -> str:
         retries = _value(snapshot, "repro_jobs_retried_total")
         if retries:
             lines.append(f"retries: {int(retries)}")
+        sdc_series = _series(snapshot, "repro_sdc_detections_total")
+        if sdc_series:
+            total = sum(e.get("value", 0) for e in sdc_series)
+            by_detector = "  ".join(
+                f"{e['labels'].get('detector', '?')}={int(e.get('value', 0))}"
+                for e in sorted(sdc_series, key=lambda e: str(e["labels"]))
+            )
+            recovered = _value(snapshot, "repro_sdc_recoveries_total") or 0
+            tiles = _value(snapshot, "repro_sdc_tiles_reexecuted_total") or 0
+            lines.append(
+                f"silent corruption: {int(total)} detection(s) [{by_detector}], "
+                f"{int(recovered)} recovered in-run, "
+                f"{int(tiles)} tile(s) re-executed"
+            )
         shm = _value(snapshot, "repro_shm_bytes_published_total")
         if shm:
             lines.append(f"shared memory published: {shm / 1e6:.2f} MB")
@@ -249,6 +273,18 @@ def render_status(snapshot: Optional[dict], journal: Optional[dict]) -> str:
         )
         if journal["corrupt_tail"]:
             lines.append(f"journal corruption: {journal['corrupt_tail']}")
+        sdc = journal.get("sdc") or {}
+        if sdc.get("records"):
+            lines.append(
+                f"silent corruption: {sdc['records']} journaled event(s), "
+                f"{sdc['recovered']} recovered in-run, "
+                f"{sdc['tiles_reexecuted']} tile(s) re-executed"
+            )
+        if journal.get("storage_degraded"):
+            lines.append(
+                f"storage degraded: {journal['storage_degraded']} ENOSPC "
+                "event(s) — journal suspended mid-batch"
+            )
         if journal["statuses"]:
             lines.append(
                 "terminal statuses: "

@@ -176,7 +176,8 @@ def warm_main(
     """
     import os
 
-    from .shm import AttachedArrays
+    from ..errors import SilentCorruptionError
+    from .shm import AttachedArrays, verify_handles
     from . import worker as worker_mod
 
     parent_pid = os.getppid()
@@ -210,6 +211,22 @@ def warm_main(
                 time.sleep(chaos.hang_seconds)
             beat.begin()
             try:
+                # the pool marks retries after an sdc outcome: stop trusting
+                # the (possibly corrupted) shared segments and recompute the
+                # model arrays locally — bit-identical by construction
+                distrust = bool(ctx and ctx.get("distrust_shm"))
+                if not distrust:
+                    # block-checksum gate: a flipped bit in /dev/shm poisons
+                    # one attempt (classified sdc by the pool), not the batch
+                    bad = verify_handles(handles, attached)
+                    if bad:
+                        raise SilentCorruptionError(
+                            "shared-memory model segment(s) failed their "
+                            f"published checksum: {', '.join(sorted(bad))}",
+                            field=sorted(bad)[0],
+                            detector="checksum",
+                            keys=sorted(bad),
+                        )
                 trace_ctx = None
                 if ctx is not None and ctx.get("trace"):
                     trace_ctx = {**ctx, "recv_perf": recv_perf}
@@ -217,6 +234,7 @@ def warm_main(
                 rec, meta = worker_mod.execute_attempt(
                     spec, job_dir, attempt=attempt, resume=resume, chaos=chaos,
                     warm=warm, trace=trace_ctx is not None, ctx=trace_ctx,
+                    distrust_shm=distrust,
                 )
                 meta.setdefault("phases", {})["spawn"] = max(
                     0.0, recv_ts - dispatch_ts

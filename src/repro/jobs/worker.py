@@ -35,6 +35,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from ..errors import CheckpointCorruptError
+from ..runtime.abft import ABFTGuard
 from ..runtime.checkpoint import CheckpointConfig, FileCheckpointStore
 from ..runtime.faults import Fault, FaultInjector, break_engine
 from ..runtime.health import HealthGuard
@@ -141,6 +142,7 @@ def execute_attempt(
     warm=None,
     trace: bool = False,
     ctx: Optional[dict] = None,
+    distrust_shm: bool = False,
 ) -> Tuple[Optional[np.ndarray], dict]:
     """Run one attempt of *spec* in the current process.
 
@@ -148,6 +150,12 @@ def execute_attempt(
     (InjectedFault, NumericalBlowup, ...) — classification is the caller's
     business.  A corrupt checkpoint is *not* fatal: the store is discarded
     and the attempt restarts from scratch, preserving forward progress.
+
+    *distrust_shm* makes :func:`build_problem` ignore the warm worker's
+    shared-memory attachments and recompute the model arrays locally
+    (bit-identical by construction) — the pool sets it on retries after a
+    silent-data-corruption outcome, so a corrupted ``/dev/shm`` segment
+    costs one attempt, not the job.
 
     *warm* is an optional :class:`~repro.jobs.warm.WarmState`: its shared
     arrays feed :func:`build_problem` zero-copy, its family step cache lets
@@ -165,7 +173,8 @@ def execute_attempt(
 
     t_entry = _time.perf_counter()
     job_dir = Path(job_dir)
-    prop, dt = build_problem(spec, shared=warm.shared if warm else None)
+    shared = None if distrust_shm else (warm.shared if warm else None)
+    prop, dt = build_problem(spec, shared=shared)
     store = FileCheckpointStore(_checkpoint_dir(job_dir), keep=2)
     resumed_from = None
     if resume:
@@ -177,13 +186,19 @@ def execute_attempt(
     checkpoint = CheckpointConfig(
         every=spec.checkpoint_every, store=store, resume=resumed_from is not None
     )
-    faults = health = None
+    faults = health = abft = None
     engine_ctx = nullcontext()
     if chaos is not None and attempt == 0:
         if chaos.fault is not None:
             faults = FaultInjector([Fault(**chaos.fault)], seed=chaos.fault_seed)
             if chaos.needs_guard:
                 health = HealthGuard(check_every=1)
+            elif chaos.needs_abft:
+                # a finite bit-flip is invisible to the NaN/Inf guard (and
+                # arming one here would misclassify the violation as a plain
+                # blow-up): only the ABFT amplitude invariant catches it, and
+                # its micro-snapshots recover the tile in-run
+                abft = ABFTGuard()
         if chaos.break_fused and spec.engine == "fused":
             engine_ctx = break_engine("fused")
     from ..telemetry import Telemetry
@@ -198,6 +213,7 @@ def execute_attempt(
             checkpoint=checkpoint,
             faults=faults,
             health=health,
+            abft=abft,
             telemetry=telemetry,
             breaker=breaker,
             step_cache=warm.step_cache(spec) if warm else None,
@@ -254,6 +270,13 @@ def execute_attempt(
             "stencil_seconds": ph.get("stencil", 0.0),
         },
     }
+    if abft is not None:
+        # detections recovered in-run leave the outcome "completed" but must
+        # still surface: the pool journals an "sdc" audit record from these
+        meta["abft"] = abft.describe()
+    if faults is not None and faults.flips:
+        # bit-flip forensics: exactly where the injected corruption landed
+        meta["flips"] = [dict(f) for f in faults.flips]
     if trace:
         from ..telemetry.merge import telemetry_payload
 

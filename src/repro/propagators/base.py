@@ -69,6 +69,7 @@ class Propagator:
         health=None,
         checkpoint=None,
         faults=None,
+        abft=None,
         cfl: str = "warn",
         strict_engine: bool = False,
         telemetry=None,
@@ -87,8 +88,10 @@ class Propagator:
         when *dt* exceeds the critical timestep — unstable runs remain legal,
         the blow-up demonstration depends on them — ``"raise"`` turns it into
         a :class:`~repro.errors.StabilityViolation`, ``"ignore"`` skips the
-        check.  ``health``/``checkpoint``/``faults`` attach the runtime
-        resilience layer (see :mod:`repro.runtime`) and ``breaker`` hooks a
+        check.  ``health``/``checkpoint``/``faults``/``abft`` attach the
+        runtime resilience layer (see :mod:`repro.runtime`; ``abft`` is the
+        silent-corruption guard with tile-granular micro-snapshot recovery)
+        and ``breaker`` hooks a
         :class:`~repro.jobs.CircuitBreaker` onto the engine ladder; with
         ``checkpoint.resume`` set and a snapshot available the wavefields are
         *not* reset — the run continues from the restored state.
@@ -131,6 +134,7 @@ class Propagator:
             health=health,
             checkpoint=checkpoint,
             faults=faults,
+            abft=abft,
             strict_engine=strict_engine,
             telemetry=telemetry,
             breaker=breaker,

@@ -9,23 +9,28 @@ arguments::
     op.apply(time_M=nt, dt=dt, schedule=WavefrontSchedule(),
              health=HealthGuard(check_every=16),
              checkpoint=CheckpointConfig(every=32),
-             faults=FaultInjector([Fault(t=100, kind="nan")], seed=7))
+             faults=FaultInjector([Fault(t=100, kind="nan")], seed=7),
+             abft=ABFTGuard())
 
 See also :mod:`repro.errors` for the structured error taxonomy and
 :mod:`repro.runtime.preflight` for the validation that runs before
 timestep 0.
 """
 
+from .abft import ABFTGuard, amplitude_ceiling, array_checksum
 from .checkpoint import (
     CheckpointConfig,
     CheckpointStore,
     FileCheckpointStore,
     MemoryCheckpointStore,
+    MicroSnapshot,
     Snapshot,
+    capture_micro_snapshot,
     capture_snapshot,
+    restore_micro_snapshot,
     restore_snapshot,
 )
-from .faults import Fault, FaultInjector, break_engine, split_seed
+from .faults import Fault, FaultInjector, break_engine, flip_finite, split_seed
 from .health import DEFAULT_CHECK_EVERY, HealthGuard
 from .monitor import RuntimeMonitor
 from .preflight import (
@@ -40,16 +45,23 @@ from .preflight import (
 __all__ = [
     "HealthGuard",
     "DEFAULT_CHECK_EVERY",
+    "ABFTGuard",
+    "amplitude_ceiling",
+    "array_checksum",
     "CheckpointConfig",
     "CheckpointStore",
     "MemoryCheckpointStore",
     "FileCheckpointStore",
     "Snapshot",
+    "MicroSnapshot",
     "capture_snapshot",
     "restore_snapshot",
+    "capture_micro_snapshot",
+    "restore_micro_snapshot",
     "Fault",
     "FaultInjector",
     "break_engine",
+    "flip_finite",
     "split_seed",
     "RuntimeMonitor",
     "check_cfl",

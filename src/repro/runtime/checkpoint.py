@@ -21,6 +21,7 @@ and :class:`FileCheckpointStore` (``.npz`` files, survives the process).
 
 from __future__ import annotations
 
+import errno
 import os
 import zipfile
 from dataclasses import dataclass, field as dc_field
@@ -30,17 +31,20 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from ..dsl.functions import TimeFunction
-from ..errors import CheckpointCorruptError
+from ..errors import CheckpointCorruptError, StorageExhaustedError
 from .integrity import digest_path, file_digest, read_digest, write_digest
 
 __all__ = [
     "Snapshot",
+    "MicroSnapshot",
     "CheckpointConfig",
     "CheckpointStore",
     "MemoryCheckpointStore",
     "FileCheckpointStore",
     "capture_snapshot",
     "restore_snapshot",
+    "capture_micro_snapshot",
+    "restore_micro_snapshot",
 ]
 
 
@@ -144,12 +148,25 @@ class FileCheckpointStore(CheckpointStore):
                 arrays[f"rec{i}.staging.{row}"] = stage
         path = self.directory / f"ckpt_{snapshot.step:010d}.npz"
         tmp = path.with_name(path.name + ".tmp")
-        with open(tmp, "wb") as fh:
-            np.savez(fh, **arrays)
-            fh.flush()
-            os.fsync(fh.fileno())
-        os.replace(tmp, path)
-        write_digest(path)
+        try:
+            with open(tmp, "wb") as fh:
+                np.savez(fh, **arrays)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, path)
+            write_digest(path)
+        except OSError as exc:
+            if exc.errno != errno.ENOSPC:
+                raise
+            # the disk is full, not the snapshot corrupt: surface a
+            # structured error the monitor can react to (suspend the
+            # cadence) instead of crashing the run mid-timestep
+            tmp.unlink(missing_ok=True)
+            raise StorageExhaustedError(
+                f"no space left on device while saving checkpoint {path.name}",
+                path=str(path),
+                op="checkpoint_save",
+            ) from exc
         for old in self._paths()[: -self.keep]:
             old.unlink()
             digest_path(old).unlink(missing_ok=True)
@@ -239,15 +256,24 @@ class CheckpointConfig:
         When True and the store holds a snapshot whose ``step`` lies inside
         the requested range, the run restores it and continues from there
         instead of starting at ``time_m``.
+    micro_keep:
+        Depth of the in-memory ring of tile-entry *micro*-snapshots the
+        ABFT guard keeps (see :class:`repro.runtime.abft.ABFTGuard`): only
+        the live circular-buffer slots plus receiver state, never written
+        to disk.  Independent of ``every`` — micro-snapshots are captured
+        at every containment-unit boundary while the guard is active.
     """
 
     every: int = 8
     store: CheckpointStore = dc_field(default_factory=MemoryCheckpointStore)
     resume: bool = False
+    micro_keep: int = 2
 
     def __post_init__(self):
         if self.every < 1:
             raise ValueError("checkpoint cadence must be >= 1 timestep")
+        if self.micro_keep < 1:
+            raise ValueError("micro-snapshot ring depth must be >= 1")
 
 
 def _plan_time_functions(plan) -> Dict[str, TimeFunction]:
@@ -319,6 +345,105 @@ def restore_snapshot(plan, snapshot: Snapshot) -> int:
     if len(executors) != len(snapshot.receivers):
         raise ValueError(
             f"snapshot holds {len(snapshot.receivers)} receiver state(s), "
+            f"plan has {len(executors)}"
+        )
+    for rec, saved in zip(executors, snapshot.receivers):
+        _receiver_output(rec)[...] = saved["output"]
+        if hasattr(rec, "_staging"):
+            rec._staging = {row: arr.copy() for row, arr in saved["staging"].items()}
+    return snapshot.step
+
+
+# -- tile-entry micro-snapshots (ABFT containment) ---------------------------------
+
+
+@dataclass
+class MicroSnapshot:
+    """Entry state of one containment unit: only the *live* buffer slots.
+
+    A full :class:`Snapshot` copies every circular-buffer slot of every
+    TimeFunction; re-executing the tile ``[step, step + h)`` only needs the
+    ``time_order`` slots its first timestep reads — every other slot is
+    rewritten by the tile before anything reads it (``time_order`` saved
+    slots plus at least one written slot cover the whole ring).  Together
+    with the receiver traces and in-flight staging rows, that is the exact
+    state tile re-execution must start from to be bit-identical, at
+    ``time_order / (time_order + 1)`` of a full snapshot's field bytes and
+    zero disk traffic — cheap enough to take at *every* tile boundary.
+    """
+
+    step: int
+    #: TimeFunction name -> {slot index -> copy of that padded slot}
+    slots: Dict[str, Dict[int, np.ndarray]]
+    receivers: List[dict]
+
+    def nbytes(self) -> int:
+        total = 0
+        for keep in self.slots.values():
+            total += sum(int(a.nbytes) for a in keep.values())
+        for rec in self.receivers:
+            total += int(rec["output"].nbytes)
+            total += sum(int(a.nbytes) for a in rec["staging"].values())
+        return total
+
+
+def capture_micro_snapshot(
+    plan, step: int, recycle: Optional[MicroSnapshot] = None
+) -> MicroSnapshot:
+    """Copy the live entry state of the containment unit starting at *step*.
+
+    *recycle* donates the buffers of a retired snapshot (same plan, evicted
+    from the ABFT guard's ring): matching slots are overwritten in place via
+    ``np.copyto`` instead of freshly allocated, so the steady-state per-tile
+    cost is pure memcpy — no page-faulting new large allocations on every
+    containment-unit boundary.
+    """
+    slots: Dict[str, Dict[int, np.ndarray]] = {}
+    for name, func in _plan_time_functions(plan).items():
+        keep: Dict[int, np.ndarray] = {}
+        donors = list((recycle.slots.get(name) or {}).values()) if recycle else []
+        for k in range(func.time_order):
+            idx = (step - k) % func.buffers
+            if idx in keep:
+                continue
+            src = func._data[idx]
+            buf = None
+            while donors:
+                cand = donors.pop()
+                if cand.shape == src.shape and cand.dtype == src.dtype:
+                    buf = cand
+                    break
+            if buf is None:
+                keep[idx] = src.copy()
+            else:
+                np.copyto(buf, src)
+                keep[idx] = buf
+        slots[name] = keep
+    receivers = []
+    for rec in _plan_receiver_executors(plan):
+        staging = getattr(rec, "_staging", {})
+        receivers.append(
+            {
+                "output": _receiver_output(rec).copy(),
+                "staging": {row: arr.copy() for row, arr in staging.items()},
+            }
+        )
+    return MicroSnapshot(step=int(step), slots=slots, receivers=receivers)
+
+
+def restore_micro_snapshot(plan, snapshot: MicroSnapshot) -> int:
+    """Write a micro-snapshot back in place; return the re-execution step."""
+    funcs = _plan_time_functions(plan)
+    for name, keep in snapshot.slots.items():
+        func = funcs.get(name)
+        if func is None:
+            raise KeyError(f"micro-snapshot field {name!r} not present in the plan")
+        for idx, arr in keep.items():
+            func._data[idx][...] = arr
+    executors = _plan_receiver_executors(plan)
+    if len(executors) != len(snapshot.receivers):
+        raise ValueError(
+            f"micro-snapshot holds {len(snapshot.receivers)} receiver state(s), "
             f"plan has {len(executors)}"
         )
     for rec, saved in zip(executors, snapshot.receivers):

@@ -29,9 +29,9 @@ import numpy as np
 from ..errors import InjectedFault
 from ..execution.evalbox import Box, box_view
 
-__all__ = ["Fault", "FaultInjector", "break_engine", "split_seed"]
+__all__ = ["Fault", "FaultInjector", "break_engine", "split_seed", "flip_finite"]
 
-KINDS = ("raise", "nan", "inf")
+KINDS = ("raise", "nan", "inf", "bitflip")
 
 
 def split_seed(batch_seed: int, *key: int) -> int:
@@ -49,6 +49,36 @@ def split_seed(batch_seed: int, *key: int) -> int:
     return int(seq.generate_state(1, dtype=np.uint64)[0])
 
 
+def flip_finite(value, dtype, rng) -> Tuple[float, int]:
+    """Corrupt *value* by rewriting its IEEE-754 exponent field, staying finite.
+
+    Returns ``(corrupted, mask)`` where *mask* is the xor applied to the raw
+    bit pattern (a multi-bit exponent upset plus the sign/mantissa left
+    intact).  The new exponent is drawn from the top octaves of the format,
+    strictly below all-ones — the corrupted value is therefore always finite
+    (invisible to the NaN/Inf scan) yet many orders of magnitude above any
+    certified amplitude bound, so the ABFT invariant is guaranteed to see
+    it.  Single low-order mantissa flips are deliberately *not* modelled:
+    they are below both the detection and the numerical-significance
+    threshold, so injecting them would just make chaos runs flaky.
+    """
+    dt = np.dtype(dtype)
+    if dt == np.float32:
+        itype, mantbits, expbits = np.uint32, 23, 8
+    elif dt == np.float64:
+        itype, mantbits, expbits = np.uint64, 52, 11
+    else:
+        raise ValueError(f"flip_finite supports float32/float64, got {dt}")
+    raw = int(np.asarray(value, dtype=dt).view(itype))
+    exp_all_ones = (1 << expbits) - 1
+    # seeded exponent in [all_ones - 64, all_ones - 2]: huge but finite
+    new_exp = int(rng.integers(exp_all_ones - 64, exp_all_ones - 1))
+    sign_mant = raw & ~(exp_all_ones << mantbits)
+    flipped = sign_mant | (new_exp << mantbits)
+    corrupted = np.asarray(flipped, dtype=itype).view(dt)[()]
+    return dt.type(corrupted), raw ^ flipped
+
+
 @dataclass
 class Fault:
     """One programmed fault.
@@ -60,7 +90,9 @@ class Fault:
     kind:
         ``"raise"`` aborts the instance with :class:`InjectedFault`;
         ``"nan"``/``"inf"`` poke one non-finite value into the buffer the
-        instance just wrote.
+        instance just wrote; ``"bitflip"`` silently corrupts one value by
+        rewriting its IEEE-754 exponent field — the result stays *finite*,
+        so only the ABFT amplitude invariant can catch it.
     field:
         Restrict corruption to the named field (default: the instance's
         first written field).
@@ -95,6 +127,10 @@ class FaultInjector:
         self.rng = np.random.default_rng(self.seed)
         #: (t, tile, kind, field) of every fault fired, in order
         self.log: List[Tuple] = []
+        #: structured detail of every "bitflip" fired: dicts with the
+        #: journaled coordinates (t, tile, field, index) plus the xor mask
+        #: applied to the IEEE-754 representation and before/after values
+        self.flips: List[dict] = []
 
     @classmethod
     def substream(
@@ -112,6 +148,7 @@ class FaultInjector:
             f.armed = True
         self.rng = np.random.default_rng(self.seed)
         self.log.clear()
+        self.flips.clear()
 
     # -- executor hook ---------------------------------------------------------------
     def fire(self, plan, j: int, t: int, box: Box) -> None:
@@ -141,8 +178,26 @@ class FaultInjector:
             pos = tuple(p - lo for p, (lo, _hi) in zip(f.point, box))
         else:
             pos = tuple(int(self.rng.integers(0, s)) for s in view.shape)
-        view[pos] = np.nan if f.kind == "nan" else np.inf
-        self.log.append((t, box, f.kind, beq.lhs.function.name))
+        name = beq.lhs.function.name
+        if f.kind == "bitflip":
+            before = view[pos]
+            corrupted, mask = flip_finite(before, view.dtype, self.rng)
+            view[pos] = corrupted
+            index = tuple(int(p) + lo for p, (lo, _hi) in zip(pos, box))
+            self.flips.append(
+                {
+                    "t": int(t),
+                    "tile": tuple(tuple(b) for b in box),
+                    "field": name,
+                    "index": index,
+                    "mask": int(mask),
+                    "before": float(before),
+                    "after": float(corrupted),
+                }
+            )
+        else:
+            view[pos] = np.nan if f.kind == "nan" else np.inf
+        self.log.append((t, box, f.kind, name))
 
     def __repr__(self) -> str:
         armed = sum(f.armed for f in self.faults)

@@ -19,6 +19,7 @@ to *off* — benchmarks and production-tuned runs opt in explicitly.
 
 from __future__ import annotations
 
+import math
 from typing import Optional, Tuple
 
 import numpy as np
@@ -42,7 +43,10 @@ class HealthGuard:
     max_abs:
         Optional amplitude bound: values with ``|v| > max_abs`` count as a
         blowup even while still finite, catching divergence before it
-        saturates to Inf.
+        saturates to Inf.  When omitted, ``Operator.apply`` derives one from
+        the operator's certified CFL amplification bound and the plan's
+        total source amplitude (:func:`repro.runtime.abft.amplitude_ceiling`)
+        — pass a value explicitly to override the derivation.
     """
 
     def __init__(self, check_every: int = DEFAULT_CHECK_EVERY, max_abs: Optional[float] = None):
@@ -50,6 +54,9 @@ class HealthGuard:
             raise ValueError(f"check_every must be >= 1, got {check_every}")
         self.check_every = int(check_every)
         self.max_abs = float(max_abs) if max_abs is not None else None
+        #: True when max_abs was not set explicitly: the operator then fills
+        #: in (and re-derives per apply) the CFL-derived ceiling
+        self.max_abs_derived = max_abs is None
         self._tick = 0
         self.stats = {"ticks": 0, "checks": 0}
 
@@ -66,11 +73,20 @@ class HealthGuard:
         self.stats["checks"] += 1
         for beq in sweep.beqs:
             view = box_view(beq.lhs, t, box, sweep.dim_names)
+            if view.size == 0:
+                continue
+            # healthy fast path: two allocation-free reductions.  NaN
+            # propagates through ndarray.max/min, ±Inf fails isfinite, and
+            # the amplitude ceiling bounds both extremes — only a genuine
+            # violation pays for the attribution mask below.
+            hi = float(view.max())
+            lo = float(view.min())
+            limit = self.max_abs if self.max_abs is not None else math.inf
+            if math.isfinite(hi) and math.isfinite(lo) and hi <= limit and -lo <= limit:
+                continue
             bad = ~np.isfinite(view)
             if self.max_abs is not None:
                 bad |= np.abs(view) > self.max_abs
-            if not bad.any():
-                continue
             name = beq.lhs.function.name
             where = np.argwhere(bad)[0]
             point = tuple(int(lo + o) for (lo, _hi), o in zip(box, where))

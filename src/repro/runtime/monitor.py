@@ -11,18 +11,28 @@ call:
   box)``: fires due faults first (so a cadence-1 guard attributes the
   corruption to the exact instance), then ticks the health guard.
 * :meth:`after_step` — naive/spatial schedules, after timestep ``t``
-  completed (stencil + sparse + receiver finalize): checkpoint cadence.
+  completed (stencil + sparse + receiver finalize): ABFT invariant check,
+  then checkpoint cadence (never snapshot unverified state).
 * :meth:`after_tile` — wavefront schedules, after a full time tile
   ``[t0, t1)``: the only consistent snapshot points of a tiled run.
+* :meth:`tile_entry` / :meth:`contain` — the ABFT containment pair: record
+  entry state before a containment unit, and on a detected corruption
+  restore its micro-snapshot so the executor re-executes just that unit.
 
 Executors keep a single ``monitor is not None`` branch on their hot paths;
 with no facility configured no monitor is built at all.
+
+A checkpoint save that hits storage exhaustion (ENOSPC) does not kill the
+run: the monitor suspends the checkpoint cadence, remembers the condition on
+:attr:`storage_degraded` and lets the run finish unprotected — losing future
+restart granularity is strictly better than losing the job.
 """
 
 from __future__ import annotations
 
 from typing import Optional
 
+from ..errors import StorageExhaustedError
 from .checkpoint import CheckpointConfig, capture_snapshot, restore_snapshot
 from .faults import FaultInjector
 from .health import HealthGuard
@@ -37,10 +47,16 @@ class RuntimeMonitor:
         checkpoint: Optional[CheckpointConfig] = None,
         faults: Optional[FaultInjector] = None,
         telemetry=None,
+        abft=None,
     ):
         self.health = health
         self.checkpoint = checkpoint
         self.faults = faults
+        #: optional :class:`~repro.runtime.abft.ABFTGuard`
+        self.abft = abft
+        #: the :class:`~repro.errors.StorageExhaustedError` that suspended
+        #: checkpointing, or None while storage is healthy
+        self.storage_degraded: Optional[StorageExhaustedError] = None
         #: optional :class:`~repro.telemetry.Telemetry` buffer; checkpoint
         #: saves and restores emit events/counters into it.  Assigned by
         #: ``run_schedule`` when both layers are attached to the same run.
@@ -89,10 +105,40 @@ class RuntimeMonitor:
             self.health.on_instance(plan.sweeps[j], t, box)
 
     def after_step(self, plan, t: int) -> None:
+        if self.abft is not None:
+            self.abft.tile_check(plan, t, t + 1)
         self._maybe_save(plan, t + 1)
 
     def after_tile(self, plan, t0: int, t1: int) -> None:
+        if self.abft is not None:
+            self.abft.tile_check(plan, t0, t1)
         self._maybe_save(plan, t1)
+
+    # -- ABFT containment --------------------------------------------------------------
+    def tile_entry(self, plan, t0: int, t1: int) -> None:
+        """Entering the containment unit ``[t0, t1)``: record entry
+        amplitudes and capture the micro-snapshot re-execution restores."""
+        if self.abft is not None:
+            self.abft.tile_entry(plan, t0, t1)
+
+    def contain(self, plan, t0: int, attempt: int) -> bool:
+        """Try to contain a detected corruption to the unit entered at *t0*.
+
+        Returns True when the entry micro-snapshot was restored and the
+        executor should re-execute the unit (*attempt* counts re-executions
+        of this unit, starting at 1); False hands the error back to the
+        checkpoint-restart layer.
+        """
+        guard = self.abft
+        if guard is None or attempt > guard.max_reexecutions:
+            return False
+        restored = guard.restore(plan, t0)
+        if restored and self.telemetry is not None:
+            self.telemetry.counters.add("abft_reexecutions")
+            self.telemetry.event(
+                "abft.reexecute", phase="checkpoint+guard", step=t0
+            )
+        return restored
 
     # -- checkpointing -----------------------------------------------------------------
     def _maybe_save(self, plan, step: int) -> None:
@@ -101,7 +147,21 @@ class RuntimeMonitor:
             return
         if step - self._last_saved >= cfg.every:
             snapshot = capture_snapshot(plan, step)
-            cfg.store.save(snapshot)
+            try:
+                cfg.store.save(snapshot)
+            except StorageExhaustedError as exc:
+                # degraded, not dead: drop the cadence and let the run finish
+                self.checkpoint = None
+                self.storage_degraded = exc
+                if self.telemetry is not None:
+                    self.telemetry.counters.add("checkpoint_storage_degraded")
+                    self.telemetry.event(
+                        "checkpoint.storage_degraded",
+                        phase="checkpoint+guard",
+                        step=step,
+                        path=getattr(exc, "context", {}).get("path"),
+                    )
+                return
             self._last_saved = step
             if self.telemetry is not None:
                 self.telemetry.counters.add("checkpoint_saves")

@@ -33,13 +33,16 @@ from .absint import (
     ParamSpace,
     analyse_programs,
     prove_bounds,
+    prove_growth,
 )
 from .certificate import (
     BoundsCertificate,
     BoundsCounterexample,
     CheckedBound,
     CheckedDependence,
+    CheckedGrowth,
     Counterexample,
+    GrowthCertificate,
     InstanceRef,
     LegalityCertificate,
 )
@@ -78,10 +81,13 @@ __all__ = [
     "CheckedBound",
     "BoundsCounterexample",
     "BoundsCertificate",
+    "CheckedGrowth",
+    "GrowthCertificate",
     "AffineForm",
     "Interval",
     "ParamSpace",
     "prove_bounds",
+    "prove_growth",
     "LivenessReport",
     "analyse_programs",
     "prove_schedule",

@@ -27,6 +27,7 @@ from .bounds import build_param_space, prove_bounds
 from .domain import AffineForm, Interval, ParamSpace
 from .dtypes import DtypePass, expr_dtype, promote, ufunc_result
 from .framework import DataflowPass, Finding, PassResult, fixpoint, run_pass
+from .growth import GrowthPass, interval_ufunc, prove_growth, read_interval
 from .liveness import LivenessReport, PoolLivenessPass, analyse_programs
 
 __all__ = [
@@ -44,6 +45,10 @@ __all__ = [
     "expr_dtype",
     "promote",
     "ufunc_result",
+    "GrowthPass",
+    "prove_growth",
+    "interval_ufunc",
+    "read_interval",
     "LivenessReport",
     "PoolLivenessPass",
     "analyse_programs",

@@ -25,6 +25,7 @@ instance whose access escapes the padded buffer.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -36,6 +37,8 @@ __all__ = [
     "CheckedBound",
     "BoundsCounterexample",
     "BoundsCertificate",
+    "CheckedGrowth",
+    "GrowthCertificate",
 ]
 
 Box = Tuple[Tuple[int, int], ...]
@@ -400,6 +403,132 @@ class BoundsCounterexample:
             extent=tuple(d["extent"]),
             reason=d["reason"],
         )
+
+
+@dataclass(frozen=True)
+class CheckedGrowth:
+    """One written field's per-step amplitude amplification bound.
+
+    The interval ``[lo, hi]`` is the image of the field's update expression
+    under interval abstract interpretation with every wavefield read set to
+    the unit interval ``[-1, 1]`` and every model read set to its actual
+    data range (see :mod:`repro.verify.absint.growth`).  By linearity of the
+    update in the wavefields, ``gain = max(|lo|, |hi|)`` bounds the factor
+    by which one timestep can amplify the state's max-norm.  An infinite
+    gain (e.g. a division whose abstract denominator straddles zero) marks
+    the check unsatisfied — the certificate then cannot support a runtime
+    amplitude invariant and the ABFT guard degrades to checksum-only mode.
+    """
+
+    sweep: int
+    field: str
+    lo: float
+    hi: float
+    engine: str  # "absint" (fused TAProgram pass) | "interval" (expr tree)
+
+    @property
+    def gain(self) -> float:
+        return max(abs(self.lo), abs(self.hi))
+
+    @property
+    def satisfied(self) -> bool:
+        return math.isfinite(self.gain)
+
+    def to_dict(self) -> dict:
+        return {
+            "sweep": self.sweep,
+            "field": self.field,
+            "lo": self.lo,
+            "hi": self.hi,
+            "engine": self.engine,
+            "gain": self.gain,
+            "satisfied": self.satisfied,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "CheckedGrowth":
+        return cls(
+            sweep=int(d["sweep"]),
+            field=d["field"],
+            lo=float(d["lo"]),
+            hi=float(d["hi"]),
+            engine=d["engine"],
+        )
+
+
+@dataclass
+class GrowthCertificate:
+    """The growth analysis' verdict: per-step amplitude amplification bounds.
+
+    The peer of :class:`BoundsCertificate` for the ABFT amplitude invariant
+    (:mod:`repro.runtime.abft`): ``checks`` holds one :class:`CheckedGrowth`
+    per written field of every sweep, and :attr:`step_gain` — the product of
+    the per-sweep worst-case gains, clamped at 1 — bounds how much one full
+    timestep can amplify the state's max-norm.  The runtime invariant
+    ``|u|_exit <= slack * (G**h * |u|_entry + source energy)`` over a time
+    tile of height *h* follows by induction; a finite-valued bit flip that
+    rewrites an exponent field violates it by many orders of magnitude.
+    Like its peers, the certificate re-verifies from its own recorded data
+    after a serialisation round-trip.
+    """
+
+    operator: str
+    dt: float
+    checks: Tuple[CheckedGrowth, ...] = ()
+
+    @property
+    def sweep_gains(self) -> Dict[int, float]:
+        """Worst-case gain per sweep, clamped at 1 (a sweep that leaves a
+        field untouched is the identity on it)."""
+        gains: Dict[int, float] = {}
+        for c in self.checks:
+            gains[c.sweep] = max(gains.get(c.sweep, 1.0), c.gain)
+        return gains
+
+    @property
+    def step_gain(self) -> float:
+        """Amplification bound of one full timestep (all sweeps in order)."""
+        g = 1.0
+        for gain in self.sweep_gains.values():
+            g *= gain
+        return max(g, 1.0)
+
+    def gain(self, height: int) -> float:
+        """Amplification bound across a time tile of *height* steps."""
+        return self.step_gain ** max(int(height), 1)
+
+    def check(self) -> bool:
+        return all(c.satisfied for c in self.checks) and math.isfinite(self.step_gain)
+
+    def violations(self) -> List[CheckedGrowth]:
+        return [c for c in self.checks if not c.satisfied]
+
+    def to_dict(self) -> dict:
+        return {
+            "operator": self.operator,
+            "dt": self.dt,
+            "checks": [c.to_dict() for c in self.checks],
+            "step_gain": self.step_gain,
+            "bounded": self.check(),
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "GrowthCertificate":
+        return cls(
+            operator=d["operator"],
+            dt=float(d["dt"]),
+            checks=tuple(CheckedGrowth.from_dict(x) for x in d["checks"]),
+        )
+
+    def summary(self) -> str:
+        return (
+            f"GrowthCertificate({self.operator}, dt={self.dt:g}, "
+            f"checks={len(self.checks)}, step_gain={self.step_gain:.4g}, "
+            f"bounded={self.check()})"
+        )
+
+    def __repr__(self) -> str:
+        return self.summary()
 
 
 @dataclass

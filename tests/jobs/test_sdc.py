@@ -1,0 +1,230 @@
+"""Silent-data-corruption handling across the job service: the chaos
+``sdc_rate`` knob, ``sdc`` attempt classification, flat retry backoff,
+shared-memory checksum verification, graceful ENOSPC degradation, and the
+end-to-end gate — a batch under injected finite bit-flips completes 100%
+bit-identical with journaled tile-granular recovery."""
+
+from __future__ import annotations
+
+import json
+import pickle
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from multiprocessing import shared_memory
+
+from repro.errors import SilentCorruptionError, StorageExhaustedError
+from repro.jobs import (
+    METRICS_NAME,
+    ChaosConfig,
+    ChaosPlan,
+    JobPool,
+    JobSpec,
+    RetryPolicy,
+    load_journal,
+    run_batch,
+    run_job_inline,
+)
+from repro.jobs.pool import _classify_failure
+from repro.jobs.shm import AttachedArrays, SharedArrayRegistry, verify_handles
+from repro.jobs.status import journal_stats
+
+pytestmark = pytest.mark.faults
+
+
+# -- chaos: the sdc_rate knob --------------------------------------------------------
+
+
+@given(batch_seed=st.integers(0, 2**31 - 1))
+@settings(max_examples=50, deadline=None)
+def test_sdc_draw_is_deterministic_and_order_independent(batch_seed):
+    config = ChaosConfig(sdc_rate=0.5)
+    forward = ChaosPlan(config, batch_seed=batch_seed)
+    backward = ChaosPlan(config, batch_seed=batch_seed)
+    a = [forward.entry(i, 64) for i in range(10)]
+    b = [backward.entry(i, 64) for i in reversed(range(10))][::-1]
+    assert a == b
+
+
+@given(batch_seed=st.integers(0, 2**31 - 1))
+@settings(max_examples=50, deadline=None)
+def test_sdc_draw_does_not_reshuffle_legacy_fault_decisions(batch_seed):
+    # the sdc draw is appended *after* the legacy draws: adding sdc_rate to
+    # an existing chaos config must not change which jobs get which faults
+    legacy = ChaosPlan(ChaosConfig(fault_rate=0.4, break_rate=0.3), batch_seed)
+    mixed = ChaosPlan(
+        ChaosConfig(fault_rate=0.4, break_rate=0.3, sdc_rate=0.5), batch_seed
+    )
+    for i in range(10):
+        old, new = legacy.entry(i, 32), mixed.entry(i, 32)
+        assert old.break_fused == new.break_fused
+        if old.fault is not None:  # legacy fault fired: sdc never overrides
+            assert new.fault == old.fault
+
+
+def test_sdc_entries_arm_the_abft_guard_not_the_health_guard():
+    plan = ChaosPlan(ChaosConfig(sdc_rate=1.0), batch_seed=7)
+    for i in range(8):
+        entry = plan.entry(i, 32)
+        assert entry.fault is not None
+        assert entry.fault["kind"] == "bitflip"
+        assert 1 <= entry.fault["t"] < 32
+        assert entry.needs_abft
+        assert not entry.needs_guard  # the derived ceiling would misclassify
+    assert ChaosConfig(sdc_rate=0.5).active
+    with pytest.raises(ValueError, match="sdc_rate"):
+        ChaosConfig(sdc_rate=1.5)
+
+
+# -- classification and retry discipline ---------------------------------------------
+
+
+def test_silent_corruption_classifies_as_sdc_even_after_the_pipe():
+    err = SilentCorruptionError(
+        "checksum mismatch", field="model/vp", detector="checksum"
+    )
+    assert _classify_failure(err) == "sdc"
+    clone = pickle.loads(pickle.dumps(err))
+    assert _classify_failure(clone) == "sdc"
+    assert clone.context["detector"] == "checksum"
+    assert _classify_failure(ValueError("boom")) == "fault"
+
+
+def test_sdc_retries_at_flat_base_delay_with_aligned_jitter_stream():
+    policy = RetryPolicy(base=0.1, factor=4.0, max_delay=10.0, jitter=0.5)
+    sdc_rng = np.random.default_rng(3)
+    fault_rng = np.random.default_rng(3)
+    sdc = [policy.delay(a, sdc_rng, outcome="sdc") for a in (1, 2, 3)]
+    faults = [policy.delay(a, fault_rng) for a in (1, 2, 3)]
+    # sdc: flat base (plus jitter), never escalating
+    assert all(0.1 <= d <= 0.1 * 1.5 for d in sdc)
+    # faults: exponential escalation
+    assert faults[2] > faults[1] > faults[0]
+    # the jitter draw is consumed either way: streams stay aligned
+    assert policy.delay(4, sdc_rng) == policy.delay(4, fault_rng)
+
+
+# -- shared-memory checksums ---------------------------------------------------------
+
+
+def test_shm_checksum_catches_a_corrupted_segment():
+    rng = np.random.default_rng(5)
+    vp = rng.random((6, 5, 4)).astype(np.float64)
+    registry = SharedArrayRegistry()
+    try:
+        handle = registry.publish("model/vp", vp)
+        assert handle.checksum == handle.checksum  # published and stable
+        with AttachedArrays({"model/vp": handle}) as attached:
+            assert verify_handles({"model/vp": handle}, attached) == ()
+            # corrupt one byte through a raw mapping, exactly as a stray
+            # writer (or a genuine bit flip) would
+            seg = shared_memory.SharedMemory(name=handle.name)
+            try:
+                seg.buf[17] ^= 0x40
+                assert verify_handles({"model/vp": handle}, attached) == (
+                    "model/vp",
+                )
+                assert not handle.verify(attached.arrays["model/vp"])
+            finally:
+                seg.buf[17] ^= 0x40  # restore before closing
+                seg.close()
+            assert verify_handles({"model/vp": handle}, attached) == ()
+    finally:
+        registry.close()
+
+
+# -- pool-level ENOSPC degradation ---------------------------------------------------
+
+
+def test_pool_degrades_and_drains_on_journal_enospc(tmp_path):
+    pool = JobPool(workers=0, workdir=tmp_path)
+    exc = StorageExhaustedError("disk full", path=str(tmp_path), op="journal_append")
+
+    class FullJournal:
+        def append(self, kind, **payload):
+            raise StorageExhaustedError(
+                "disk full", path=str(tmp_path), op="journal_append"
+            )
+
+        def close(self):
+            pass
+
+    pool._journal.close()
+    pool._journal = FullJournal()
+    pool._journal_append("drain", signal=None)
+    assert pool.storage_degraded is not None
+    assert pool._journal is None  # journaling off: no append loops
+    assert pool._draining  # batch winds down cleanly
+    assert pool._status_summary()["storage_degraded"] is True
+    # further appends are silent no-ops, not crashes
+    pool._journal_append("drain", signal=None)
+    assert isinstance(pool.storage_degraded, type(exc))
+
+
+# -- the end-to-end gate -------------------------------------------------------------
+
+
+def _assert_sdc_batch_recovers(workdir, specs, report):
+    assert report.ok, [r.to_dict() for r in report.results if not r.ok]
+    for spec in specs:
+        result = report.result_for(spec.job_id)
+        assert result.status == "completed"
+        np.testing.assert_array_equal(result.receivers, run_job_inline(spec))
+    replay = load_journal(workdir / "journal.jsonl")
+    sdc = replay.for_kind("sdc")
+    assert len(sdc) >= 1  # detection + recovery is journaled, not silent
+    for rec in sdc:
+        assert rec["recovered"] is True
+        assert rec["detector"] == "growth"
+        assert rec["detections"] >= 1
+        assert rec["tiles_reexecuted"] >= 1
+        assert rec["micro_snapshot_bytes"] > 0
+    stats = journal_stats(workdir)
+    assert stats["sdc"]["records"] == len(sdc)
+    assert stats["sdc"]["recovered"] == len(sdc)
+    assert stats["sdc"]["tiles_reexecuted"] >= len(sdc)
+
+
+def test_serial_sdc_batch_completes_bit_identical_with_journaled_recovery(
+    tmp_path,
+):
+    specs = [
+        JobSpec(f"sdc-{i}", nt=16, seed=40 + i, checkpoint_every=4,
+                max_attempts=3)
+        for i in range(3)
+    ]
+    report = run_batch(
+        specs,
+        workers=0,
+        workdir=tmp_path,
+        chaos=ChaosConfig(sdc_rate=1.0),
+        batch_seed=9,
+    )
+    _assert_sdc_batch_recovers(tmp_path, specs, report)
+    # recovery happened *in-run* (tile re-execution), not via job retries
+    for spec in specs:
+        assert len(report.result_for(spec.job_id).attempts) == 1
+    snap = json.loads((tmp_path / METRICS_NAME).read_text())
+    series = snap["metrics"]["repro_sdc_detections_total"]["series"]
+    assert sum(s["value"] for s in series) >= 3
+    assert any(s["labels"].get("detector") == "growth" for s in series)
+    recovered = snap["metrics"]["repro_sdc_recoveries_total"]["series"]
+    assert sum(s["value"] for s in recovered) >= 3
+
+
+def test_warm_pool_sdc_batch_completes_bit_identical(tmp_path):
+    specs = [
+        JobSpec(f"warm-sdc-{i}", nt=16, seed=60 + i, checkpoint_every=4,
+                max_attempts=3)
+        for i in range(2)
+    ]
+    report = run_batch(
+        specs,
+        workers=1,
+        workdir=tmp_path,
+        chaos=ChaosConfig(sdc_rate=1.0),
+        batch_seed=11,
+    )
+    _assert_sdc_batch_recovers(tmp_path, specs, report)

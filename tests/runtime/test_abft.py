@@ -1,0 +1,312 @@
+"""ABFT silent-corruption detection and tile-granular recovery.
+
+A finite exponent-rewrite bit flip is invisible to the NaN/Inf health scan;
+the ABFT amplitude invariant catches it at the next containment-unit
+boundary, the monitor restores the entry micro-snapshot, and re-executing
+just that unit yields a run bit-identical to a fault-free one — under every
+schedule, since the containment unit is the schedule's own tile.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import NaiveSchedule, SpatialBlockSchedule, WavefrontSchedule
+from repro.dsl import Grid
+from repro.errors import NumericalBlowup, SilentCorruptionError
+from repro.runtime import (
+    ABFTGuard,
+    Fault,
+    FaultInjector,
+    HealthGuard,
+    amplitude_ceiling,
+    array_checksum,
+    flip_finite,
+)
+from repro.runtime.checkpoint import (
+    capture_micro_snapshot,
+    restore_micro_snapshot,
+)
+
+from ..conftest import make_acoustic_operator
+
+pytestmark = pytest.mark.faults
+
+NT = 8
+DT = 0.5
+
+SCHEDULES = {
+    "naive": NaiveSchedule(),
+    "spatial": SpatialBlockSchedule(block=(5, 4)),
+    "wavefront": WavefrontSchedule(tile=(6, 6), height=2),
+}
+
+
+def _schedule_param():
+    return pytest.mark.parametrize(
+        "schedule", list(SCHEDULES.values()), ids=list(SCHEDULES)
+    )
+
+
+def _run(op, u, rec, schedule, **kw):
+    """Zero state, run with resilience kwargs, return (wavefield, receivers)."""
+    u.data_with_halo[...] = 0.0
+    if rec is not None:
+        rec.data[...] = 0.0
+    _apply(op, schedule, **kw)
+    return u.interior(NT).copy(), (rec.data.copy() if rec is not None else None)
+
+
+def _apply(op, schedule, **kw):
+    mode = "precomputed" if isinstance(schedule, WavefrontSchedule) else "auto"
+    return op.apply(time_M=NT, dt=DT, schedule=schedule, sparse_mode=mode, **kw)
+
+
+# -- the block-checksum primitive ----------------------------------------------------
+
+
+def test_array_checksum_is_content_addressed_and_flip_sensitive():
+    rng = np.random.default_rng(0)
+    a = rng.random((7, 9)).astype(np.float64)
+    assert array_checksum(a) == array_checksum(a.copy())
+    assert array_checksum(a) == array_checksum(np.asfortranarray(a))
+    flipped = a.copy()
+    flipped.view(np.uint8).reshape(-1)[13] ^= 0x10  # one-bit upset in the bytes
+    assert array_checksum(flipped) != array_checksum(a)
+
+
+# -- flip_finite: the injected corruption model --------------------------------------
+
+
+@given(
+    value=st.floats(allow_nan=False, allow_infinity=False, width=64),
+    seed=st.integers(0, 2**32 - 1),
+)
+@settings(max_examples=200, deadline=None)
+def test_flip_finite_float64_stays_finite_and_huge(value, seed):
+    corrupted, mask = flip_finite(value, np.float64, np.random.default_rng(seed))
+    again, mask2 = flip_finite(value, np.float64, np.random.default_rng(seed))
+    assert (corrupted, mask) == (again, mask2)  # seeded: fully deterministic
+    assert math.isfinite(corrupted)  # invisible to the NaN/Inf scan
+    # exponent is drawn from the top octaves: many orders of magnitude
+    # above any certified amplitude bound, so ABFT is guaranteed to see it
+    assert abs(corrupted) >= 1e250
+    assert math.copysign(1.0, corrupted) == math.copysign(1.0, value)
+
+
+@given(
+    value=st.floats(allow_nan=False, allow_infinity=False, width=32),
+    seed=st.integers(0, 2**32 - 1),
+)
+@settings(max_examples=200, deadline=None)
+def test_flip_finite_float32_stays_finite_and_huge(value, seed):
+    corrupted, _ = flip_finite(value, np.float32, np.random.default_rng(seed))
+    assert math.isfinite(float(corrupted))
+    assert abs(float(corrupted)) >= 1e19
+    assert corrupted.dtype == np.float32
+
+
+def test_flip_finite_rejects_non_float_dtypes():
+    with pytest.raises(ValueError, match="float32/float64"):
+        flip_finite(1.0, np.int32, np.random.default_rng(0))
+
+
+# -- detection + tile-granular recovery ----------------------------------------------
+
+
+@_schedule_param()
+def test_bitflip_is_detected_and_recovered_bit_identically(grid2d, schedule):
+    op, u, m, src, rec = make_acoustic_operator(grid2d, nt=NT)
+    clean_u, clean_rec = _run(op, u, rec, schedule)
+
+    guard = ABFTGuard()
+    faults = FaultInjector([Fault(t=4, kind="bitflip")], seed=11)
+    dirty_u, dirty_rec = _run(op, u, rec, schedule, abft=guard, faults=faults)
+
+    assert len(faults.flips) == 1  # the flip fired and was logged
+    assert math.isfinite(faults.flips[0]["after"])
+    assert guard.stats["detections"] >= 1
+    assert guard.stats["tiles_reexecuted"] >= 1
+    kinds = [e["kind"] for e in guard.events]
+    assert "detection" in kinds and "reexecute" in kinds
+    det = next(e for e in guard.events if e["kind"] == "detection")
+    assert det["detector"] == "growth"
+    assert det["observed"] is None or det["observed"] > det["bound"]
+    # re-execution from the entry micro-snapshot: bit-identical recovery
+    np.testing.assert_array_equal(dirty_u, clean_u)
+    np.testing.assert_array_equal(dirty_rec, clean_rec)
+
+
+@given(fault_t=st.integers(1, NT - 1), seed=st.integers(0, 2**16))
+@settings(max_examples=8, deadline=None)
+def test_recovery_is_bit_identical_for_any_fault_site(fault_t, seed):
+    # property form of the gate, over the wavefront (time-tiled) schedule:
+    # wherever the flip lands and whatever value it rewrites, the recovered
+    # run equals the clean run bit for bit
+    grid = Grid(shape=(14, 12), extent=(130.0, 110.0))
+    schedule = WavefrontSchedule(tile=(6, 6), height=2)
+    op, u, m, src, rec = make_acoustic_operator(grid, nt=NT)
+    clean_u, clean_rec = _run(op, u, rec, schedule)
+    guard = ABFTGuard()
+    faults = FaultInjector([Fault(t=fault_t, kind="bitflip")], seed=seed)
+    dirty_u, dirty_rec = _run(op, u, rec, schedule, abft=guard, faults=faults)
+    assert guard.stats["detections"] >= 1
+    np.testing.assert_array_equal(dirty_u, clean_u)
+    np.testing.assert_array_equal(dirty_rec, clean_rec)
+
+
+def test_without_abft_the_flip_corrupts_the_run_silently(grid2d):
+    # the motivating failure mode: a guard that only scans for NaN/Inf
+    # (explicit max_abs disables the derived ceiling) completes "green"
+    # with wrong receivers
+    op, u, m, src, rec = make_acoustic_operator(grid2d, nt=NT)
+    clean_u, clean_rec = _run(op, u, rec, NaiveSchedule())
+    guard = HealthGuard(check_every=1, max_abs=math.inf)
+    faults = FaultInjector([Fault(t=4, kind="bitflip")], seed=11)
+    dirty_u, dirty_rec = _run(op, u, rec, NaiveSchedule(), health=guard,
+                              faults=faults)
+    assert len(faults.flips) == 1
+    assert np.isfinite(dirty_u).all()  # nothing for the NaN/Inf scan to see
+    assert not np.array_equal(dirty_rec, clean_rec)
+
+
+def test_exhausted_reexecution_budget_escalates(grid2d):
+    # max_reexecutions=0: detection still fires but containment refuses,
+    # so the error escalates to the checkpoint-restart / job-retry layer
+    op, u, m, src, rec = make_acoustic_operator(grid2d, nt=NT)
+    guard = ABFTGuard(max_reexecutions=0)
+    faults = FaultInjector([Fault(t=4, kind="bitflip")], seed=11)
+    with pytest.raises(SilentCorruptionError) as excinfo:
+        _run(op, u, rec, NaiveSchedule(), abft=guard, faults=faults)
+    assert excinfo.value.context["detector"] == "growth"
+    assert guard.stats["detections"] == 1
+    assert guard.stats["tiles_reexecuted"] == 0
+
+
+def test_restore_without_ring_entry_reports_fallback():
+    guard = ABFTGuard()
+    assert guard.restore(None, 3) is False
+    assert guard.events == [{"kind": "fallback", "t0": 3}]
+    assert guard.stats["tiles_reexecuted"] == 0
+
+
+def test_guard_validates_slack_and_reports_flat_describe(grid2d):
+    with pytest.raises(ValueError, match="slack"):
+        ABFTGuard(slack=0.5)
+    op, u, m, src, rec = make_acoustic_operator(grid2d, nt=NT)
+    guard = ABFTGuard()
+    _run(op, u, rec, NaiveSchedule(), abft=guard)
+    assert guard.amplitude_active
+    meta = guard.describe()
+    # the pool harvests these keys at the top level — keep them flat
+    for key in ("checks", "detections", "tiles_reexecuted", "micro_snapshots",
+                "micro_snapshot_bytes", "seconds", "events",
+                "amplitude_active", "step_gain"):
+        assert key in meta
+    assert meta["detections"] == 0
+    assert meta["checks"] >= NT  # one check per field per unit boundary
+    assert meta["step_gain"] is not None and meta["step_gain"] >= 1.0
+
+
+def test_amplitude_propagates_nan_instead_of_dropping_it():
+    # Python's max() silently drops NaN; _amplitude must not, or a NaN that
+    # appears inside a tile would pass the boundary check unnoticed
+    class Stub:
+        time_order = 2
+        buffers = 3
+
+        def __init__(self, slots):
+            self._data = slots
+
+    clean = Stub([np.ones((4, 4)), 2 * np.ones((4, 4)), -3 * np.ones((4, 4))])
+    assert ABFTGuard._amplitude(clean, 2) == 3.0
+    poisoned = [np.ones((4, 4)), np.ones((4, 4)), np.ones((4, 4))]
+    poisoned[1][2, 2] = np.nan
+    assert math.isnan(ABFTGuard._amplitude(Stub(poisoned), 2))
+
+
+# -- micro-snapshots -----------------------------------------------------------------
+
+
+def test_micro_snapshot_roundtrip_and_recycled_capture(grid2d):
+    op, u, m, src, rec = make_acoustic_operator(grid2d, nt=NT)
+    plan = _apply(op, NaiveSchedule())
+    snap = capture_micro_snapshot(plan, NT)
+    assert snap.step == NT
+    assert snap.nbytes() > 0
+    saved = {n: {i: a.copy() for i, a in keep.items()}
+             for n, keep in snap.slots.items()}
+
+    u.data_with_halo[...] = -1.0
+    rec.data[...] = -1.0
+    assert restore_micro_snapshot(plan, snap) == NT
+    for idx, arr in saved["u"].items():
+        np.testing.assert_array_equal(u._data[idx], arr)
+
+    # a retired snapshot donates its buffers: the recycled capture reuses
+    # the same arrays (pure memcpy, no fresh allocation) yet equals a
+    # fresh capture value-for-value
+    recycled = capture_micro_snapshot(plan, NT, recycle=snap)
+    donated = {id(a) for keep in snap.slots.values() for a in keep.values()}
+    reused = {id(a) for keep in recycled.slots.values() for a in keep.values()}
+    assert reused == donated
+    for name, keep in recycled.slots.items():
+        for idx, arr in keep.items():
+            np.testing.assert_array_equal(arr, plan_slot(plan, name, idx))
+
+
+def plan_slot(plan, name, idx):
+    from repro.runtime.checkpoint import _plan_time_functions
+
+    return _plan_time_functions(plan)[name]._data[idx]
+
+
+def test_ring_is_bounded_by_micro_keep(grid2d):
+    op, u, m, src, rec = make_acoustic_operator(grid2d, nt=NT)
+    guard = ABFTGuard(micro_keep=2)
+    _run(op, u, rec, NaiveSchedule(), abft=guard)
+    assert guard.stats["micro_snapshots"] == NT  # one per containment unit
+    assert len(guard._ring) <= 2
+
+
+# -- the derived HealthGuard ceiling (CFL amplification bound) -----------------------
+
+
+def test_health_guard_ceiling_is_derived_from_growth_certificate(grid2d):
+    op, u, m, src, rec = make_acoustic_operator(grid2d, nt=NT)
+    guard = HealthGuard(check_every=1)
+    assert guard.max_abs_derived
+    clean_u, _ = _run(op, u, rec, NaiveSchedule(), health=guard)
+    assert guard.max_abs is not None and math.isfinite(guard.max_abs)
+    # sound (the clean run stays under it) but not vacuous
+    assert float(np.abs(clean_u).max()) < guard.max_abs
+
+
+def test_derived_ceiling_turns_runaway_finite_values_into_blowups(grid2d):
+    # satellite check: with the derived ceiling, even a *finite* runaway
+    # value (here: an injected exponent rewrite) is caught by the plain
+    # health guard as an amplitude blowup
+    op, u, m, src, rec = make_acoustic_operator(grid2d, nt=NT)
+    guard = HealthGuard(check_every=1)
+    faults = FaultInjector([Fault(t=4, kind="bitflip")], seed=11)
+    with pytest.raises(NumericalBlowup):
+        _run(op, u, rec, NaiveSchedule(), health=guard, faults=faults)
+
+
+def test_amplitude_ceiling_scales_with_sources(grid2d):
+    op, u, m, src, rec = make_acoustic_operator(grid2d, nt=NT)
+    plan = _apply(op, NaiveSchedule())
+    ceiling = amplitude_ceiling(plan, NT, step_gain=1.5)
+    assert ceiling is not None and ceiling > 0
+    # no sources, zero state: nothing to scale a bound against
+    op0, u0, m0, src0, rec0 = make_acoustic_operator(
+        grid2d, nt=NT, src_coords=False, rec_coords=False
+    )
+    u0.data_with_halo[...] = 0.0
+    plan0 = _apply(op0, NaiveSchedule())
+    assert amplitude_ceiling(plan0, NT) is None
